@@ -1,0 +1,254 @@
+// Package ancrfid is a library for collision-aware RFID tag identification
+// with analog network coding (ANC), reproducing "Using Analog Network
+// Coding to Improve the RFID Reading Throughput" (Zhang, Li, Chen, Li —
+// ICDCS 2010).
+//
+// The package exposes:
+//
+//   - The paper's protocols: FCAT (framed collision-aware identification,
+//     the main contribution) and SCAT (its per-slot precursor).
+//   - The baselines the paper evaluates against: DFSA, EDFSA (ALOHA
+//     family) and ABS, AQS (tree family), plus CRDSA — the satellite-network
+//     collision-resolution scheme the paper discusses in Section III-C.
+//   - A Monte-Carlo simulation harness with the paper's Philips I-Code
+//     timing model, and both of the paper's channel models: the slot-level
+//     abstract model (collisions of multiplicity <= lambda are resolvable)
+//     and a full physical-layer model in which collision records are
+//     resolved by actually cancelling MSK waveforms and checking CRCs.
+//   - The paper's closed-form analysis: optimal report-probability
+//     constants, expected slot counts, estimator bias and variance, and
+//     throughput bounds.
+//
+// Quick start:
+//
+//	result, err := ancrfid.Run(ancrfid.NewFCAT(2), ancrfid.SimConfig{
+//		Tags: 1000,
+//		Runs: 20,
+//		Seed: 1,
+//	})
+//	fmt.Printf("%.1f tags/s\n", result.Throughput.Mean)
+//
+// The experiments that regenerate every table and figure of the paper live
+// behind the cmd/tables binary and the benchmarks in bench_test.go; see
+// EXPERIMENTS.md for the measured-versus-paper comparison.
+package ancrfid
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+	"github.com/ancrfid/ancrfid/internal/analysis"
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/crdsa"
+	"github.com/ancrfid/ancrfid/internal/dfsa"
+	"github.com/ancrfid/ancrfid/internal/edfsa"
+	"github.com/ancrfid/ancrfid/internal/fcat"
+	"github.com/ancrfid/ancrfid/internal/prestep"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/scat"
+	"github.com/ancrfid/ancrfid/internal/sim"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+	"github.com/ancrfid/ancrfid/internal/treeproto"
+)
+
+// Core protocol and simulation types, re-exported for public use.
+type (
+	// Protocol is a complete tag-identification protocol.
+	Protocol = protocol.Protocol
+	// Metrics are the observable outcomes of one protocol run.
+	Metrics = protocol.Metrics
+	// Env is the environment a single protocol run executes in.
+	Env = protocol.Env
+	// SimConfig describes a Monte-Carlo campaign.
+	SimConfig = sim.Config
+	// SimResult aggregates a campaign.
+	SimResult = sim.Result
+	// Timing is the air-interface timing model.
+	Timing = air.Timing
+	// TagID is a 96-bit tag identifier with embedded CRC-16.
+	TagID = tagid.ID
+	// RNG is the deterministic random source used throughout.
+	RNG = rng.Source
+	// Channel models the report segment of a slot.
+	Channel = channel.Channel
+	// AbstractChannelConfig parameterises the paper's slot-level channel.
+	AbstractChannelConfig = channel.AbstractConfig
+	// SignalChannelConfig parameterises the physical-layer channel.
+	SignalChannelConfig = channel.SignalConfig
+	// FCATConfig parameterises FCAT beyond its lambda.
+	FCATConfig = fcat.Config
+	// SCATConfig parameterises SCAT beyond its lambda.
+	SCATConfig = scat.Config
+	// PreEstimateConfig tunes SCAT's pre-estimation phase (the paper's
+	// reference [24] scheme implemented in this module).
+	PreEstimateConfig = prestep.Config
+	// SlotEvent describes one completed report segment for Env.OnSlot
+	// observers.
+	SlotEvent = protocol.SlotEvent
+)
+
+// ErrNoProgress is returned when a run exhausts its slot budget before
+// identifying every tag — a livelocked read (e.g. a channel too noisy for
+// any decode to succeed).
+var ErrNoProgress = protocol.ErrNoProgress
+
+// Transmission models for the probabilistic protocols.
+const (
+	// TxHash evaluates the real per-tag report hash each slot.
+	TxHash = protocol.TxHash
+	// TxBinomial draws transmitter counts binomially (fast, equivalent).
+	TxBinomial = protocol.TxBinomial
+)
+
+// FCAT population estimators (see FCATConfig.Estimator).
+const (
+	// EstimatorExact solves the paper's Eq. 12 self-consistently (default).
+	EstimatorExact = fcat.EstimatorExact
+	// EstimatorClosedForm is the paper's one-shot approximation of Eq. 12.
+	EstimatorClosedForm = fcat.EstimatorClosedForm
+	// EstimatorEmpty estimates from empty slots (rejected by the paper for
+	// its higher variance; kept for ablations).
+	EstimatorEmpty = fcat.EstimatorEmpty
+)
+
+// NewFCAT returns the framed collision-aware tag identification protocol
+// tuned for an ANC decoder that resolves collisions of multiplicity up to
+// lambda (paper, Section V). Use NewFCATWith for non-default knobs.
+func NewFCAT(lambda int) Protocol { return fcat.New(fcat.Config{Lambda: lambda}) }
+
+// NewFCATWith returns an FCAT instance with explicit configuration.
+func NewFCATWith(cfg FCATConfig) Protocol { return fcat.New(cfg) }
+
+// NewSCAT returns the slotted collision-aware tag identification protocol
+// (paper, Section IV).
+func NewSCAT(lambda int) Protocol { return scat.New(scat.Config{Lambda: lambda}) }
+
+// NewSCATWith returns a SCAT instance with explicit configuration.
+func NewSCATWith(cfg SCATConfig) Protocol { return scat.New(cfg) }
+
+// NewDFSA returns the dynamic framed slotted ALOHA baseline.
+func NewDFSA() Protocol { return dfsa.New(dfsa.Config{}) }
+
+// NewEDFSA returns the enhanced dynamic framed slotted ALOHA baseline.
+func NewEDFSA() Protocol { return edfsa.New(edfsa.Config{}) }
+
+// NewABS returns the adaptive binary splitting (tree) baseline.
+func NewABS() Protocol { return treeproto.NewABS() }
+
+// NewCRDSA returns Contention Resolution Diversity Slotted ALOHA, the
+// satellite-network collision-resolution scheme the paper discusses in
+// Section III-C: two replicas per tag per frame, resolved by iterative
+// interference cancellation. The channel's ANC capability (lambda) bounds
+// the cancellation depth; use a large lambda to emulate the classic
+// full-packet scheme.
+func NewCRDSA() Protocol { return crdsa.New(crdsa.Config{}) }
+
+// CRDSAConfig parameterises CRDSA.
+type CRDSAConfig = crdsa.Config
+
+// NewCRDSAWith returns a CRDSA instance with explicit configuration.
+func NewCRDSAWith(cfg CRDSAConfig) Protocol { return crdsa.New(cfg) }
+
+// NewAQS returns the adaptive query splitting (tree) baseline as a plain
+// protocol (each Run is an independent round).
+func NewAQS() Protocol { return treeproto.NewAQS() }
+
+// AQSReader is the stateful AQS reader: RunRound retains the query tree
+// between rounds, so periodic re-reads of an unchanged population skip the
+// collision-resolution work — AQS's adaptive feature.
+type AQSReader = treeproto.AQS
+
+// NewAQSReader returns a stateful AQS reader for periodic inventory
+// rounds.
+func NewAQSReader() *AQSReader { return treeproto.NewAQS() }
+
+// ByName builds a protocol from its table name: "FCAT-2", "SCAT-3",
+// "DFSA", "EDFSA", "ABS", "AQS" (case-insensitive).
+func ByName(name string) (Protocol, error) {
+	n := strings.ToUpper(strings.TrimSpace(name))
+	switch {
+	case n == "DFSA":
+		return NewDFSA(), nil
+	case n == "EDFSA":
+		return NewEDFSA(), nil
+	case n == "ABS":
+		return NewABS(), nil
+	case n == "AQS":
+		return NewAQS(), nil
+	case n == "CRDSA":
+		return NewCRDSA(), nil
+	case strings.HasPrefix(n, "FCAT"), strings.HasPrefix(n, "SCAT"):
+		lambda := 2
+		if i := strings.IndexByte(n, '-'); i >= 0 {
+			if _, err := fmt.Sscanf(n[i+1:], "%d", &lambda); err != nil {
+				return nil, fmt.Errorf("ancrfid: bad lambda in protocol name %q", name)
+			}
+		}
+		if lambda < 1 || lambda > 16 {
+			return nil, fmt.Errorf("ancrfid: lambda %d out of range in %q", lambda, name)
+		}
+		if strings.HasPrefix(n, "FCAT") {
+			return NewFCAT(lambda), nil
+		}
+		return NewSCAT(lambda), nil
+	default:
+		return nil, fmt.Errorf("ancrfid: unknown protocol %q", name)
+	}
+}
+
+// Run executes a Monte-Carlo campaign of the protocol.
+func Run(p Protocol, cfg SimConfig) (SimResult, error) { return sim.Run(p, cfg) }
+
+// RunOnce executes a single deterministic run of the campaign.
+func RunOnce(p Protocol, cfg SimConfig, run int) (Metrics, error) {
+	return sim.RunOnce(p, cfg, run)
+}
+
+// NewRNG returns a deterministic random source.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// Population generates n distinct random tag IDs.
+func Population(r *RNG, n int) []TagID { return tagid.Population(r, n) }
+
+// TagIDFromParts builds a structured EPC-style ID from its vendor/manager
+// (28 bits), product class (16 bits) and serial (36 bits) fields; read
+// them back with TagID.Manager, TagID.Class and TagID.Serial.
+func TagIDFromParts(manager uint32, class uint16, serial uint64) TagID {
+	return tagid.FromParts(manager, class, serial)
+}
+
+// ICodeTiming returns the Philips I-Code air-interface timing the paper's
+// evaluation uses (53 kbit/s, 96-bit IDs, ~2.8 ms slots).
+func ICodeTiming() Timing { return air.ICode() }
+
+// Gen2Timing returns an ISO 18000-6C / EPC Gen2-style timing model
+// (128 kbit/s); the protocol ranking is rate-invariant, only faster.
+func Gen2Timing() Timing { return air.Gen2() }
+
+// NewAbstractChannel returns the paper's slot-level channel model.
+func NewAbstractChannel(cfg AbstractChannelConfig, r *RNG) Channel {
+	return channel.NewAbstract(cfg, r)
+}
+
+// NewSignalChannel returns the physical-layer channel model: MSK waveforms,
+// AWGN, and genuine interference-cancellation collision resolution.
+func NewSignalChannel(cfg SignalChannelConfig, r *RNG) Channel {
+	return channel.NewSignal(cfg, r)
+}
+
+// OptimalOmega returns (lambda!)^(1/lambda), the report-probability
+// constant that maximises useful slots for an ANC decoder of capability
+// lambda: 1.414, 1.817, 2.213 for lambda = 2, 3, 4 (paper, Section IV-C).
+func OptimalOmega(lambda int) float64 { return analysis.OptimalOmega(lambda) }
+
+// AlohaBound returns 1/(e*T), the throughput bound of ALOHA protocols
+// without collision resolution, for the given slot duration.
+func AlohaBound(t Timing) float64 { return analysis.AlohaBound(t.Slot().Seconds()) }
+
+// ANCBound returns the collision-aware throughput bound for an ANC decoder
+// of capability lambda at the given slot duration.
+func ANCBound(t Timing, lambda int) float64 {
+	return analysis.ANCBound(t.Slot().Seconds(), lambda)
+}

@@ -1,0 +1,237 @@
+// Benchmarks regenerating the paper's evaluation artefacts.
+//
+// Each BenchmarkTableN / BenchmarkFigN runs the corresponding experiment
+// from internal/experiments at a reduced Monte-Carlo budget so the whole
+// suite completes in minutes; cmd/tables regenerates them at the paper's
+// full budget (100 runs per data point). Where a benchmark measures a
+// single protocol campaign it reports the reading throughput as a custom
+// metric (tags/sec) next to the usual ns/op.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package ancrfid_test
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid"
+	"github.com/ancrfid/ancrfid/internal/experiments"
+)
+
+// benchOpts is the reduced Monte-Carlo budget used by the table/figure
+// benchmarks.
+func benchOpts() experiments.Options {
+	return experiments.Options{Runs: 2, Seed: 1}
+}
+
+func runExperiment(b *testing.B, id string, opts experiments.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Throughput regenerates Table I (reading throughput of
+// FCAT-2/3/4 vs DFSA, EDFSA, ABS, AQS) on a reduced population grid.
+func BenchmarkTable1Throughput(b *testing.B) {
+	opts := benchOpts()
+	opts.Sizes = []int{2000}
+	runExperiment(b, "table1", opts)
+}
+
+// BenchmarkTable2SlotBreakdown regenerates Table II (empty/singleton/
+// collision slots at N = 10000).
+func BenchmarkTable2SlotBreakdown(b *testing.B) {
+	runExperiment(b, "table2", benchOpts())
+}
+
+// BenchmarkTable3ResolvedIDs regenerates Table III (tag IDs recovered from
+// collision slots).
+func BenchmarkTable3ResolvedIDs(b *testing.B) {
+	opts := benchOpts()
+	opts.Runs = 1
+	runExperiment(b, "table3", opts)
+}
+
+// BenchmarkTable4OptimalOmega regenerates Table IV (swept-optimal omega vs
+// the computed (lambda!)^(1/lambda)).
+func BenchmarkTable4OptimalOmega(b *testing.B) {
+	opts := benchOpts()
+	opts.Runs = 1
+	runExperiment(b, "table4", opts)
+}
+
+// BenchmarkFig3EstimatorBias regenerates Fig. 3 (estimator bias, analytic
+// Eq. 16 next to Monte-Carlo measurement).
+func BenchmarkFig3EstimatorBias(b *testing.B) {
+	runExperiment(b, "fig3", benchOpts())
+}
+
+// BenchmarkFig4ExpectedSlots regenerates Fig. 4 (expected slot counts per
+// frame; purely analytic).
+func BenchmarkFig4ExpectedSlots(b *testing.B) {
+	runExperiment(b, "fig4", benchOpts())
+}
+
+// BenchmarkFig5OmegaSweep regenerates Fig. 5 (FCAT throughput vs omega).
+func BenchmarkFig5OmegaSweep(b *testing.B) {
+	opts := benchOpts()
+	opts.Runs = 1
+	runExperiment(b, "fig5", opts)
+}
+
+// BenchmarkFig6FrameSize regenerates Fig. 6 (FCAT throughput vs frame
+// size).
+func BenchmarkFig6FrameSize(b *testing.B) {
+	opts := benchOpts()
+	opts.Runs = 1
+	runExperiment(b, "fig6", opts)
+}
+
+// benchProtocol runs one campaign per iteration and reports the measured
+// reading throughput as a custom metric.
+func benchProtocol(b *testing.B, p ancrfid.Protocol, cfg ancrfid.SimConfig) {
+	b.Helper()
+	var tput float64
+	for i := 0; i < b.N; i++ {
+		res, err := ancrfid.Run(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tput = res.Throughput.Mean
+	}
+	b.ReportMetric(tput, "tags/sec")
+}
+
+// BenchmarkProtocols measures each protocol's simulation cost and reading
+// throughput at N = 5000.
+func BenchmarkProtocols(b *testing.B) {
+	cfg := ancrfid.SimConfig{Tags: 5000, Runs: 2, Seed: 1}
+	for _, name := range []string{"FCAT-2", "FCAT-3", "FCAT-4", "SCAT-2", "DFSA", "EDFSA", "ABS", "AQS"} {
+		p, err := ancrfid.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := cfg
+		switch name {
+		case "FCAT-3":
+			c.Lambda = 3
+		case "FCAT-4":
+			c.Lambda = 4
+		}
+		b.Run(name, func(b *testing.B) { benchProtocol(b, p, c) })
+	}
+}
+
+// BenchmarkAblationTxModel compares the exact hash-driven transmission
+// model against the binomial fast path (DESIGN.md design choice 1): same
+// distribution, very different simulation cost.
+func BenchmarkAblationTxModel(b *testing.B) {
+	for name, model := range map[string]ancrfid.SimConfig{
+		"binomial": {Tags: 3000, Runs: 2, Seed: 1, TxModel: ancrfid.TxBinomial},
+		"hash":     {Tags: 3000, Runs: 2, Seed: 1, TxModel: ancrfid.TxHash},
+	} {
+		b.Run(name, func(b *testing.B) { benchProtocol(b, ancrfid.NewFCAT(2), model) })
+	}
+}
+
+// BenchmarkAblationEstimator compares FCAT's population estimators
+// (DESIGN.md design choice 2): the self-consistent inversion (default), the
+// paper's one-shot closed form, the rejected empty-slot estimator, the
+// last-frame-only variant (no averaging) and the perfect-knowledge oracle.
+func BenchmarkAblationEstimator(b *testing.B) {
+	cfg := ancrfid.SimConfig{Tags: 5000, Runs: 2, Seed: 1}
+	variants := map[string]ancrfid.FCATConfig{
+		"exact":       {Lambda: 2},
+		"closed-form": {Lambda: 2, Estimator: ancrfid.EstimatorClosedForm},
+		"empty-slots": {Lambda: 2, Estimator: ancrfid.EstimatorEmpty},
+		"last-frame":  {Lambda: 2, LastFrameOnly: true},
+		"oracle":      {Lambda: 2, OracleEstimate: true},
+	}
+	for name, fc := range variants {
+		b.Run(name, func(b *testing.B) {
+			benchProtocol(b, ancrfid.NewFCATWith(fc), cfg)
+		})
+	}
+}
+
+// BenchmarkAblationAckEncoding compares SCAT (full 96-bit ID
+// acknowledgements for resolved records) against FCAT (23-bit slot
+// indices) — the Section V-A optimisation.
+func BenchmarkAblationAckEncoding(b *testing.B) {
+	cfg := ancrfid.SimConfig{Tags: 3000, Runs: 2, Seed: 1}
+	b.Run("scat-full-id", func(b *testing.B) { benchProtocol(b, ancrfid.NewSCAT(2), cfg) })
+	b.Run("fcat-slot-index", func(b *testing.B) { benchProtocol(b, ancrfid.NewFCAT(2), cfg) })
+}
+
+// BenchmarkSignalChannel runs the full protocol over real MSK waveform
+// mixing and cancellation (small population: every slot synthesises and
+// decodes waveforms).
+func BenchmarkSignalChannel(b *testing.B) {
+	cfg := ancrfid.SimConfig{
+		Tags: 100, Runs: 1, Seed: 1,
+		NewChannel: func(r *ancrfid.RNG) ancrfid.Channel {
+			return ancrfid.NewSignalChannel(ancrfid.SignalChannelConfig{MaxCancel: 2}, r)
+		},
+	}
+	benchProtocol(b, ancrfid.NewFCAT(2), cfg)
+}
+
+// Micro-benchmarks of the physical-layer primitives.
+
+func BenchmarkModulateID(b *testing.B) {
+	r := ancrfid.NewRNG(1)
+	id := ancrfid.Population(r, 1)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ancrfid.ModulateID(id, ancrfid.SamplesPerBit)
+	}
+}
+
+func BenchmarkDecodeWaveform(b *testing.B) {
+	r := ancrfid.NewRNG(2)
+	id := ancrfid.Population(r, 1)[0]
+	w := ancrfid.ModulateID(id, ancrfid.SamplesPerBit)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ancrfid.DecodeWaveform(w, ancrfid.SamplesPerBit); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkCancellation(b *testing.B) {
+	r := ancrfid.NewRNG(3)
+	ids := ancrfid.Population(r, 2)
+	refA := ancrfid.ModulateID(ids[0], ancrfid.SamplesPerBit)
+	refB := ancrfid.ModulateID(ids[1], ancrfid.SamplesPerBit)
+	mixed := ancrfid.MixWaveforms(
+		ancrfid.ScaleWaveform(refA, complex(0.8, 0.2)),
+		ancrfid.ScaleWaveform(refB, complex(-0.3, 0.5)),
+	)
+	refs := []ancrfid.Waveform{refA}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gains := ancrfid.EstimateGains(mixed, refs)
+		residual := ancrfid.CancelWaveforms(mixed, refs, gains)
+		if _, ok := ancrfid.DecodeWaveform(residual, ancrfid.SamplesPerBit); !ok {
+			b.Fatal("cancellation failed")
+		}
+	}
+}
+
+// BenchmarkExtensionExperiments runs the extension experiments (beyond the
+// paper's tables) at a reduced budget: the CRDSA comparison, the tag-energy
+// table and the identification-progress curves.
+func BenchmarkExtensionExperiments(b *testing.B) {
+	for _, id := range []string{"crdsa", "energy", "estimators", "noise", "progress"} {
+		b.Run(id, func(b *testing.B) {
+			opts := benchOpts()
+			opts.Runs = 1
+			runExperiment(b, id, opts)
+		})
+	}
+}

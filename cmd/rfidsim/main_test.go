@@ -1,0 +1,68 @@
+package main
+
+import "testing"
+
+func TestRunBasic(t *testing.T) {
+	if err := run([]string{"-protocol", "FCAT-2", "-tags", "200", "-runs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	if err := run([]string{"-protocol", "DFSA", "-tags", "150", "-runs", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoisyAbstract(t *testing.T) {
+	if err := run([]string{"-protocol", "FCAT-3", "-tags", "150", "-runs", "1",
+		"-punresolvable", "0.5", "-pcorrupt", "0.1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSignalChannel(t *testing.T) {
+	if err := run([]string{"-protocol", "FCAT-2", "-channel", "signal",
+		"-tags", "60", "-runs", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-protocol", "NOPE"},
+		{"-channel", "quantum", "-tags", "10"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestRunGen2AndAckLoss(t *testing.T) {
+	if err := run([]string{"-protocol", "FCAT-2", "-tags", "150", "-runs", "1",
+		"-timing", "gen2", "-ackloss", "0.3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCRDSA(t *testing.T) {
+	if err := run([]string{"-protocol", "CRDSA", "-tags", "150", "-runs", "1", "-lambda", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	if err := run([]string{"-protocol", "FCAT-2", "-tags", "100", "-runs", "1", "-trace"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-protocol", "DFSA", "-trace", "-tags", "50"}); err == nil {
+		t.Fatal("-trace with a non-FCAT protocol should fail")
+	}
+}
+
+func TestRunBadTiming(t *testing.T) {
+	if err := run([]string{"-timing", "warp", "-tags", "10"}); err == nil {
+		t.Fatal("unknown timing should fail")
+	}
+}

@@ -1,0 +1,96 @@
+// Command tables regenerates the tables and figures of "Using Analog
+// Network Coding to Improve the RFID Reading Throughput" (ICDCS 2010).
+//
+// Usage:
+//
+//	tables -exp all                 # every experiment, paper defaults
+//	tables -exp table1 -runs 20     # one experiment, fewer runs
+//	tables -exp fig5 -format csv    # machine-readable output
+//	tables -exp table1 -sizes 1000,5000,10000
+//
+// Output goes to stdout; progress lines go to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/ancrfid/ancrfid/internal/experiments"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
+		runs    = fs.Int("runs", 0, "Monte-Carlo runs per data point (0 = per-experiment default)")
+		seed    = fs.Uint64("seed", 1, "simulation seed")
+		format  = fs.String("format", "text", "output format: text, csv, or plot (figures only)")
+		txmodel = fs.String("txmodel", "binomial", "transmission model: binomial or hash")
+		sizes   = fs.String("sizes", "", "comma-separated population grid override for table1")
+		quiet   = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.Options{Runs: *runs, Seed: *seed}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	switch *txmodel {
+	case "binomial":
+		opts.TxModel = protocol.TxBinomial
+	case "hash":
+		opts.TxModel = protocol.TxHash
+	default:
+		return fmt.Errorf("unknown txmodel %q", *txmodel)
+	}
+	if *sizes != "" {
+		for _, part := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad population size %q", part)
+			}
+			opts.Sizes = append(opts.Sizes, n)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		rendered, err := experiments.Run(id, opts)
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "text":
+			if err := rendered.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		case "csv":
+			if err := rendered.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		case "plot":
+			if err := rendered.WritePlot(os.Stdout); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestRunAnalyticExperiments(t *testing.T) {
+	for _, exp := range []string{"fig3", "fig4"} {
+		if err := run([]string{"-exp", exp, "-q"}); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunSimulatedExperimentSmall(t *testing.T) {
+	if err := run([]string{"-exp", "table1", "-runs", "2", "-sizes", "300", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	if err := run([]string{"-exp", "fig4", "-format", "csv", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHashTxModel(t *testing.T) {
+	if err := run([]string{"-exp", "table1", "-runs", "1", "-sizes", "200", "-txmodel", "hash", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "table9"},
+		{"-format", "xml", "-exp", "fig4"},
+		{"-txmodel", "psychic", "-exp", "fig4"},
+		{"-sizes", "abc", "-exp", "table1"},
+		{"-sizes", "-5", "-exp", "table1"},
+	} {
+		if err := run(append(args, "-q")); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

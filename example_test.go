@@ -1,0 +1,102 @@
+package ancrfid_test
+
+import (
+	"fmt"
+
+	"github.com/ancrfid/ancrfid"
+)
+
+// The simplest use: run a collision-aware read over a simulated field and
+// inspect the aggregate metrics.
+func ExampleRun() {
+	res, err := ancrfid.Run(ancrfid.NewFCAT(2), ancrfid.SimConfig{
+		Tags: 1000,
+		Runs: 3,
+		Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("identified %d tags per run\n", res.Runs[0].Identified())
+	fmt.Printf("beats the ALOHA bound: %v\n",
+		res.Throughput.Mean > ancrfid.AlohaBound(ancrfid.ICodeTiming()))
+	// Output:
+	// identified 1000 tags per run
+	// beats the ALOHA bound: true
+}
+
+// Protocols can be constructed from their table names.
+func ExampleByName() {
+	p, err := ancrfid.ByName("fcat-3")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(p.Name())
+	// Output:
+	// FCAT-3
+}
+
+// The optimal report-probability constant follows the closed form
+// (lambda!)^(1/lambda) derived in Section IV-C of the paper.
+func ExampleOptimalOmega() {
+	for lambda := 2; lambda <= 4; lambda++ {
+		fmt.Printf("lambda=%d: omega=%.3f\n", lambda, ancrfid.OptimalOmega(lambda))
+	}
+	// Output:
+	// lambda=2: omega=1.414
+	// lambda=3: omega=1.817
+	// lambda=4: omega=2.213
+}
+
+// Whole-site inventory: plan covering positions, read at each, and union
+// the IDs with duplicate removal (the paper's Section II-A workflow).
+func ExampleReadInventory() {
+	r := ancrfid.NewRNG(7)
+	field := ancrfid.RandomField(r, 3000, 100 /* metres */)
+	positions := ancrfid.PlanGrid(100, 45)
+
+	report, err := ancrfid.ReadInventory(field, ancrfid.InventoryConfig{
+		Protocol:  ancrfid.NewFCAT(2),
+		Positions: positions,
+		Radius:    45,
+		RNG:       r,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("positions: %d\n", len(report.Positions))
+	fmt.Printf("coverage: %.0f%%\n", 100*report.Coverage(field))
+	fmt.Printf("duplicates removed: %v\n", report.Duplicates > 0)
+	// Output:
+	// positions: 4
+	// coverage: 100%
+	// duplicates removed: true
+}
+
+// A custom environment gives full control: explicit population, channel
+// model and a callback receiving each collected ID.
+func ExampleEnv() {
+	r := ancrfid.NewRNG(11)
+	tags := ancrfid.Population(r, 200)
+
+	collected := 0
+	env := &ancrfid.Env{
+		RNG:     r,
+		Tags:    tags,
+		Channel: ancrfid.NewAbstractChannel(ancrfid.AbstractChannelConfig{Lambda: 2}, r),
+		Timing:  ancrfid.ICodeTiming(),
+		OnIdentified: func(id ancrfid.TagID, viaResolution bool) {
+			collected++
+		},
+	}
+	if _, err := ancrfid.NewFCAT(2).Run(env); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("collected %d of %d\n", collected, len(tags))
+	// Output:
+	// collected 200 of 200
+}

@@ -1,0 +1,84 @@
+// ancdemo walks through analog network coding at the signal level: two
+// tags transmit simultaneously, the reader records the mixed MSK waveform,
+// later hears one tag alone, and recovers the other tag's ID by estimating
+// and subtracting the known signal — the RFID transplant of the Alice-Bob
+// example from Katti et al. that the paper builds on (Section II-B).
+//
+// Run with:
+//
+//	go run ./examples/ancdemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+
+	"github.com/ancrfid/ancrfid"
+)
+
+func main() {
+	r := ancrfid.NewRNG(2010)
+
+	// Two active tags somewhere on the warehouse floor, each with its own
+	// channel attenuation and phase as seen by the reader.
+	tags := ancrfid.Population(r, 2)
+	alice, bob := tags[0], tags[1]
+
+	const (
+		spb   = ancrfid.SamplesPerBit
+		noise = 0.05
+	)
+	// Tag B's oscillator runs slightly off the reader's frequency, as
+	// independent oscillators always do; the resulting relative-phase sweep
+	// is what the amplitude estimator below relies on.
+	aliceWave := ancrfid.ScaleWaveform(ancrfid.ModulateID(alice, spb), cmplx.Rect(0.9, 0.7))
+	bobWave := ancrfid.ApplyFrequencyOffset(
+		ancrfid.ScaleWaveform(ancrfid.ModulateID(bob, spb), cmplx.Rect(0.6, -1.9)), 0.04)
+
+	fmt.Println("tag A:", alice)
+	fmt.Println("tag B:", bob)
+
+	// Slot 1 — both tags report: the reader receives the superposition.
+	// MSK's capture effect can demodulate the stronger signal right through
+	// the interference, so the reader checks the envelope: one MSK signal
+	// has constant magnitude, a mix does not.
+	mixed := ancrfid.AddNoise(ancrfid.MixWaveforms(aliceWave, bobWave), noise, r)
+	if ancrfid.EnvelopeFlat(mixed, noise) {
+		log.Fatal("a 2-collision must not pass the envelope test")
+	}
+	fmt.Println("\nslot 1: collision — envelope test flags superposed signals; mixed signal recorded")
+
+	// The reader can already tell two signals are present and how strong:
+	// the energy-statistics estimator from the paper's Section II-B.
+	a, b, ok := ancrfid.EstimateTwoAmplitudes(mixed)
+	if !ok {
+		log.Fatal("amplitude estimation failed")
+	}
+	fmt.Printf("        energy equations give amplitudes %.2f and %.2f (true 0.90 and 0.60)\n", a, b)
+
+	// Slot 2 — only tag A reports; the reader decodes it cleanly.
+	aloneA := ancrfid.AddNoise(ancrfid.MixWaveforms(aliceWave), noise, r)
+	gotA, ok := ancrfid.DecodeWaveform(aloneA, spb)
+	if !ok || gotA != alice {
+		log.Fatal("singleton decode of tag A failed")
+	}
+	fmt.Println("\nslot 2: singleton — tag A decoded:", gotA)
+
+	// Resolution: re-encode the known ID, estimate its complex gain inside
+	// the recorded mix by least squares, cancel it, and decode the residual.
+	ref := ancrfid.ModulateID(gotA, spb)
+	gains := ancrfid.EstimateGains(mixed, []ancrfid.Waveform{ref})
+	residual := ancrfid.CancelWaveforms(mixed, []ancrfid.Waveform{ref}, gains)
+	gotB, ok := ancrfid.DecodeWaveform(residual, spb)
+	if !ok {
+		log.Fatal("residual decode failed — try lowering the noise")
+	}
+	fmt.Printf("\nresolution: cancelled tag A (estimated gain %.2f∠%.2f rad) from the record\n",
+		cmplx.Abs(gains[0]), cmplx.Phase(gains[0]))
+	fmt.Println("            residual decodes with valid CRC:", gotB)
+	if gotB == bob {
+		fmt.Println("\ntag B was identified without ever being heard alone — the")
+		fmt.Println("collision slot carried one tag ID after all (paper, Section II).")
+	}
+}

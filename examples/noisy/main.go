@@ -1,0 +1,78 @@
+// noisy studies how collision-aware reading degrades in hostile channels
+// (paper, Section IV-E): when noise spoils collision records, FCAT loses
+// its ANC gain slot by slot but never breaks — tags retransmit until
+// acknowledged — and in the limit where no record resolves it converges to
+// plain framed-ALOHA behaviour, which is when the paper recommends
+// switching to a contention-only protocol.
+//
+// Two sweeps are shown: the abstract channel's record-spoil probability,
+// and real AWGN on the physical-layer channel.
+//
+// Run with:
+//
+//	go run ./examples/noisy
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"github.com/ancrfid/ancrfid"
+)
+
+func main() {
+	const tags = 2000
+
+	fmt.Println("FCAT-2 under record-spoiling noise (abstract channel, 2000 tags):")
+	fmt.Printf("%22s %12s %18s\n", "P(record spoiled)", "tags/sec", "IDs via ANC")
+	for _, pBad := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		pBad := pBad
+		cfg := ancrfid.SimConfig{
+			Tags: tags, Runs: 5, Seed: 11,
+			NewChannel: func(r *ancrfid.RNG) ancrfid.Channel {
+				return ancrfid.NewAbstractChannel(ancrfid.AbstractChannelConfig{
+					Lambda:        2,
+					PUnresolvable: pBad,
+				}, r)
+			},
+		}
+		res, err := ancrfid.Run(ancrfid.NewFCAT(2), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%22.2f %12.1f %18.0f\n", pBad, res.Throughput.Mean, res.ResolvedIDs.Mean)
+	}
+	dfsa, err := ancrfid.Run(ancrfid.NewDFSA(), ancrfid.SimConfig{Tags: tags, Runs: 5, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%22s %12.1f %18s   <- contention-only reference\n", "DFSA", dfsa.Throughput.Mean, "-")
+
+	fmt.Println("\nFCAT-2 over the physical-layer channel (MSK + AWGN, 300 tags):")
+	fmt.Printf("%22s %12s %18s\n", "AWGN sigma", "tags/sec", "IDs via ANC")
+	for _, sigma := range []float64{0.02, 0.05, 0.1, 0.2, 0.35} {
+		sigma := sigma
+		cfg := ancrfid.SimConfig{
+			Tags: 300, Runs: 3, Seed: 11,
+			NewChannel: func(r *ancrfid.RNG) ancrfid.Channel {
+				return ancrfid.NewSignalChannel(ancrfid.SignalChannelConfig{
+					NoiseSigma: sigma,
+					MaxCancel:  2,
+				}, r)
+			},
+		}
+		res, err := ancrfid.Run(ancrfid.NewFCAT(2), cfg)
+		if errors.Is(err, ancrfid.ErrNoProgress) {
+			fmt.Printf("%22.2f %12s %18s   <- even singletons fail CRC: field unreadable\n", sigma, "-", "-")
+			continue
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%22.2f %12.1f %18.0f\n", sigma, res.Throughput.Mean, res.ResolvedIDs.Mean)
+	}
+	fmt.Println("\nthe ANC gain shrinks with the share of resolvable records, and with no")
+	fmt.Println("resolvable records at all a contention-only reader (DFSA) is the better")
+	fmt.Println("choice — exactly the paper's recommendation for hostile channels.")
+}

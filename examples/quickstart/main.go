@@ -1,0 +1,52 @@
+// Quickstart: read a field of RFID tags with FCAT (collision-aware, using
+// analog network coding) and compare against the classical DFSA reader.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ancrfid/ancrfid"
+)
+
+func main() {
+	const tags = 5000
+
+	cfg := ancrfid.SimConfig{
+		Tags: tags,
+		Runs: 10,
+		Seed: 42,
+	}
+
+	fcat := ancrfid.NewFCAT(2) // today's ANC resolves 2-collisions
+	dfsa := ancrfid.NewDFSA()
+
+	fres, err := ancrfid.Run(fcat, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dres, err := ancrfid.Run(dfsa, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("reading %d tags over a %.0f kbit/s channel (Philips I-Code timing)\n\n",
+		tags, 1e-3/ancrfid.ICodeTiming().BitDuration.Seconds())
+
+	fmt.Printf("%-8s %12s %14s %20s\n", "reader", "tags/sec", "slots used", "IDs from collisions")
+	fmt.Printf("%-8s %12.1f %14.0f %20.0f\n", fres.Protocol,
+		fres.Throughput.Mean, fres.TotalSlots.Mean, fres.ResolvedIDs.Mean)
+	fmt.Printf("%-8s %12.1f %14.0f %20.0f\n", dres.Protocol,
+		dres.Throughput.Mean, dres.TotalSlots.Mean, dres.ResolvedIDs.Mean)
+
+	gain := (fres.Throughput.Mean/dres.Throughput.Mean - 1) * 100
+	fmt.Printf("\nFCAT-2 reads the field %.1f%% faster: collision slots that DFSA\n", gain)
+	fmt.Printf("discards are recorded and later resolved by subtracting known\n")
+	fmt.Printf("signals (analog network coding), so almost every slot carries one ID.\n")
+	fmt.Printf("\ntheoretical bounds: ALOHA %.1f tags/s, ANC(lambda=2) %.1f tags/s\n",
+		ancrfid.AlohaBound(ancrfid.ICodeTiming()), ancrfid.ANCBound(ancrfid.ICodeTiming(), 2))
+}

@@ -1,0 +1,137 @@
+// warehouse simulates the paper's motivating scenario (Sections I and
+// II-A): periodic inventory of a large warehouse with battery-powered
+// active tags. A single reader cannot cover the whole floor, so it reads
+// from a planned grid of positions and removes duplicate IDs; the full
+// inventory is the union. A second pass demonstrates the adaptive
+// query-splitting reader re-reading an unchanged population cheaply, and
+// the collision-aware FCAT reader doing the same bulk read in a fraction
+// of the air time.
+//
+// Run with:
+//
+//	go run ./examples/warehouse
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/ancrfid/ancrfid"
+)
+
+func main() {
+	const (
+		floorSide   = 120.0 // metres
+		readerRange = 50.0  // metres; active tags have long range
+		items       = 12000
+		vendors     = 6
+	)
+	r := ancrfid.NewRNG(77)
+
+	// Stock the floor with structured EPC-style IDs: each item carries its
+	// vendor (manager), product class and serial — the metadata the audit
+	// below groups by.
+	stock := make([]ancrfid.Item, items)
+	expected := make([]ancrfid.TagID, items)
+	for i := range stock {
+		id := ancrfid.TagIDFromParts(uint32(1000+i%vendors), uint16(i%37), uint64(i))
+		stock[i] = ancrfid.Item{ID: id, X: floorSide * r.Float64(), Y: floorSide * r.Float64()}
+		expected[i] = id
+	}
+	field := ancrfid.NewField(stock)
+	positions := ancrfid.PlanGrid(floorSide, readerRange)
+
+	fmt.Printf("inventory of %d tagged items, %d planned positions, FCAT-2 reader\n\n",
+		items, len(positions))
+
+	report, err := ancrfid.ReadInventory(field, ancrfid.InventoryConfig{
+		Protocol:  ancrfid.NewFCAT(2),
+		Positions: positions,
+		Radius:    readerRange,
+		RNG:       r,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, pr := range report.Positions {
+		fmt.Printf("position %d (%3.0f,%3.0f): %5d tags in range, %5d new, %5d duplicate, %6.1fs air time\n",
+			i+1, pr.Position.X, pr.Position.Y, pr.InRange, pr.NewIDs, pr.Duplicates, pr.Metrics.OnAir.Seconds())
+	}
+	fmt.Printf("\ncollected %d of %d unique IDs (coverage %.1f%%) in %.1fs of air time; %d duplicate reads removed\n",
+		len(report.Inventory), items, 100*report.Coverage(field), report.OnAir.Seconds(), report.Duplicates)
+	if report.Missed > 0 {
+		fmt.Printf("%d items are outside every position — extend the grid\n", report.Missed)
+	}
+
+	// The audit (the paper's motivating application, Section I): someone
+	// removed a pallet overnight. The next periodic read flags exactly the
+	// missing serials, grouped by vendor.
+	gone := map[ancrfid.TagID]struct{}{}
+	for i := 4000; i < 4017; i++ { // a mixed pallet walks off overnight
+		gone[expected[i]] = struct{}{}
+	}
+	var remaining []ancrfid.Item
+	for _, it := range stock {
+		if _, stolen := gone[it.ID]; !stolen {
+			remaining = append(remaining, it)
+		}
+	}
+	audit, err := ancrfid.ReadInventory(ancrfid.NewField(remaining), ancrfid.InventoryConfig{
+		Protocol:  ancrfid.NewFCAT(2),
+		Positions: positions,
+		Radius:    readerRange,
+		RNG:       r,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	missing := audit.Missing(expected)
+	fmt.Printf("\naudit pass: %d items missing against the book inventory\n", len(missing))
+	byVendor := map[uint32]int{}
+	for _, id := range missing {
+		byVendor[id.Manager()]++
+	}
+	vendorIDs := make([]int, 0, len(byVendor))
+	for v := range byVendor {
+		vendorIDs = append(vendorIDs, int(v))
+	}
+	sort.Ints(vendorIDs)
+	for _, v := range vendorIDs {
+		fmt.Printf("  vendor %d: %d items unaccounted for\n", v, byVendor[uint32(v)])
+	}
+
+	// Periodic re-read: the next day's pass over one position, comparing
+	// the adaptive tree reader against collision-aware FCAT.
+	fmt.Println("\nperiodic re-read of position 1 (unchanged population):")
+	inRange := field.InRange(positions[0], readerRange)
+
+	aqs := ancrfid.NewAQSReader()
+	round1, err := aqs.RunRound(freshEnv(r, inRange))
+	if err != nil {
+		log.Fatal(err)
+	}
+	round2, err := aqs.RunRound(freshEnv(r, inRange))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fcat, err := ancrfid.NewFCAT(2).Run(freshEnv(r, inRange))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  AQS first round:  %5d slots, %6.1fs (builds the query tree)\n", round1.TotalSlots(), round1.OnAir.Seconds())
+	fmt.Printf("  AQS re-read:      %5d slots, %6.1fs (replays retained queries)\n", round2.TotalSlots(), round2.OnAir.Seconds())
+	fmt.Printf("  FCAT-2 cold read: %5d slots, %6.1fs (ANC on collision slots)\n", fcat.TotalSlots(), fcat.OnAir.Seconds())
+	fmt.Println("\nnote how the query tree suffers under structured (non-uniform) IDs —")
+	fmt.Println("sequential serials share long prefixes — while the probabilistic FCAT")
+	fmt.Println("reader is distribution-independent (paper, Section VII).")
+}
+
+func freshEnv(r *ancrfid.RNG, tags []ancrfid.TagID) *ancrfid.Env {
+	return &ancrfid.Env{
+		RNG:     r.Split(),
+		Tags:    tags,
+		Channel: ancrfid.NewAbstractChannel(ancrfid.AbstractChannelConfig{Lambda: 2}, r.Split()),
+		Timing:  ancrfid.ICodeTiming(),
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/ancrfid/ancrfid
+
+go 1.22

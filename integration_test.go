@@ -1,0 +1,271 @@
+package ancrfid_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/ancrfid/ancrfid"
+)
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"FCAT-2": "FCAT-2",
+		"fcat-3": "FCAT-3",
+		"FCAT":   "FCAT-2",
+		"SCAT-4": "SCAT-4",
+		"dfsa":   "DFSA",
+		"EDFSA":  "EDFSA",
+		"abs":    "ABS",
+		"AQS":    "AQS",
+	} {
+		p, err := ancrfid.ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("ByName(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	for _, bad := range []string{"", "XYZ", "FCAT-x", "FCAT-0", "FCAT-99"} {
+		if _, err := ancrfid.ByName(bad); err == nil {
+			t.Errorf("ByName(%q) should fail", bad)
+		}
+	}
+}
+
+// TestHeadlineClaim verifies the paper's abstract: FCAT-2 improves reading
+// throughput over the best existing protocols by roughly half (51.1% ~
+// 70.6% across baselines in the paper; we accept 40-75% for a small-N
+// Monte-Carlo).
+func TestHeadlineClaim(t *testing.T) {
+	cfg := ancrfid.SimConfig{Tags: 4000, Runs: 8, Seed: 2024}
+	fcat, err := ancrfid.Run(ancrfid.NewFCAT(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, base := range []ancrfid.Protocol{
+		ancrfid.NewDFSA(), ancrfid.NewEDFSA(), ancrfid.NewABS(), ancrfid.NewAQS(),
+	} {
+		bres, err := ancrfid.Run(base, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gain := fcat.Throughput.Mean/bres.Throughput.Mean - 1
+		if gain < 0.40 || gain > 0.80 {
+			t.Errorf("FCAT-2 gain over %s = %.1f%%, want ~51-71%%",
+				base.Name(), gain*100)
+		}
+	}
+}
+
+// TestLambdaOrdering verifies Table I's ordering and the diminishing
+// returns of larger lambda (Section VI-A).
+func TestLambdaOrdering(t *testing.T) {
+	cfg := ancrfid.SimConfig{Tags: 5000, Runs: 6, Seed: 7}
+	tput := make(map[int]float64)
+	for _, lambda := range []int{2, 3, 4} {
+		cfg.Lambda = lambda
+		res, err := ancrfid.Run(ancrfid.NewFCAT(lambda), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tput[lambda] = res.Throughput.Mean
+	}
+	if !(tput[2] < tput[3] && tput[3] < tput[4]) {
+		t.Fatalf("throughput not increasing with lambda: %v", tput)
+	}
+	if gain34 := tput[4] - tput[3]; gain34 >= tput[3]-tput[2] {
+		t.Errorf("improvement should diminish: 2->3 %.1f, 3->4 %.1f",
+			tput[3]-tput[2], gain34)
+	}
+}
+
+// TestOmegaUnimodal spot-checks Fig. 5: throughput at the computed optimum
+// beats clearly-off omegas on both sides.
+func TestOmegaUnimodal(t *testing.T) {
+	measure := func(w float64) float64 {
+		p := ancrfid.NewFCATWith(ancrfid.FCATConfig{Lambda: 2, Omega: w})
+		res, err := ancrfid.Run(p, ancrfid.SimConfig{Tags: 3000, Runs: 5, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput.Mean
+	}
+	low, opt, high := measure(0.5), measure(ancrfid.OptimalOmega(2)), measure(2.8)
+	if !(opt > low && opt > high) {
+		t.Fatalf("omega sweep not unimodal around the optimum: %.1f / %.1f / %.1f", low, opt, high)
+	}
+}
+
+func TestTxModelsAgreeOnThroughput(t *testing.T) {
+	base := ancrfid.SimConfig{Tags: 2000, Runs: 5, Seed: 4}
+	hash := base
+	hash.TxModel = ancrfid.TxHash
+	a, err := ancrfid.Run(ancrfid.NewFCAT(2), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ancrfid.Run(ancrfid.NewFCAT(2), hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(a.Throughput.Mean-b.Throughput.Mean) / a.Throughput.Mean; rel > 0.05 {
+		t.Fatalf("binomial (%v) and hash (%v) models differ by %.1f%%",
+			a.Throughput.Mean, b.Throughput.Mean, rel*100)
+	}
+}
+
+// TestSignalChannelEndToEnd runs the full FCAT protocol over real MSK
+// waveform mixing and cancellation — the substitution DESIGN.md promises —
+// and checks that collision records actually contribute IDs.
+func TestSignalChannelEndToEnd(t *testing.T) {
+	cfg := ancrfid.SimConfig{
+		Tags: 150, Runs: 2, Seed: 5,
+		NewChannel: func(r *ancrfid.RNG) ancrfid.Channel {
+			return ancrfid.NewSignalChannel(ancrfid.SignalChannelConfig{MaxCancel: 2}, r)
+		},
+	}
+	res, err := ancrfid.Run(ancrfid.NewFCAT(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Runs {
+		if m.Identified() != 150 {
+			t.Fatalf("identified %d of 150 over the signal channel", m.Identified())
+		}
+	}
+	if res.ResolvedIDs.Mean < 10 {
+		t.Fatalf("only %.0f IDs resolved via real cancellation", res.ResolvedIDs.Mean)
+	}
+}
+
+func TestBoundsFacade(t *testing.T) {
+	tm := ancrfid.ICodeTiming()
+	if a := ancrfid.AlohaBound(tm); math.Abs(a-131.7) > 0.2 {
+		t.Errorf("ALOHA bound %v", a)
+	}
+	if b := ancrfid.ANCBound(tm, 2); math.Abs(b-210.1) > 0.3 {
+		t.Errorf("ANC bound %v", b)
+	}
+	if w := ancrfid.OptimalOmega(3); math.Abs(w-1.817) > 0.001 {
+		t.Errorf("optimal omega %v", w)
+	}
+}
+
+func TestPopulationFacade(t *testing.T) {
+	r := ancrfid.NewRNG(1)
+	ids := ancrfid.Population(r, 100)
+	if len(ids) != 100 {
+		t.Fatalf("population size %d", len(ids))
+	}
+	seen := make(map[string]bool)
+	for _, id := range ids {
+		s := id.String()
+		if seen[s] {
+			t.Fatal("duplicate ID")
+		}
+		seen[s] = true
+		if !strings.Contains(s, "-") {
+			t.Fatalf("unexpected ID format %q", s)
+		}
+	}
+}
+
+// TestSCATVersusFCAT verifies the motivation for FCAT (Section V-A): the
+// framed protocol's lower advertisement overhead yields strictly better
+// throughput at the same lambda.
+func TestSCATVersusFCAT(t *testing.T) {
+	cfg := ancrfid.SimConfig{Tags: 3000, Runs: 5, Seed: 6}
+	s, err := ancrfid.Run(ancrfid.NewSCAT(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ancrfid.Run(ancrfid.NewFCAT(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Throughput.Mean <= s.Throughput.Mean {
+		t.Fatalf("FCAT (%v) should beat SCAT (%v)", f.Throughput.Mean, s.Throughput.Mean)
+	}
+}
+
+// TestFrameSizeStability spot-checks Fig. 6: f = 30 and f = 100 perform
+// about the same, while f = 2 is clearly worse (advertisement overhead).
+func TestFrameSizeStability(t *testing.T) {
+	measure := func(f int) float64 {
+		p := ancrfid.NewFCATWith(ancrfid.FCATConfig{Lambda: 2, FrameSize: f})
+		res, err := ancrfid.Run(p, ancrfid.SimConfig{Tags: 3000, Runs: 5, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput.Mean
+	}
+	t30, t100, t2 := measure(30), measure(100), measure(2)
+	if rel := math.Abs(t30-t100) / t30; rel > 0.04 {
+		t.Errorf("f=30 (%v) and f=100 (%v) differ by %.1f%%", t30, t100, rel*100)
+	}
+	if t2 >= t30 {
+		t.Errorf("f=2 (%v) should underperform f=30 (%v)", t2, t30)
+	}
+}
+
+// TestFCAT5Diminishing reproduces the paper's FCAT-5 remark (Section
+// VI-A): at N = 10000 it reads 270.9 tags/s, "only slightly better" than
+// FCAT-4's 265.1 — the margin that justifies keeping lambda small.
+func TestFCAT5Diminishing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-tag campaign")
+	}
+	measure := func(lambda int) float64 {
+		res, err := ancrfid.Run(ancrfid.NewFCAT(lambda), ancrfid.SimConfig{
+			Tags: 10000, Runs: 5, Seed: 9, Lambda: lambda,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput.Mean
+	}
+	t4, t5 := measure(4), measure(5)
+	if t5 <= t4 {
+		t.Fatalf("FCAT-5 (%v) should edge out FCAT-4 (%v)", t5, t4)
+	}
+	if gain := t5/t4 - 1; gain > 0.05 {
+		t.Fatalf("FCAT-5 gain %.1f%% too large; the paper reports ~2%%", gain*100)
+	}
+	t.Logf("FCAT-4 %.1f, FCAT-5 %.1f (paper: 265.1, 270.9)", t4, t5)
+}
+
+// TestEnergyOrdering checks the energy axis (paper reference [14]): tree
+// protocols make each tag transmit at every level of its root path, an
+// order of magnitude more than the ALOHA family.
+func TestEnergyOrdering(t *testing.T) {
+	cfg := ancrfid.SimConfig{Tags: 2000, Runs: 3, Seed: 13}
+	perTag := func(p ancrfid.Protocol) float64 {
+		res, err := ancrfid.Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, m := range res.Runs {
+			sum += m.TransmissionsPerTag()
+		}
+		return sum / float64(len(res.Runs))
+	}
+	dfsa := perTag(ancrfid.NewDFSA())
+	fcat := perTag(ancrfid.NewFCAT(2))
+	abs := perTag(ancrfid.NewABS())
+	if dfsa < 2 || dfsa > 4 {
+		t.Errorf("DFSA tx/tag %v, want ~e", dfsa)
+	}
+	if fcat < 2 || fcat > 5 {
+		t.Errorf("FCAT tx/tag %v, want a few", fcat)
+	}
+	// ABS: ~log2(N) transmissions per tag.
+	if abs < 8 {
+		t.Errorf("ABS tx/tag %v, want ~log2(N)", abs)
+	}
+	if abs < 2.5*fcat {
+		t.Errorf("tree energy should dwarf ALOHA-family: ABS %v vs FCAT %v", abs, fcat)
+	}
+}

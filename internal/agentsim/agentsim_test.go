@@ -1,0 +1,103 @@
+package agentsim
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/fcat"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+func refEnv(tags []tagid.ID) *protocol.Env {
+	return &protocol.Env{
+		RNG:    rng.New(0xC0FFEE), // unused under TxHash + noiseless channel
+		Tags:   tags,
+		Timing: air.ICode(),
+	}
+}
+
+// fastEnv builds the environment for the production fcat implementation
+// under the exact (hash) transmission model and a noiseless channel, where
+// the whole run is a deterministic function of the population.
+func fastEnv(tags []tagid.ID, lambda int) *protocol.Env {
+	r := rng.New(0xC0FFEE)
+	return &protocol.Env{
+		RNG:     r,
+		Tags:    tags,
+		Channel: channel.NewAbstract(channel.AbstractConfig{Lambda: lambda}, r),
+		Timing:  air.ICode(),
+		TxModel: protocol.TxHash,
+	}
+}
+
+// TestDifferentialAgainstFastSimulator is the package's reason to exist:
+// the independent tag-level reference implementation and the fast
+// reader-centric simulator must produce byte-identical metrics on the same
+// population.
+func TestDifferentialAgainstFastSimulator(t *testing.T) {
+	for _, tc := range []struct {
+		seed   uint64
+		n      int
+		lambda int
+	}{
+		{1, 50, 2}, {2, 200, 2}, {3, 1000, 2}, {4, 777, 3}, {5, 300, 4},
+		{6, 1, 2}, {7, 2, 2}, {8, 3, 3}, {9, 2500, 2},
+	} {
+		tags := tagid.Population(rng.New(tc.seed), tc.n)
+
+		ref, err := Run(refEnv(tags), Config{Lambda: tc.lambda})
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", tc.seed, err)
+		}
+		fast, err := fcat.New(fcat.Config{Lambda: tc.lambda}).Run(fastEnv(tags, tc.lambda))
+		if err != nil {
+			t.Fatalf("seed %d: fast: %v", tc.seed, err)
+		}
+		if ref != fast {
+			t.Errorf("seed %d N=%d lambda=%d: implementations diverge\nreference: %+v\nfast:      %+v",
+				tc.seed, tc.n, tc.lambda, ref, fast)
+		}
+	}
+}
+
+func TestReferenceCompletes(t *testing.T) {
+	tags := tagid.Population(rng.New(42), 800)
+	m, err := Run(refEnv(tags), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 800 {
+		t.Fatalf("identified %d of 800", m.Identified())
+	}
+	if m.ResolvedIDs == 0 {
+		t.Fatal("no IDs recovered from collision records")
+	}
+}
+
+func TestReferenceEmptyField(t *testing.T) {
+	m, err := Run(refEnv(nil), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 0 || m.TotalSlots() > 4 {
+		t.Fatalf("empty field: %+v", m)
+	}
+}
+
+func TestReferenceDeterminism(t *testing.T) {
+	tags := tagid.Population(rng.New(5), 400)
+	a, err := Run(refEnv(tags), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(refEnv(tags), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("reference implementation is not deterministic")
+	}
+}

@@ -1,0 +1,125 @@
+// Package air models the RFID air interface timing.
+//
+// All throughput numbers in the paper derive from the Philips I-Code
+// specification (Section VI): a 53 kbit/s channel (18.88 us per bit), 96-bit
+// IDs (1812 us), 20-bit reader acknowledgements (378 us) and a 302 us guard
+// wait before the report and acknowledgement segments, giving a slot of
+// about 2.8 ms. Protocols additionally pay for advertisements (SCAT per
+// slot, FCAT and the framed ALOHA baselines per frame) and, in FCAT, for the
+// 23-bit slot indices that acknowledge IDs recovered from collision records.
+package air
+
+import "time"
+
+// Timing holds the air-interface parameters shared by every protocol.
+type Timing struct {
+	// BitDuration is the on-air time of one bit.
+	BitDuration time.Duration
+	// Guard is the waiting time inserted before the report segment and
+	// before the acknowledgement segment to separate transmissions.
+	Guard time.Duration
+	// IDBits is the tag ID length including its CRC.
+	IDBits int
+	// AckBits is the length of the reader's basic acknowledgement,
+	// including its CRC.
+	AckBits int
+	// SlotIndexBits is the length of a slot index; FCAT acknowledges an ID
+	// recovered from a collision record by broadcasting the record's slot
+	// index instead of the full ID (Section V-A: 23-bit indices allow more
+	// than 8 million slots, always enough since the protocols never need
+	// more than 2N slots).
+	SlotIndexBits int
+	// ProbBits is l, the fixed-point width of the advertised report
+	// probability.
+	ProbBits int
+	// FrameSizeBits is the width of the frame-size field announced by the
+	// framed ALOHA baselines.
+	FrameSizeBits int
+}
+
+// ICode returns the Philips I-Code timing used throughout the paper's
+// evaluation.
+func ICode() Timing {
+	return Timing{
+		BitDuration:   18880 * time.Nanosecond, // 53 kbit/s
+		Guard:         302 * time.Microsecond,
+		IDBits:        96,
+		AckBits:       20,
+		SlotIndexBits: 23,
+		ProbBits:      16,
+		FrameSizeBits: 16,
+	}
+}
+
+// Gen2 returns a timing model for an ISO 18000-6C / EPC Gen2-style link
+// (the standard of the paper's reference [15]) at a 128 kbit/s
+// tag-to-reader rate with 62.5 us guard intervals. The protocols are
+// rate-agnostic; this preset exists to study how the throughput ranking
+// scales with channel speed (it is preserved — every protocol's slot
+// budget shrinks by the same factor).
+func Gen2() Timing {
+	return Timing{
+		BitDuration:   7812 * time.Nanosecond, // 128 kbit/s
+		Guard:         62500 * time.Nanosecond,
+		IDBits:        96,
+		AckBits:       20,
+		SlotIndexBits: 23,
+		ProbBits:      16,
+		FrameSizeBits: 16,
+	}
+}
+
+// Bits returns the on-air duration of n bits.
+func (t Timing) Bits(n int) time.Duration {
+	return time.Duration(n) * t.BitDuration
+}
+
+// Slot returns the duration of one basic time slot:
+// guard + report (ID) + guard + acknowledgement.
+func (t Timing) Slot() time.Duration {
+	return 2*t.Guard + t.Bits(t.IDBits) + t.Bits(t.AckBits)
+}
+
+// SlotAdvertisement returns the cost of SCAT's per-slot advertisement
+// carrying the slot index and the report probability.
+func (t Timing) SlotAdvertisement() time.Duration {
+	return t.Guard + t.Bits(t.SlotIndexBits+t.ProbBits)
+}
+
+// FrameAdvertisement returns the cost of FCAT's pre-frame advertisement
+// carrying the frame index and the report probability.
+func (t Timing) FrameAdvertisement() time.Duration {
+	return t.Guard + t.Bits(t.SlotIndexBits+t.ProbBits)
+}
+
+// FrameAnnouncement returns the cost of a framed-ALOHA frame announcement
+// carrying the next frame size.
+func (t Timing) FrameAnnouncement() time.Duration {
+	return t.Guard + t.Bits(t.FrameSizeBits)
+}
+
+// ResolvedIndexAck returns the extra acknowledgement cost of announcing one
+// resolved collision record by its slot index (FCAT).
+func (t Timing) ResolvedIndexAck() time.Duration {
+	return t.Bits(t.SlotIndexBits)
+}
+
+// ResolvedIDAck returns the extra acknowledgement cost of announcing one
+// resolved ID in full (SCAT, before the FCAT optimisation).
+func (t Timing) ResolvedIDAck() time.Duration {
+	return t.Bits(t.IDBits)
+}
+
+// Clock accumulates simulated on-air time for one protocol run.
+type Clock struct {
+	elapsed time.Duration
+}
+
+// Add advances the clock by d.
+func (c *Clock) Add(d time.Duration) { c.elapsed += d }
+
+// AddSlots advances the clock by n basic slots.
+func (c *Clock) AddSlots(t Timing, n int) { c.elapsed += time.Duration(n) * t.Slot() }
+
+// Elapsed returns the accumulated on-air time.
+func (c *Clock) Elapsed() time.Duration { return c.elapsed }

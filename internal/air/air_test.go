@@ -1,0 +1,94 @@
+package air
+
+import (
+	"testing"
+	"time"
+)
+
+func TestICodeMatchesPaper(t *testing.T) {
+	tm := ICode()
+	// Section VI: 53 kbit/s -> 18.88 us per bit.
+	if tm.BitDuration != 18880*time.Nanosecond {
+		t.Errorf("bit duration %v, want 18.88us", tm.BitDuration)
+	}
+	// 96-bit ID takes 1812 us.
+	if got := tm.Bits(tm.IDBits); got.Round(time.Microsecond) != 1812*time.Microsecond {
+		t.Errorf("ID transmission %v, want ~1812us", got)
+	}
+	// 20-bit acknowledgement takes 378 us.
+	if got := tm.Bits(tm.AckBits); got.Round(time.Microsecond) != 378*time.Microsecond {
+		t.Errorf("ack transmission %v, want ~378us", got)
+	}
+	// Each slot is "about 2.8 ms".
+	slot := tm.Slot()
+	if slot < 2700*time.Microsecond || slot > 2900*time.Microsecond {
+		t.Errorf("slot duration %v, want ~2.8ms", slot)
+	}
+}
+
+func TestSlotComposition(t *testing.T) {
+	tm := ICode()
+	want := 2*tm.Guard + tm.Bits(tm.IDBits+tm.AckBits)
+	if tm.Slot() != want {
+		t.Errorf("Slot() = %v, want guard+ID+guard+ack = %v", tm.Slot(), want)
+	}
+}
+
+func TestAdvertisementDurations(t *testing.T) {
+	tm := ICode()
+	if tm.SlotAdvertisement() != tm.Guard+tm.Bits(tm.SlotIndexBits+tm.ProbBits) {
+		t.Error("SlotAdvertisement composition wrong")
+	}
+	if tm.FrameAdvertisement() != tm.SlotAdvertisement() {
+		t.Error("frame and slot advertisements should cost the same bits")
+	}
+	if tm.FrameAnnouncement() != tm.Guard+tm.Bits(tm.FrameSizeBits) {
+		t.Error("FrameAnnouncement composition wrong")
+	}
+	if tm.ResolvedIndexAck() != tm.Bits(tm.SlotIndexBits) {
+		t.Error("ResolvedIndexAck composition wrong")
+	}
+	if tm.ResolvedIDAck() != tm.Bits(tm.IDBits) {
+		t.Error("ResolvedIDAck composition wrong")
+	}
+	// The FCAT optimisation: a slot-index ack is much cheaper than a full
+	// ID ack (23 vs 96 bits).
+	if tm.ResolvedIndexAck() >= tm.ResolvedIDAck() {
+		t.Error("slot-index ack should be cheaper than full-ID ack")
+	}
+}
+
+func TestBitsZero(t *testing.T) {
+	if ICode().Bits(0) != 0 {
+		t.Error("Bits(0) != 0")
+	}
+}
+
+func TestClock(t *testing.T) {
+	tm := ICode()
+	var c Clock
+	if c.Elapsed() != 0 {
+		t.Fatal("fresh clock not zero")
+	}
+	c.Add(time.Millisecond)
+	c.AddSlots(tm, 3)
+	want := time.Millisecond + 3*tm.Slot()
+	if c.Elapsed() != want {
+		t.Errorf("Elapsed() = %v, want %v", c.Elapsed(), want)
+	}
+}
+
+func TestGen2Constants(t *testing.T) {
+	tm := Gen2()
+	// 128 kbit/s -> ~7.81 us per bit.
+	if tm.BitDuration < 7500*time.Nanosecond || tm.BitDuration > 8000*time.Nanosecond {
+		t.Errorf("Gen2 bit duration %v", tm.BitDuration)
+	}
+	if tm.IDBits != 96 || tm.AckBits != 20 {
+		t.Errorf("Gen2 field widths changed: %+v", tm)
+	}
+	// Gen2 slots are well under half an I-Code slot.
+	if tm.Slot() >= ICode().Slot()/2 {
+		t.Errorf("Gen2 slot %v not much faster than I-Code %v", tm.Slot(), ICode().Slot())
+	}
+}

@@ -1,0 +1,153 @@
+// Package analysis implements the paper's closed-form results: the optimal
+// report-probability constant omega for a given ANC capability lambda
+// (Section IV-C), the expected slot-type counts behind the embedded
+// estimator (Section V-C, Eqs. 7-10), the estimator's bias and variance
+// (Eq. 16 and the appendix), and the classical throughput bounds the paper
+// compares against.
+package analysis
+
+import "math"
+
+// OptimalOmega returns the omega = N*p that maximises the probability that
+// a slot carries 1..lambda transmitters, i.e. that the slot is useful under
+// an ANC decoder able to resolve lambda-collisions.
+//
+// Differentiating sum_{k=1..lambda} omega^k/k! * e^-omega gives
+// e^-omega * (1 - omega^lambda/lambda!), so the optimum is the closed form
+// omega = (lambda!)^(1/lambda): 1.414, 1.817, 2.213 for lambda = 2, 3, 4
+// (paper, Section IV-C). lambda = 1 recovers classical slotted ALOHA's
+// omega = 1.
+func OptimalOmega(lambda int) float64 {
+	if lambda < 1 {
+		lambda = 1
+	}
+	logFact := 0.0
+	for k := 2; k <= lambda; k++ {
+		logFact += math.Log(float64(k))
+	}
+	return math.Exp(logFact / float64(lambda))
+}
+
+// OptimalOmegaNumeric cross-checks OptimalOmega by golden-section search on
+// UsefulSlotProbPoisson over [0, 2*lambda].
+func OptimalOmegaNumeric(lambda int) float64 {
+	lo, hi := 0.0, 2*float64(lambda)+1
+	const phi = 0.6180339887498949
+	a, b := hi-phi*(hi-lo), lo+phi*(hi-lo)
+	fa, fb := UsefulSlotProbPoisson(a, lambda), UsefulSlotProbPoisson(b, lambda)
+	for hi-lo > 1e-12 {
+		if fa < fb {
+			lo, a, fa = a, b, fb
+			b = lo + phi*(hi-lo)
+			fb = UsefulSlotProbPoisson(b, lambda)
+		} else {
+			hi, b, fb = b, a, fa
+			a = hi - phi*(hi-lo)
+			fa = UsefulSlotProbPoisson(a, lambda)
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// UsefulSlotProbPoisson returns P{1 <= X <= lambda} for X ~ Poisson(omega):
+// the Poisson (large-N) approximation of the probability that a slot is a
+// singleton or a resolvable collision (paper, Eq. 4 generalised).
+func UsefulSlotProbPoisson(omega float64, lambda int) float64 {
+	if omega <= 0 {
+		return 0
+	}
+	term := omega // omega^1/1!
+	sum := term
+	for k := 2; k <= lambda; k++ {
+		term *= omega / float64(k)
+		sum += term
+	}
+	return sum * math.Exp(-omega)
+}
+
+// UsefulSlotProbBinomial returns P{1 <= X <= lambda} for X ~ Binomial(n, p):
+// the exact finite-population counterpart of UsefulSlotProbPoisson
+// (paper, Eq. 2).
+func UsefulSlotProbBinomial(n int, p float64, lambda int) float64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		if n <= lambda {
+			return 1
+		}
+		return 0
+	}
+	// Walk the pmf multiplicatively to avoid large binomial coefficients.
+	pdf := math.Pow(1-p, float64(n)) // P{X=0}
+	ratio := p / (1 - p)
+	sum := 0.0
+	for k := 1; k <= lambda && k <= n; k++ {
+		pdf *= ratio * float64(n-k+1) / float64(k)
+		sum += pdf
+	}
+	return sum
+}
+
+// ExpectedEmpty returns E(n0), the expected number of empty slots in a
+// frame of f slots when n tags each report with probability p (Eq. 7).
+func ExpectedEmpty(n int, p float64, f int) float64 {
+	return float64(f) * math.Pow(1-p, float64(n))
+}
+
+// ExpectedSingleton returns E(n1) (Eq. 9).
+func ExpectedSingleton(n int, p float64, f int) float64 {
+	return float64(f) * float64(n) * p * math.Pow(1-p, float64(n-1))
+}
+
+// ExpectedCollision returns E(nc) = f - E(n0) - E(n1) (Eq. 10).
+func ExpectedCollision(n int, p float64, f int) float64 {
+	return float64(f) - ExpectedEmpty(n, p, f) - ExpectedSingleton(n, p, f)
+}
+
+// CollisionCountVariance returns V(nc) for a frame of f slots (Eq. 19,
+// Poisson-approximated as in the appendix).
+func CollisionCountVariance(n int, p float64, f int) float64 {
+	np := float64(n) * p
+	q := (1 + np) * math.Exp(-np)
+	return float64(f) * q * (1 - q)
+}
+
+// EstimatorBias returns the relative bias Bias(N^/N) of the collision-count
+// estimator (Eq. 16) for a population of n tags read with p = omega/n in
+// frames of f slots. The value is negative (slight underestimate); Fig. 3
+// plots its absolute value, which is essentially independent of n.
+func EstimatorBias(n int, omega float64, f int) float64 {
+	p := omega / float64(n)
+	return (1 + omega - math.Exp(omega)) /
+		(2 * float64(f) * float64(n) * math.Log(1-p) * (1 + omega))
+}
+
+// EstimatorVariance returns V(N^/N), the relative variance of a
+// single-frame estimate (Eq. 25 with Np ~= omega): about 0.0342, 0.0287 and
+// 0.0265 for omega = 1.414, 1.817 and 2.213 (f = 30). Averaging estimates
+// across frames shrinks it by the frame count.
+func EstimatorVariance(omega float64, f int) float64 {
+	num := (1+omega)*math.Exp(omega) - (1 + 2*omega + omega*omega)
+	return num / (float64(f) * math.Pow(omega, 4))
+}
+
+// AlohaBound returns 1/(e*T), the maximal reading throughput (tags/second)
+// of any ALOHA protocol without collision resolution, for slot length T in
+// seconds (paper, Section I).
+func AlohaBound(slotSeconds float64) float64 {
+	return 1 / (math.E * slotSeconds)
+}
+
+// TreeBound returns 1/(2.88*T), the maximal reading throughput of
+// binary-tree splitting protocols (paper, Section VII).
+func TreeBound(slotSeconds float64) float64 {
+	return 1 / (2.88 * slotSeconds)
+}
+
+// ANCBound returns the collision-aware counterpart: with optimal omega each
+// slot yields an ID with probability UsefulSlotProbPoisson(omega, lambda),
+// so the throughput bound is that probability divided by the slot length.
+func ANCBound(slotSeconds float64, lambda int) float64 {
+	return UsefulSlotProbPoisson(OptimalOmega(lambda), lambda) / slotSeconds
+}

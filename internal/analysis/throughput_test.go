@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+)
+
+func TestFCATThroughputPredictsTable1(t *testing.T) {
+	// The analytic model should land on the paper's Table I numbers (which
+	// our simulation reproduces) to within a few percent.
+	tm := air.ICode()
+	for _, tc := range []struct {
+		lambda int
+		paper  float64
+	}{
+		{2, 201.3}, {3, 241.8}, {4, 265.1},
+	} {
+		got := FCATThroughput(10000, tc.lambda, 30, tm)
+		if rel := math.Abs(got-tc.paper) / tc.paper; rel > 0.04 {
+			t.Errorf("lambda=%d: model %v vs paper %v (%.1f%%)", tc.lambda, got, tc.paper, rel*100)
+		}
+	}
+}
+
+func TestDFSAThroughputPredictsTable1(t *testing.T) {
+	got := DFSAThroughput(10000, air.ICode())
+	if math.Abs(got-131.4) > 1.5 {
+		t.Errorf("DFSA model %v, paper 131.4", got)
+	}
+}
+
+func TestTreeThroughputPredictsTable1(t *testing.T) {
+	got := TreeThroughput(10000, air.ICode())
+	if math.Abs(got-124) > 1.5 {
+		t.Errorf("tree model %v, paper ~124", got)
+	}
+}
+
+func TestSCATSlowerThanFCAT(t *testing.T) {
+	tm := air.ICode()
+	s := SCATThroughput(10000, 2, tm)
+	f := FCATThroughput(10000, 2, 30, tm)
+	if s >= f {
+		t.Fatalf("SCAT model (%v) should trail FCAT (%v)", s, f)
+	}
+	// SCAT's per-slot advertisement is ~37% of the slot, so expect a big gap.
+	if s > f*0.8 {
+		t.Errorf("SCAT model %v too close to FCAT %v", s, f)
+	}
+}
+
+func TestResolvedSharePredictsTable3(t *testing.T) {
+	// Table III fractions: ~0.41, ~0.59, ~0.70.
+	for _, tc := range []struct {
+		lambda int
+		want   float64
+	}{
+		{2, 0.41}, {3, 0.59}, {4, 0.70},
+	} {
+		if got := ResolvedShare(tc.lambda); math.Abs(got-tc.want) > 0.02 {
+			t.Errorf("lambda=%d: resolved share %v, want ~%v", tc.lambda, got, tc.want)
+		}
+	}
+}
+
+func TestModelsDegenerate(t *testing.T) {
+	tm := air.ICode()
+	if FCATThroughput(0, 2, 30, tm) != 0 || DFSAThroughput(0, tm) != 0 ||
+		TreeThroughput(0, tm) != 0 || SCATThroughput(0, 2, tm) != 0 {
+		t.Fatal("zero population should predict zero throughput")
+	}
+}
+
+func TestThroughputScalesWithChannelRate(t *testing.T) {
+	// Under the faster Gen2 link every model speeds up by roughly the
+	// slot-duration ratio, preserving the ranking.
+	icode, gen2 := air.ICode(), air.Gen2()
+	ratio := icode.Slot().Seconds() / gen2.Slot().Seconds()
+	if ratio < 2 {
+		t.Fatalf("Gen2 slots should be much shorter (ratio %v)", ratio)
+	}
+	fI := FCATThroughput(10000, 2, 30, icode)
+	fG := FCATThroughput(10000, 2, 30, gen2)
+	if math.Abs(fG/fI-ratio)/ratio > 0.05 {
+		t.Errorf("FCAT Gen2 speedup %v, want ~slot ratio %v", fG/fI, ratio)
+	}
+	if !(FCATThroughput(10000, 2, 30, gen2) > DFSAThroughput(10000, gen2) &&
+		DFSAThroughput(10000, gen2) > TreeThroughput(10000, gen2)) {
+		t.Error("ranking not preserved under Gen2 timing")
+	}
+}

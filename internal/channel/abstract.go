@@ -1,0 +1,114 @@
+package channel
+
+import (
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// AbstractConfig parameterises the paper's slot-level channel model.
+type AbstractConfig struct {
+	// Lambda is the largest collision multiplicity the ANC decoder can
+	// resolve (paper: lambda = 2 with today's method; 3 and 4 studied as
+	// future improvements). Must be >= 1; a k-collision record with
+	// k > Lambda never resolves.
+	Lambda int
+
+	// PUnresolvable is the probability that an otherwise-resolvable
+	// collision record is spoiled by noise or channel variation and never
+	// resolves (Section IV-E). Zero reproduces the paper's main results.
+	PUnresolvable float64
+
+	// PCorruptSingleton is the probability that a lone transmission is
+	// corrupted in flight: its CRC fails, so the reader records it as an
+	// (unresolvable) collision and the tag retries later, exactly the
+	// retransmit-until-acknowledged behaviour of Section IV-E.
+	PCorruptSingleton float64
+}
+
+// Abstract is the slot-level channel used by the paper's evaluation.
+type Abstract struct {
+	cfg AbstractConfig
+	rng *rng.Source
+}
+
+var _ Channel = (*Abstract)(nil)
+
+// NewAbstract returns the paper's channel model. The rng drives the noise
+// processes; it may be shared with the protocol simulation.
+func NewAbstract(cfg AbstractConfig, r *rng.Source) *Abstract {
+	if cfg.Lambda < 1 {
+		cfg.Lambda = 1
+	}
+	return &Abstract{cfg: cfg, rng: r}
+}
+
+// Observe implements Channel.
+func (a *Abstract) Observe(transmitters []tagid.ID) Observation {
+	switch len(transmitters) {
+	case 0:
+		return Observation{Kind: Empty}
+	case 1:
+		if a.rng.Bool(a.cfg.PCorruptSingleton) {
+			// Corrupted singleton: CRC fails, reader stores a mixed-signal
+			// record that can never be decoded; the tag retries later.
+			return Observation{Kind: Collision, Mix: a.newMixed(transmitters, false)}
+		}
+		return Observation{Kind: Singleton, ID: transmitters[0]}
+	default:
+		resolvable := len(transmitters) <= a.cfg.Lambda && !a.rng.Bool(a.cfg.PUnresolvable)
+		return Observation{Kind: Collision, Mix: a.newMixed(transmitters, resolvable)}
+	}
+}
+
+func (a *Abstract) newMixed(transmitters []tagid.ID, resolvable bool) *abstractMixed {
+	m := &abstractMixed{
+		members:    make(map[tagid.ID]bool, len(transmitters)),
+		unknown:    len(transmitters),
+		resolvable: resolvable,
+	}
+	for _, id := range transmitters {
+		m.members[id] = false
+	}
+	return m
+}
+
+// abstractMixed tracks which constituents of a recorded collision have been
+// subtracted. Decoding succeeds once a single constituent remains, provided
+// the record was resolvable in the first place.
+type abstractMixed struct {
+	// members maps each transmitter to whether its signal has been
+	// subtracted from the mix.
+	members    map[tagid.ID]bool
+	unknown    int
+	resolvable bool
+}
+
+var _ Mixed = (*abstractMixed)(nil)
+
+func (m *abstractMixed) Contains(id tagid.ID) bool {
+	_, ok := m.members[id]
+	return ok
+}
+
+func (m *abstractMixed) Subtract(id tagid.ID) {
+	subtracted, ok := m.members[id]
+	if !ok || subtracted {
+		return
+	}
+	m.members[id] = true
+	m.unknown--
+}
+
+func (m *abstractMixed) Decode() (tagid.ID, bool) {
+	if !m.resolvable || m.unknown != 1 {
+		return tagid.ID{}, false
+	}
+	for id, subtracted := range m.members {
+		if !subtracted {
+			return id, true
+		}
+	}
+	return tagid.ID{}, false
+}
+
+func (m *abstractMixed) Multiplicity() int { return len(m.members) }

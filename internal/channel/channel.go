@@ -1,0 +1,93 @@
+// Package channel abstracts what the RFID reader observes in the report
+// segment of a time slot, and what its analog-network-coding decoder can do
+// with a recorded collision.
+//
+// Two implementations are provided:
+//
+//   - Abstract: the paper's own evaluation model (Section VI) — a k-collision
+//     slot is resolvable exactly when k <= lambda, optionally degraded by an
+//     unresolvable-record probability and a singleton-corruption probability
+//     to model channel noise (Section IV-E).
+//   - Signal: a full physical-layer model — every transmission is an MSK
+//     waveform with a per-tag complex channel gain, collisions are sample-wise
+//     sums plus AWGN, and a collision record resolves only if re-encoding the
+//     known constituents, jointly estimating their gains, cancelling them and
+//     CRC-checking the residual actually succeeds.
+//
+// Protocol code is identical over both; the experiments that regenerate the
+// paper's tables use Abstract (as the paper did), while Signal backs the
+// tests and examples that demonstrate the ANC substrate end-to-end.
+package channel
+
+import (
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// Kind classifies what the reader observed in a report segment.
+type Kind int
+
+const (
+	// Empty: no tag transmitted (idle channel).
+	Empty Kind = iota + 1
+	// Singleton: exactly one tag transmitted and its ID decoded cleanly.
+	Singleton
+	// Collision: the decode failed; the reader records the mixed signal.
+	Collision
+)
+
+// String returns the slot-kind name.
+func (k Kind) String() string {
+	switch k {
+	case Empty:
+		return "empty"
+	case Singleton:
+		return "singleton"
+	case Collision:
+		return "collision"
+	default:
+		return "unknown"
+	}
+}
+
+// Mixed is the reader's recording of one collision slot. The reader cannot
+// see inside it directly; it can only subtract signals of tags it has since
+// identified and attempt to decode what remains (paper, Section IV-B).
+type Mixed interface {
+	// Contains reports whether the given tag transmitted in the recorded
+	// slot. Under the real protocol the reader derives this from the report
+	// hash H(ID|slot); the simulation exposes the ground truth so that the
+	// hash-free fast transmission model can run the same reader logic.
+	Contains(id tagid.ID) bool
+
+	// Subtract marks the given identified tag's signal as known so that the
+	// next Decode attempt cancels it from the mix.
+	Subtract(id tagid.ID)
+
+	// Decode attempts to extract a single remaining ID from the residual.
+	// It succeeds when all but one constituent has been subtracted, the
+	// collision is within the ANC decoder's capability, and (for the signal
+	// model) the residual's CRC verifies.
+	Decode() (tagid.ID, bool)
+
+	// Multiplicity returns the number of tags that transmitted in the slot.
+	// It is simulation introspection for metrics; protocol logic must not
+	// depend on it (the paper notes the reader cannot tell how many tags
+	// collided).
+	Multiplicity() int
+}
+
+// Observation is the outcome of one report segment.
+type Observation struct {
+	Kind Kind
+	// ID is the decoded tag ID; valid only for Singleton observations.
+	ID tagid.ID
+	// Mix is the recorded mixed signal; non-nil only for Collision
+	// observations.
+	Mix Mixed
+}
+
+// Channel simulates the report segment of a slot: given the set of
+// transmitting tags it returns what the reader observes.
+type Channel interface {
+	Observe(transmitters []tagid.ID) Observation
+}

@@ -1,0 +1,252 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/signal"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// SignalConfig parameterises the physical-layer channel model.
+type SignalConfig struct {
+	// SamplesPerBit is the complex-baseband oversampling factor.
+	SamplesPerBit int
+
+	// NoiseSigma is the per-sample AWGN standard deviation. Tag amplitudes
+	// are drawn from [MinAmplitude, MaxAmplitude], so NoiseSigma expresses
+	// noise relative to unit signal scale.
+	NoiseSigma float64
+
+	// MinAmplitude and MaxAmplitude bound the per-tag channel attenuation.
+	// Tags are static during a read (Section IV-E), so a tag keeps its gain
+	// for the whole run.
+	MinAmplitude float64
+	MaxAmplitude float64
+
+	// PhaseJitter, when positive, adds a uniform random phase offset in
+	// [-PhaseJitter, +PhaseJitter] radians to every individual transmission,
+	// modelling oscillator drift between slots. The ANC canceller absorbs it
+	// through per-record gain estimation.
+	PhaseJitter float64
+
+	// FrequencyOffsetMax, when positive, gives every tag a static carrier-
+	// frequency offset drawn uniformly from [-FrequencyOffsetMax,
+	// +FrequencyOffsetMax] radians per sample, modelling free-running tag
+	// oscillators. The decoder then cancels constituents with the joint
+	// gain-and-offset estimator instead of plain least squares.
+	FrequencyOffsetMax float64
+
+	// MaxCancel limits how many known constituents the decoder will try to
+	// cancel from one record, mirroring the lambda capability of the
+	// slot-level model. Zero means unlimited (cancellation is attempted and
+	// succeeds or fails on the CRC alone).
+	MaxCancel int
+}
+
+// DefaultSignalConfig returns a configuration representative of a quiet
+// warehouse: mild attenuation spread, 30 dB SNR, static phase.
+func DefaultSignalConfig() SignalConfig {
+	return SignalConfig{
+		SamplesPerBit: signal.DefaultSamplesPerBit,
+		NoiseSigma:    0.03,
+		MinAmplitude:  0.5,
+		MaxAmplitude:  1.0,
+	}
+}
+
+// Signal is the physical-layer channel: transmissions are MSK waveforms,
+// collisions are sums, and collision resolution is genuine interference
+// cancellation with CRC verification.
+type Signal struct {
+	cfg     SignalConfig
+	rng     *rng.Source
+	gains   map[tagid.ID]complex128
+	offsets map[tagid.ID]float64
+	refs    map[tagid.ID]signal.Waveform
+}
+
+var _ Channel = (*Signal)(nil)
+
+// NewSignal returns a physical-layer channel. Zero-valued config fields are
+// replaced with the defaults from DefaultSignalConfig.
+func NewSignal(cfg SignalConfig, r *rng.Source) *Signal {
+	def := DefaultSignalConfig()
+	if cfg.SamplesPerBit <= 0 {
+		cfg.SamplesPerBit = def.SamplesPerBit
+	}
+	if cfg.MinAmplitude <= 0 {
+		cfg.MinAmplitude = def.MinAmplitude
+	}
+	if cfg.MaxAmplitude <= 0 {
+		cfg.MaxAmplitude = def.MaxAmplitude
+	}
+	if cfg.MaxAmplitude < cfg.MinAmplitude {
+		cfg.MaxAmplitude = cfg.MinAmplitude
+	}
+	return &Signal{
+		cfg:     cfg,
+		rng:     r,
+		gains:   make(map[tagid.ID]complex128),
+		offsets: make(map[tagid.ID]float64),
+		refs:    make(map[tagid.ID]signal.Waveform),
+	}
+}
+
+// gain returns the tag's static channel coefficient, drawing it on first
+// use: a uniform amplitude in [MinAmplitude, MaxAmplitude] at a uniform
+// random phase.
+func (c *Signal) gain(id tagid.ID) complex128 {
+	if g, ok := c.gains[id]; ok {
+		return g
+	}
+	amp := c.cfg.MinAmplitude + (c.cfg.MaxAmplitude-c.cfg.MinAmplitude)*c.rng.Float64()
+	phase := 2 * math.Pi * c.rng.Float64()
+	g := cmplx.Rect(amp, phase)
+	c.gains[id] = g
+	return g
+}
+
+// offset returns the tag's static oscillator offset, drawing it on first
+// use.
+func (c *Signal) offset(id tagid.ID) float64 {
+	if c.cfg.FrequencyOffsetMax <= 0 {
+		return 0
+	}
+	if dw, ok := c.offsets[id]; ok {
+		return dw
+	}
+	dw := (2*c.rng.Float64() - 1) * c.cfg.FrequencyOffsetMax
+	c.offsets[id] = dw
+	return dw
+}
+
+// reference returns the cached canonical (unit-gain) waveform of an ID.
+func (c *Signal) reference(id tagid.ID) signal.Waveform {
+	if w, ok := c.refs[id]; ok {
+		return w
+	}
+	w := signal.ModulateID(id, c.cfg.SamplesPerBit)
+	c.refs[id] = w
+	return w
+}
+
+// Observe implements Channel: it synthesises the received waveform for the
+// slot and lets the reader's decoder classify it.
+func (c *Signal) Observe(transmitters []tagid.ID) Observation {
+	if len(transmitters) == 0 {
+		return Observation{Kind: Empty}
+	}
+	parts := make([]signal.Waveform, len(transmitters))
+	for i, id := range transmitters {
+		g := c.gain(id)
+		if c.cfg.PhaseJitter > 0 {
+			j := (2*c.rng.Float64() - 1) * c.cfg.PhaseJitter
+			g *= cmplx.Exp(complex(0, j))
+		}
+		wave := c.reference(id)
+		if dw := c.offset(id); dw != 0 {
+			wave = signal.ApplyFrequencyOffset(wave, dw)
+		}
+		parts[i] = signal.Scale(wave, g)
+	}
+	received := signal.AddNoise(signal.Mix(parts...), c.cfg.NoiseSigma, c.rng)
+
+	// The reader first attempts a plain single-ID decode; the CRC tells it
+	// whether the slot was a clean singleton (Section III-B).
+	//
+	// Differential MSK demodulation exhibits a strong capture effect: the
+	// stronger of two superimposed signals often decodes with a valid CRC.
+	// Real readers detect this from the envelope — a lone MSK signal has
+	// constant magnitude, a mix does not — so a decode is only trusted when
+	// the envelope is flat to within the noise floor. A much weaker
+	// interferer (below the envelope test's sensitivity) is genuinely
+	// captured: the reader reads the strong tag and the weak one retries.
+	if id, ok := signal.DecodeID(received, c.cfg.SamplesPerBit); ok &&
+		signal.EnvelopeFlat(received, c.cfg.NoiseSigma) {
+		return Observation{Kind: Singleton, ID: id}
+	}
+	m := &signalMixed{
+		chan_:   c,
+		wave:    received,
+		members: make(map[tagid.ID]struct{}, len(transmitters)),
+	}
+	for _, id := range transmitters {
+		m.members[id] = struct{}{}
+	}
+	return Observation{Kind: Collision, Mix: m}
+}
+
+// signalMixed is a recorded collision waveform plus the set of identified
+// constituents the reader has marked for cancellation.
+type signalMixed struct {
+	chan_   *Signal
+	wave    signal.Waveform
+	members map[tagid.ID]struct{}
+	known   []tagid.ID
+}
+
+var _ Mixed = (*signalMixed)(nil)
+
+func (m *signalMixed) Contains(id tagid.ID) bool {
+	_, ok := m.members[id]
+	return ok
+}
+
+func (m *signalMixed) Subtract(id tagid.ID) {
+	for _, k := range m.known {
+		if k == id {
+			return
+		}
+	}
+	m.known = append(m.known, id)
+}
+
+// Decode re-encodes the known constituents, jointly estimates their complex
+// gains inside the recording by least squares, cancels them, and attempts a
+// CRC-verified decode of the residual. This is the ANC resolution step of
+// Section IV-B performed on real samples.
+func (m *signalMixed) Decode() (tagid.ID, bool) {
+	if len(m.known) == 0 {
+		return tagid.ID{}, false
+	}
+	if max := m.chan_.cfg.MaxCancel; max > 0 && len(m.known) > max-1 {
+		// The decoder's capability is lambda superimposed signals in total:
+		// lambda-1 cancellations plus the residual.
+		return tagid.ID{}, false
+	}
+	var residual signal.Waveform
+	if m.chan_.cfg.FrequencyOffsetMax > 0 {
+		// Free-running oscillators: peel the known constituents one at a
+		// time with the joint gain-and-offset estimator.
+		residual = m.wave
+		for _, known := range m.known {
+			ref := m.chan_.reference(known)
+			gain, dw := signal.EstimateGainAndOffset(residual, ref, m.chan_.cfg.SamplesPerBit)
+			residual = signal.CancelWithOffset(residual, ref, gain, dw)
+		}
+	} else {
+		refs := make([]signal.Waveform, len(m.known))
+		for i, id := range m.known {
+			refs[i] = m.chan_.reference(id)
+		}
+		gains := signal.EstimateGains(m.wave, refs)
+		if gains == nil {
+			return tagid.ID{}, false
+		}
+		residual = signal.Cancel(m.wave, refs, gains)
+	}
+	id, ok := signal.DecodeID(residual, m.chan_.cfg.SamplesPerBit)
+	if !ok {
+		return tagid.ID{}, false
+	}
+	if _, member := m.members[id]; !member {
+		// A decode that passes CRC but names a tag that never transmitted in
+		// this slot is a false positive (probability ~2^-16); discard it.
+		return tagid.ID{}, false
+	}
+	return id, true
+}
+
+func (m *signalMixed) Multiplicity() int { return len(m.members) }

@@ -1,0 +1,45 @@
+// Package crc implements the 16-bit cyclic redundancy check carried inside
+// every tag ID.
+//
+// The paper (Section III-A) requires each 96-bit ID to embed a CRC so the
+// reader can (a) tell a singleton slot from a collision slot by attempting a
+// decode, and (b) verify the residual signal after subtracting known signals
+// from a collision record. We use CRC-16/CCITT-FALSE (polynomial 0x1021,
+// initial value 0xFFFF), the variant used by ISO 18000-6 / EPC Gen2 readers.
+package crc
+
+// Size is the number of CRC bits appended to a tag ID payload.
+const Size = 16
+
+var table = makeTable()
+
+func makeTable() [256]uint16 {
+	var t [256]uint16
+	const poly = 0x1021
+	for i := 0; i < 256; i++ {
+		c := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if c&0x8000 != 0 {
+				c = c<<1 ^ poly
+			} else {
+				c <<= 1
+			}
+		}
+		t[i] = c
+	}
+	return t
+}
+
+// Checksum returns the CRC-16/CCITT-FALSE of data.
+func Checksum(data []byte) uint16 {
+	c := uint16(0xFFFF)
+	for _, b := range data {
+		c = c<<8 ^ table[byte(c>>8)^b]
+	}
+	return c
+}
+
+// Verify reports whether sum is the correct checksum for data.
+func Verify(data []byte, sum uint16) bool {
+	return Checksum(data) == sum
+}

@@ -1,0 +1,92 @@
+package crc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownVector(t *testing.T) {
+	// The standard check value for CRC-16/CCITT-FALSE.
+	if got := Checksum([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("Checksum(123456789) = %#04x, want 0x29b1", got)
+	}
+}
+
+func TestEmptyData(t *testing.T) {
+	// CRC-16/CCITT-FALSE of no data is the initial value.
+	if got := Checksum(nil); got != 0xFFFF {
+		t.Fatalf("Checksum(nil) = %#04x, want 0xffff", got)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	data := []byte{0xde, 0xad, 0xbe, 0xef}
+	sum := Checksum(data)
+	if !Verify(data, sum) {
+		t.Fatal("Verify rejected the correct checksum")
+	}
+	if Verify(data, sum^1) {
+		t.Fatal("Verify accepted a wrong checksum")
+	}
+}
+
+func TestSingleBitErrorsDetected(t *testing.T) {
+	// A CRC with polynomial degree 16 detects every single-bit error.
+	data := []byte{0x31, 0x41, 0x59, 0x26, 0x53, 0x58, 0x97, 0x93, 0x23, 0x84}
+	sum := Checksum(data)
+	for byteIdx := range data {
+		for bit := 0; bit < 8; bit++ {
+			corrupted := make([]byte, len(data))
+			copy(corrupted, data)
+			corrupted[byteIdx] ^= 1 << bit
+			if Checksum(corrupted) == sum {
+				t.Fatalf("single-bit flip at byte %d bit %d undetected", byteIdx, bit)
+			}
+		}
+	}
+}
+
+func TestBurstErrorsDetected(t *testing.T) {
+	// CRC-16 detects all burst errors up to 16 bits long.
+	data := make([]byte, 12)
+	for i := range data {
+		data[i] = byte(i * 37)
+	}
+	sum := Checksum(data)
+	for start := 0; start < len(data)-2; start++ {
+		corrupted := make([]byte, len(data))
+		copy(corrupted, data)
+		corrupted[start] ^= 0xFF
+		corrupted[start+1] ^= 0xFF
+		if Checksum(corrupted) == sum {
+			t.Fatalf("16-bit burst at byte %d undetected", start)
+		}
+	}
+}
+
+func TestChecksumDeterministic(t *testing.T) {
+	prop := func(data []byte) bool {
+		return Checksum(data) == Checksum(data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomCorruptionDetected(t *testing.T) {
+	// Flipping one random bit of random data must change the checksum.
+	prop := func(data []byte, pos uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		sum := Checksum(data)
+		i := int(pos) % (len(data) * 8)
+		corrupted := make([]byte, len(data))
+		copy(corrupted, data)
+		corrupted[i/8] ^= 1 << (i % 8)
+		return Checksum(corrupted) != sum
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+package crc
+
+import "testing"
+
+// FuzzChecksumDetectsMutation checks that flipping any bit of any input
+// always changes the checksum — the single-error detection guarantee of a
+// degree-16 CRC.
+func FuzzChecksumDetectsMutation(f *testing.F) {
+	f.Add([]byte{0x00}, uint16(0))
+	f.Add([]byte("hello, rfid"), uint16(13))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, uint16(42))
+	f.Fuzz(func(t *testing.T, data []byte, pos uint16) {
+		if len(data) == 0 {
+			return
+		}
+		sum := Checksum(data)
+		i := int(pos) % (len(data) * 8)
+		mutated := make([]byte, len(data))
+		copy(mutated, data)
+		mutated[i/8] ^= 1 << (i % 8)
+		if Checksum(mutated) == sum {
+			t.Fatalf("bit flip at %d undetected for input %x", i, data)
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package crdsa
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+func env(seed uint64, tags, lambda int) *protocol.Env {
+	r := rng.New(seed)
+	return &protocol.Env{
+		RNG:     r,
+		Tags:    tagid.Population(r, tags),
+		Channel: channel.NewAbstract(channel.AbstractConfig{Lambda: lambda}, r),
+		Timing:  air.ICode(),
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(Config{}).Name() != "CRDSA" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestIdentifiesEveryTag(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 500, 3000} {
+		m, err := New(Config{}).Run(env(uint64(n), n, 16))
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if m.Identified() != n {
+			t.Fatalf("N=%d: identified %d", n, m.Identified())
+		}
+	}
+}
+
+func TestEmptyPopulation(t *testing.T) {
+	m, err := New(Config{}).Run(env(1, 0, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 0 {
+		t.Fatal("identified tags in an empty field")
+	}
+}
+
+func TestCancellationContributes(t *testing.T) {
+	// At the optimal load a large share of packets are recovered by
+	// interference cancellation rather than clean singles.
+	m, err := New(Config{}).Run(env(2, 3000, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ResolvedIDs == 0 {
+		t.Fatal("no IDs recovered by cancellation")
+	}
+	if float64(m.ResolvedIDs)/3000 < 0.15 {
+		t.Fatalf("cancellation share suspiciously low: %d/3000", m.ResolvedIDs)
+	}
+}
+
+func TestBeatsPlainALOHAWithDeepCancellation(t *testing.T) {
+	// With an unconstrained canceller (large lambda), CRDSA's per-slot
+	// efficiency exceeds framed ALOHA's 1/e (that is its whole point).
+	const n = 5000
+	m, err := New(Config{}).Run(env(3, n, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSlot := float64(n) / float64(m.TotalSlots())
+	if perSlot < 0.40 {
+		t.Fatalf("per-slot efficiency %.3f, want > 0.40 (ALOHA is 0.368)", perSlot)
+	}
+}
+
+func TestLambdaLimitsCancellation(t *testing.T) {
+	// With lambda=2 only two-deep collisions strip; completion still holds
+	// but more IDs come from singletons.
+	shallow, err := New(Config{}).Run(env(4, 2000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := New(Config{}).Run(env(4, 2000, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shallow.Identified() != 2000 || deep.Identified() != 2000 {
+		t.Fatal("incomplete run")
+	}
+	if shallow.ResolvedIDs >= deep.ResolvedIDs {
+		t.Fatalf("lambda=2 resolved %d, lambda=16 resolved %d — deeper cancellation should recover more",
+			shallow.ResolvedIDs, deep.ResolvedIDs)
+	}
+}
+
+func TestSingleReplicaDegeneratesToFramedALOHA(t *testing.T) {
+	// Replicas=1 is plain framed ALOHA (no twin to cancel).
+	m, err := New(Config{Replicas: 1}).Run(env(5, 1000, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 1000 {
+		t.Fatalf("identified %d", m.Identified())
+	}
+}
+
+func TestThreeReplicas(t *testing.T) {
+	// IRSA-style three replicas still complete (more cancellation fuel,
+	// more channel load).
+	m, err := New(Config{Replicas: 3}).Run(env(6, 1000, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 1000 {
+		t.Fatalf("identified %d", m.Identified())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() protocol.Metrics {
+		m, err := New(Config{}).Run(env(7, 800, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("same seed, different metrics")
+	}
+}
+
+func TestCorruptionRetries(t *testing.T) {
+	r := rng.New(8)
+	e := &protocol.Env{
+		RNG:  r,
+		Tags: tagid.Population(r, 300),
+		Channel: channel.NewAbstract(channel.AbstractConfig{
+			Lambda: 16, PCorruptSingleton: 0.2,
+		}, r),
+		Timing: air.ICode(),
+	}
+	m, err := New(Config{}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 300 {
+		t.Fatalf("identified %d of 300 under corruption", m.Identified())
+	}
+}
+
+func TestAckLossStillCompletes(t *testing.T) {
+	e := env(9, 400, 16)
+	e.PAckLoss = 0.4
+	m, err := New(Config{}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 400 {
+		t.Fatalf("identified %d of 400 under ack loss", m.Identified())
+	}
+}
+
+func TestAckLossNoDoubleCounting(t *testing.T) {
+	e := env(10, 300, 16)
+	e.PAckLoss = 0.5
+	counts := make(map[tagid.ID]int)
+	e.OnIdentified = func(id tagid.ID, _ bool) { counts[id]++ }
+	if _, err := New(Config{}).Run(e); err != nil {
+		t.Fatal(err)
+	}
+	for id, c := range counts {
+		if c != 1 {
+			t.Fatalf("tag %v counted %d times", id, c)
+		}
+	}
+}
+
+func TestNoProgressFrameGrowth(t *testing.T) {
+	// Regression: two tags with three replicas in a matched frame collide
+	// in every slot forever; the no-progress growth rule must break the
+	// deadlock.
+	e := env(11, 2, 2)
+	e.MaxSlots = 2000
+	m, err := New(Config{Replicas: 3}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 2 {
+		t.Fatalf("identified %d of 2", m.Identified())
+	}
+}

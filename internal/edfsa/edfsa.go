@@ -1,0 +1,190 @@
+// Package edfsa implements the Enhanced Dynamic Framed Slotted ALOHA
+// baseline (Lee, Joo & Lee, MOBIQUITOUS 2005; paper reference [5]).
+//
+// EDFSA caps the frame size at 256 slots. When the estimated number of
+// unread tags exceeds what a 256-slot frame can serve efficiently (354
+// tags, per the published table), the tags are split into M = 2^k modulo
+// groups and only one group responds per frame; for smaller backlogs the
+// frame size is chosen from the published range table.
+package edfsa
+
+import (
+	"math"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/dfsa"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// maxFrame is EDFSA's largest (and default) frame size.
+const maxFrame = 256
+
+// maxUnreadPerFrame is the published threshold above which tags are split
+// into modulo groups (354 unread tags per 256-slot frame).
+const maxUnreadPerFrame = 354
+
+// Config parameterises EDFSA.
+type Config struct {
+	// InitialEstimate seeds the unread-tag estimate. Zero grants the reader
+	// a perfect initial estimate (the population size), matching the
+	// ramp-free baseline behaviour in the paper's evaluation; see the
+	// corresponding note on dfsa.Config.InitialFrame.
+	InitialEstimate int
+}
+
+// Protocol is a configured EDFSA instance.
+type Protocol struct {
+	cfg Config
+}
+
+var _ protocol.Protocol = (*Protocol)(nil)
+
+// New returns an EDFSA instance.
+func New(cfg Config) *Protocol {
+	return &Protocol{cfg: cfg}
+}
+
+// Name implements protocol.Protocol.
+func (p *Protocol) Name() string { return "EDFSA" }
+
+// frameSizeFor returns the published frame size for an estimated backlog
+// (Lee et al., Table 2) together with the number of modulo groups.
+func frameSizeFor(est int) (frame, groups int) {
+	switch {
+	case est <= 11:
+		return 8, 1
+	case est <= 19:
+		return 16, 1
+	case est <= 40:
+		return 32, 1
+	case est <= 81:
+		return 64, 1
+	case est <= 176:
+		return 128, 1
+	case est <= maxUnreadPerFrame:
+		return maxFrame, 1
+	default:
+		groups = 1
+		for est > maxUnreadPerFrame*groups {
+			groups *= 2
+		}
+		return maxFrame, groups
+	}
+}
+
+// Run implements protocol.Protocol.
+func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
+	var (
+		m     = protocol.Metrics{Tags: len(env.Tags)}
+		clock air.Clock
+	)
+	unread := make([]tagid.ID, len(env.Tags))
+	copy(unread, env.Tags)
+	seen := make(map[tagid.ID]struct{}, len(env.Tags))
+	budget := env.SlotBudget()
+	estimated := p.cfg.InitialEstimate
+	if estimated <= 0 {
+		estimated = len(env.Tags)
+	}
+	if estimated < 1 {
+		estimated = 1
+	}
+	slots := 0
+	round := uint64(0)
+
+	for {
+		frame, groups := frameSizeFor(estimated)
+		roundCollisions := 0
+		roundTransmissions := 0
+		for g := 0; g < groups; g++ {
+			if slots >= budget {
+				m.OnAir = clock.Elapsed()
+				return m, protocol.ErrNoProgress
+			}
+			members := groupMembers(unread, round, groups, g)
+			clock.Add(env.Timing.FrameAnnouncement())
+			m.Frames++
+			collisions, transmissions, read := runGroupFrame(env, frame, members, seen, &m)
+			roundCollisions += collisions
+			roundTransmissions += transmissions
+			slots += frame
+			clock.AddSlots(env.Timing, frame)
+			if len(read) > 0 {
+				remaining := unread[:0]
+				for _, id := range unread {
+					if _, ok := read[id]; !ok {
+						remaining = append(remaining, id)
+					}
+				}
+				unread = remaining
+			}
+		}
+		round++
+		if roundTransmissions == 0 {
+			m.OnAir = clock.Elapsed()
+			return m, nil
+		}
+		estimated = int(math.Round(dfsa.SchouteFactor * float64(roundCollisions)))
+		if estimated < 1 {
+			estimated = 1
+		}
+	}
+}
+
+// groupMembers selects the unread tags whose hash (salted by the round so
+// group boundaries reshuffle between rounds) falls in modulo group g.
+func groupMembers(unread []tagid.ID, round uint64, groups, g int) []tagid.ID {
+	if groups == 1 {
+		return unread
+	}
+	var members []tagid.ID
+	for _, id := range unread {
+		if int(id.ReportHash(round))%groups == g {
+			members = append(members, id)
+		}
+	}
+	return members
+}
+
+// runGroupFrame runs one frame over the given group members. seen holds
+// the IDs counted in earlier frames so retransmissions after a lost
+// acknowledgement are not double-counted.
+func runGroupFrame(env *protocol.Env, frameSize int, members []tagid.ID, seen map[tagid.ID]struct{}, m *protocol.Metrics) (collisions, transmissions int, read map[tagid.ID]struct{}) {
+	occupants := make([][]tagid.ID, frameSize)
+	for _, id := range members {
+		s := env.RNG.Intn(frameSize)
+		occupants[s] = append(occupants[s], id)
+	}
+	read = make(map[tagid.ID]struct{})
+	for _, tx := range occupants {
+		transmissions += len(tx)
+		obs := env.Channel.Observe(tx)
+		switch obs.Kind {
+		case channel.Empty:
+			m.EmptySlots++
+		case channel.Singleton:
+			m.SingletonSlots++
+			if _, dup := seen[obs.ID]; !dup {
+				seen[obs.ID] = struct{}{}
+				m.DirectIDs++
+				env.NotifyIdentified(obs.ID, false)
+			}
+			if env.AckDelivered() {
+				read[obs.ID] = struct{}{}
+			}
+		case channel.Collision:
+			m.CollisionSlots++
+			collisions++
+		}
+		m.TagTransmissions += len(tx)
+		env.NotifySlot(protocol.SlotEvent{
+			Seq:          m.TotalSlots() - 1,
+			Kind:         obs.Kind,
+			Transmitters: len(tx),
+			Identified:   m.Identified(),
+		})
+	}
+	return collisions, transmissions, read
+}

@@ -1,0 +1,183 @@
+package edfsa
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+func env(seed uint64, tags int) *protocol.Env {
+	r := rng.New(seed)
+	return &protocol.Env{
+		RNG:     r,
+		Tags:    tagid.Population(r, tags),
+		Channel: channel.NewAbstract(channel.AbstractConfig{Lambda: 2}, r),
+		Timing:  air.ICode(),
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(Config{}).Name() != "EDFSA" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestFrameSizeTable(t *testing.T) {
+	tests := []struct {
+		est        int
+		wantFrame  int
+		wantGroups int
+	}{
+		{1, 8, 1},
+		{11, 8, 1},
+		{12, 16, 1},
+		{19, 16, 1},
+		{20, 32, 1},
+		{40, 32, 1},
+		{41, 64, 1},
+		{81, 64, 1},
+		{82, 128, 1},
+		{176, 128, 1},
+		{177, 256, 1},
+		{354, 256, 1},
+		{355, 256, 2},
+		{708, 256, 2},
+		{709, 256, 4},
+		{1416, 256, 4},
+		{1417, 256, 8},
+		{10000, 256, 32},
+	}
+	for _, tt := range tests {
+		frame, groups := frameSizeFor(tt.est)
+		if frame != tt.wantFrame || groups != tt.wantGroups {
+			t.Errorf("frameSizeFor(%d) = (%d, %d), want (%d, %d)",
+				tt.est, frame, groups, tt.wantFrame, tt.wantGroups)
+		}
+	}
+}
+
+func TestGroupMembersPartition(t *testing.T) {
+	r := rng.New(1)
+	tags := tagid.Population(r, 1000)
+	const groups = 8
+	seen := make(map[tagid.ID]int)
+	total := 0
+	for g := 0; g < groups; g++ {
+		for _, id := range groupMembers(tags, 3, groups, g) {
+			seen[id]++
+			total++
+		}
+	}
+	if total != 1000 || len(seen) != 1000 {
+		t.Fatalf("groups do not partition: total=%d unique=%d", total, len(seen))
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("tag %v in %d groups", id, c)
+		}
+	}
+}
+
+func TestGroupMembersReshuffleAcrossRounds(t *testing.T) {
+	r := rng.New(2)
+	tags := tagid.Population(r, 500)
+	a := groupMembers(tags, 1, 4, 0)
+	b := groupMembers(tags, 2, 4, 0)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("group membership identical across rounds (salt not applied)")
+		}
+	}
+}
+
+func TestSingleGroupFastPath(t *testing.T) {
+	r := rng.New(3)
+	tags := tagid.Population(r, 10)
+	got := groupMembers(tags, 0, 1, 0)
+	if len(got) != 10 {
+		t.Fatal("single group must contain everyone")
+	}
+}
+
+func TestIdentifiesEveryTag(t *testing.T) {
+	for _, n := range []int{1, 50, 400, 3000} {
+		m, err := New(Config{}).Run(env(uint64(n), n))
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if m.Identified() != n {
+			t.Fatalf("N=%d: identified %d", n, m.Identified())
+		}
+	}
+}
+
+func TestEmptyPopulation(t *testing.T) {
+	m, err := New(Config{}).Run(env(4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 0 {
+		t.Fatal("identified tags in empty field")
+	}
+}
+
+func TestLargePopulationUsesGroups(t *testing.T) {
+	// 3000 tags force the 256-slot frame with modulo groups; throughput
+	// lands just below DFSA, as in the paper's Table I.
+	m, err := New(Config{}).Run(env(5, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 3000 {
+		t.Fatalf("identified %d", m.Identified())
+	}
+	if tput := m.Throughput(); tput < 115 || tput > 135 {
+		t.Errorf("EDFSA throughput %v outside the expected band", tput)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() protocol.Metrics {
+		m, err := New(Config{}).Run(env(6, 700))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("same seed, different metrics")
+	}
+}
+
+func TestExplicitInitialEstimate(t *testing.T) {
+	m, err := New(Config{InitialEstimate: 10}).Run(env(7, 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 800 {
+		t.Fatalf("identified %d of 800", m.Identified())
+	}
+}
+
+func TestAckLossStillCompletes(t *testing.T) {
+	e := env(30, 400)
+	e.PAckLoss = 0.4
+	m, err := New(Config{}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 400 {
+		t.Fatalf("identified %d of 400 under ack loss", m.Identified())
+	}
+}

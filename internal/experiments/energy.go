@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+	"github.com/ancrfid/ancrfid/internal/crdsa"
+	"github.com/ancrfid/ancrfid/internal/scat"
+	"github.com/ancrfid/ancrfid/internal/sim"
+	"github.com/ancrfid/ancrfid/internal/stats"
+)
+
+// tagTxPowerWatts is the transmit power of a battery-powered active tag
+// used for the energy estimate (10 mW, a typical active-tag figure).
+const tagTxPowerWatts = 0.010
+
+// Energy is an extension experiment along the axis of the paper's
+// reference [14] (power consumption of anti-collision protocols): how many
+// times must each tag key its transmitter, and what does a read cost the
+// tag batteries? Tree protocols make every tag answer at each level of its
+// root path (~log2 N transmissions); ALOHA-family tags answer a handful of
+// times; FCAT sits between DFSA and the trees because the optimal load
+// omega > 1 makes tags report more often, while CRDSA's replicas double
+// the count by design.
+func Energy(opts Options) (Rendered, error) {
+	opts = opts.withDefaults(30)
+	n := opts.sizeOr(5000)
+	txJoule := tagTxPowerWatts * air.ICode().Bits(air.ICode().IDBits).Seconds()
+	out := Rendered{
+		ID:    "energy",
+		Title: fmt.Sprintf("Tag energy: transmissions per tag and per-tag energy (N = %d)", n),
+		Header: []string{
+			"protocol", "tags/sec", "tx/tag", "uJ/tag",
+		},
+		Notes: []string{
+			fmt.Sprintf("%d runs per row; seed %d; energy model: %d mW over one %d-bit ID (%.1f uJ per transmission)",
+				opts.Runs, opts.Seed, int(tagTxPowerWatts*1000), air.ICode().IDBits, txJoule*1e6),
+			"extension experiment along the paper's reference [14]: not a table in the paper",
+		},
+	}
+	protos := comparisonProtocols()
+	protos = append(protos,
+		namedProtocol{scat.New(scat.Config{Lambda: 2}), 2},
+		namedProtocol{crdsa.New(crdsa.Config{}), 8},
+	)
+	for _, np := range protos {
+		res, err := sim.Run(np.p, campaign(opts, n, np.lambda))
+		if err != nil {
+			return out, err
+		}
+		var perTag []float64
+		for _, m := range res.Runs {
+			perTag = append(perTag, m.TransmissionsPerTag())
+		}
+		tx := stats.Summarize(perTag)
+		out.Rows = append(out.Rows, []string{
+			np.p.Name(),
+			f1(res.Throughput.Mean),
+			f2(tx.Mean),
+			f1(tx.Mean * txJoule * 1e6),
+		})
+		opts.progressf("energy: %s done\n", np.p.Name())
+	}
+	return out, nil
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps experiment tests fast: minimal runs, small populations.
+func tinyOpts() Options {
+	return Options{Runs: 2, Seed: 1, Sizes: []int{400}}
+}
+
+func checkRendered(t *testing.T, r Rendered) {
+	t.Helper()
+	if r.ID == "" || r.Title == "" {
+		t.Fatalf("missing id/title: %+v", r)
+	}
+	if len(r.Header) == 0 || len(r.Rows) == 0 {
+		t.Fatalf("%s: empty table", r.ID)
+	}
+	for i, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Fatalf("%s row %d has %d cells, header has %d", r.ID, i, len(row), len(r.Header))
+		}
+		for j, cell := range row {
+			if cell == "" {
+				t.Fatalf("%s row %d cell %d empty", r.ID, i, j)
+			}
+		}
+	}
+}
+
+func TestIDsStable(t *testing.T) {
+	ids := IDs()
+	want := []string{"crdsa", "energy", "estimators", "fig3", "fig4", "fig5", "fig6", "noise", "progress", "table1", "table2", "table3", "table4"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	r, err := Run("FIG4", Options{}) // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "fig4" {
+		t.Fatalf("dispatched to %s", r.ID)
+	}
+}
+
+func TestEverySimulatedExperimentSmall(t *testing.T) {
+	// Run each simulation-backed experiment at a tiny budget and check the
+	// rendered output is well-formed; the full-budget numbers live in
+	// docs/results.txt.
+	for _, id := range []string{"table2", "table3", "table4", "fig5", "fig6", "crdsa", "energy", "estimators", "noise", "progress"} {
+		opts := Options{Runs: 1, Seed: 1, Sizes: []int{250}}
+		r, err := Run(id, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		checkRendered(t, r)
+	}
+}
+
+func TestFigureExperimentsCarrySeries(t *testing.T) {
+	for _, id := range []string{"fig5", "fig6", "noise", "progress"} {
+		r, err := Run(id, Options{Runs: 1, Seed: 1, Sizes: []int{250}})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(r.Series) == 0 {
+			t.Errorf("%s has no plot series", id)
+		}
+		var sb strings.Builder
+		if err := r.WritePlot(&sb); err != nil {
+			t.Errorf("%s: WritePlot: %v", id, err)
+		}
+	}
+	// Tables must refuse to plot.
+	r, err := Run("table2", Options{Runs: 1, Seed: 1, Sizes: []int{100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WritePlot(&sb); err == nil {
+		t.Error("a table should not render as a plot")
+	}
+}
+
+func TestTable1Small(t *testing.T) {
+	r, err := Table1(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRendered(t, r)
+	if len(r.Header) != 8 { // N + 7 protocols
+		t.Fatalf("header %v", r.Header)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0] != "400" {
+		t.Fatalf("rows %v", r.Rows)
+	}
+}
+
+func TestTable3Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: full N grid")
+	}
+	opts := Options{Runs: 1, Seed: 1}
+	r, err := Table3(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRendered(t, r)
+	if len(r.Rows) != 5 {
+		t.Fatalf("table3 should have 5 population rows, got %d", len(r.Rows))
+	}
+}
+
+func TestFig3Analytic(t *testing.T) {
+	r, err := Fig3(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRendered(t, r)
+	if len(r.Header) != 7 {
+		t.Fatalf("fig3 header %v", r.Header)
+	}
+}
+
+func TestFig4Analytic(t *testing.T) {
+	r, err := Fig4(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRendered(t, r)
+	// E(n1) must be non-monotonic over the grid (the figure's point).
+	prevUp := false
+	sawPeak := false
+	var prev float64
+	for i, row := range r.Rows {
+		var v float64
+		if _, err := sscan(row[2], &v); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			up := v > prev
+			if prevUp && !up {
+				sawPeak = true
+			}
+			prevUp = up
+		}
+		prev = v
+	}
+	if !sawPeak {
+		t.Fatal("E(n1) should rise then fall over the population grid")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := Rendered{
+		ID: "x", Title: "t",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"n"},
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"X — t", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := Rendered{
+		ID: "x", Title: "t",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", `va"l,ue`}},
+	}
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("csv header: %q", out)
+	}
+	if !strings.Contains(out, `"va""l,ue"`) {
+		t.Fatalf("csv quoting: %q", out)
+	}
+}
+
+// sscan parses a float cell.
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+	"github.com/ancrfid/ancrfid/internal/analysis"
+	"github.com/ancrfid/ancrfid/internal/estimate"
+	"github.com/ancrfid/ancrfid/internal/plot"
+	"github.com/ancrfid/ancrfid/internal/rng"
+)
+
+func alohaBound() float64 {
+	return analysis.AlohaBound(air.ICode().Slot().Seconds())
+}
+
+func treeBound() float64 {
+	return analysis.TreeBound(air.ICode().Slot().Seconds())
+}
+
+// fig3Omegas are the three design constants of Fig. 3 (lambda = 2, 3, 4).
+var fig3Omegas = []float64{1.414, 1.817, 2.213}
+
+// Fig3 reproduces Fig. 3: the relative bias of the embedded estimator with
+// respect to the number of tags, for omega = 1.414, 1.817 and 2.213
+// (f = 30). The analytic curve is Eq. 16; next to it we report the bias
+// measured by direct Monte-Carlo frame simulation of the paper's Eq. 12
+// estimator, which the analytic approximation tracks closely.
+func Fig3(opts Options) (Rendered, error) {
+	opts = opts.withDefaults(1)
+	const (
+		frameSize      = 30
+		framesPerPoint = 20000
+	)
+	out := Rendered{
+		ID:     "fig3",
+		Title:  "Estimator relative bias |Bias(N^/N)| vs number of tags (f = 30)",
+		Header: []string{"N"},
+		Notes: []string{
+			"analytic: Eq. 16; measured: mean of Eq. 12 over 20000 simulated frames",
+			"the paper reads off ~0.0082, ~0.011 and ~0.014 for the three omegas",
+		},
+	}
+	for _, w := range fig3Omegas {
+		out.Header = append(out.Header,
+			fmt.Sprintf("w=%.3f analytic", w),
+			fmt.Sprintf("w=%.3f measured", w))
+	}
+	r := rng.New(opts.Seed)
+	series := make([]plot.Series, 2*len(fig3Omegas))
+	for i, w := range fig3Omegas {
+		series[2*i].Name = fmt.Sprintf("w=%.3f analytic", w)
+		series[2*i+1].Name = fmt.Sprintf("w=%.3f measured", w)
+	}
+	for n := 2000; n <= 40000; n += 2000 {
+		row := []string{strconv.Itoa(n)}
+		for i, w := range fig3Omegas {
+			analytic := math.Abs(analysis.EstimatorBias(n, w, frameSize))
+			measured := math.Abs(measuredBias(r, n, w, frameSize, framesPerPoint))
+			row = append(row, f4(analytic), f4(measured))
+			series[2*i].X = append(series[2*i].X, float64(n))
+			series[2*i].Y = append(series[2*i].Y, analytic)
+			series[2*i+1].X = append(series[2*i+1].X, float64(n))
+			series[2*i+1].Y = append(series[2*i+1].Y, measured)
+		}
+		out.Rows = append(out.Rows, row)
+		opts.progressf("fig3: N=%d done\n", n)
+	}
+	out.Series = series
+	return out, nil
+}
+
+// measuredBias simulates frames of f slots with N tags reporting at
+// p = omega/N, applies the paper's closed-form estimator to each frame's
+// collision count, and returns the mean relative bias.
+func measuredBias(r *rng.Source, n int, omega float64, f, frames int) float64 {
+	p := omega / float64(n)
+	var sum float64
+	used := 0
+	for i := 0; i < frames; i++ {
+		nc := 0
+		for s := 0; s < f; s++ {
+			if r.Binomial(n, p) >= 2 {
+				nc++
+			}
+		}
+		est, ok := estimate.ClosedForm(nc, f, p, omega)
+		if !ok {
+			// Saturated frame (all slots collided): Eq. 12 diverges; the
+			// protocol grows its guess instead of estimating. Skip, as the
+			// analysis conditions on informative frames.
+			continue
+		}
+		sum += est / float64(n)
+		used++
+	}
+	if used == 0 {
+		return math.NaN()
+	}
+	return sum/float64(used) - 1
+}
+
+// Fig4 reproduces Fig. 4: the expected numbers of empty, singleton and
+// collision slots per frame (f = 30) as the number of tags varies while the
+// report probability stays fixed. The paper's caption gives
+// "p_i = 1.414/N_i"; for the plotted curves to vary (and to make the
+// figure's point that N is not monotonic in E(n1)), p must be held at the
+// reference population 10,000, i.e. p = 1.414/10000, while N varies.
+func Fig4(opts Options) (Rendered, error) {
+	opts = opts.withDefaults(1)
+	const (
+		frameSize = 30
+		refTags   = 10000
+	)
+	p := 1.414 / float64(refTags)
+	out := Rendered{
+		ID:     "fig4",
+		Title:  "Expected slot counts per frame vs number of tags (f = 30, p = 1.414/10000)",
+		Header: []string{"N", "E(n0)", "E(n1)", "E(nc)"},
+		Notes: []string{
+			"E(n1) peaks near N = 1/p and is non-monotonic: the reason the paper estimates from collision slots",
+		},
+	}
+	series := []plot.Series{{Name: "E(n0)"}, {Name: "E(n1)"}, {Name: "E(nc)"}}
+	for n := 2000; n <= 40000; n += 2000 {
+		e0 := analysis.ExpectedEmpty(n, p, frameSize)
+		e1 := analysis.ExpectedSingleton(n, p, frameSize)
+		ec := analysis.ExpectedCollision(n, p, frameSize)
+		out.Rows = append(out.Rows, []string{strconv.Itoa(n), f2(e0), f2(e1), f2(ec)})
+		for i, v := range []float64{e0, e1, ec} {
+			series[i].X = append(series[i].X, float64(n))
+			series[i].Y = append(series[i].Y, v)
+		}
+	}
+	out.Series = series
+	return out, nil
+}
+
+// Fig5 reproduces Fig. 5: FCAT's reading throughput as a function of the
+// report-probability constant omega, for lambda = 2, 3, 4 at N = 10,000.
+// The curves are unimodal with maxima at the computed optimal omegas.
+func Fig5(opts Options) (Rendered, error) {
+	opts = opts.withDefaults(20)
+	n := opts.sizeOr(10000)
+	out := Rendered{
+		ID:     "fig5",
+		Title:  fmt.Sprintf("FCAT throughput vs omega (N = %d)", n),
+		Header: []string{"omega", "FCAT-2", "FCAT-3", "FCAT-4"},
+		Notes: []string{
+			fmt.Sprintf("%d runs per point; seed %d", opts.Runs, opts.Seed),
+			"optima expected near 1.414 / 1.817 / 2.213",
+		},
+	}
+	series := []plot.Series{{Name: "FCAT-2"}, {Name: "FCAT-3"}, {Name: "FCAT-4"}}
+	for w := 0.2; w <= 3.001; w += 0.1 {
+		row := []string{f2(w)}
+		for i, lambda := range []int{2, 3, 4} {
+			tput, err := fcatThroughput(opts, n, lambda, w, 0)
+			if err != nil {
+				return out, err
+			}
+			row = append(row, f1(tput))
+			series[i].X = append(series[i].X, w)
+			series[i].Y = append(series[i].Y, tput)
+		}
+		out.Rows = append(out.Rows, row)
+		opts.progressf("fig5: omega=%.2f done\n", w)
+	}
+	out.Series = series
+	return out, nil
+}
+
+// Fig6 reproduces Fig. 6: FCAT's reading throughput as a function of the
+// frame size f at N = 10,000, showing throughput stabilises for f >= 10.
+func Fig6(opts Options) (Rendered, error) {
+	opts = opts.withDefaults(20)
+	n := opts.sizeOr(10000)
+	out := Rendered{
+		ID:     "fig6",
+		Title:  fmt.Sprintf("FCAT throughput vs frame size (N = %d)", n),
+		Header: []string{"f", "FCAT-2", "FCAT-3", "FCAT-4"},
+		Notes: []string{
+			fmt.Sprintf("%d runs per point; seed %d", opts.Runs, opts.Seed),
+			"the paper reports throughput stabilises for f >= 10",
+		},
+	}
+	series := []plot.Series{{Name: "FCAT-2"}, {Name: "FCAT-3"}, {Name: "FCAT-4"}}
+	for _, f := range []int{2, 5, 10, 15, 20, 30, 40, 60, 80, 100, 125, 150, 175, 200} {
+		row := []string{strconv.Itoa(f)}
+		for i, lambda := range []int{2, 3, 4} {
+			tput, err := fcatThroughput(opts, n, lambda, 0, f)
+			if err != nil {
+				return out, err
+			}
+			row = append(row, f1(tput))
+			series[i].X = append(series[i].X, float64(f))
+			series[i].Y = append(series[i].Y, tput)
+		}
+		out.Rows = append(out.Rows, row)
+		opts.progressf("fig6: f=%d done\n", f)
+	}
+	out.Series = series
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/ancrfid/ancrfid/internal/analysis"
+	"github.com/ancrfid/ancrfid/internal/dfsa"
+	"github.com/ancrfid/ancrfid/internal/edfsa"
+	"github.com/ancrfid/ancrfid/internal/fcat"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/sim"
+	"github.com/ancrfid/ancrfid/internal/treeproto"
+)
+
+// comparisonProtocols builds the seven protocols of Tables I and II in
+// paper column order, together with the ANC capability each needs from the
+// channel (baselines do not resolve collisions, so lambda is irrelevant for
+// them; 2 is used).
+type namedProtocol struct {
+	p      protocol.Protocol
+	lambda int
+}
+
+func comparisonProtocols() []namedProtocol {
+	return []namedProtocol{
+		{fcat.New(fcat.Config{Lambda: 2}), 2},
+		{fcat.New(fcat.Config{Lambda: 3}), 3},
+		{fcat.New(fcat.Config{Lambda: 4}), 4},
+		{dfsa.New(dfsa.Config{}), 2},
+		{edfsa.New(edfsa.Config{}), 2},
+		{treeproto.NewABS(), 2},
+		{treeproto.NewAQS(), 2},
+	}
+}
+
+func campaign(opts Options, tags, lambda int) sim.Config {
+	return sim.Config{
+		Tags:    tags,
+		Runs:    opts.Runs,
+		Seed:    opts.Seed,
+		Lambda:  lambda,
+		TxModel: opts.TxModel,
+	}
+}
+
+// Table1 reproduces Table I: reading throughput (tag IDs per second) of
+// FCAT-2/3/4 against DFSA, EDFSA, ABS and AQS as the population grows from
+// 1,000 to 20,000 tags.
+func Table1(opts Options) (Rendered, error) {
+	opts = opts.withDefaults(sim.DefaultRuns)
+	sizes := opts.Sizes
+	if len(sizes) == 0 {
+		sizes = make([]int, 0, 20)
+		for n := 1000; n <= 20000; n += 1000 {
+			sizes = append(sizes, n)
+		}
+	}
+	protos := comparisonProtocols()
+	out := Rendered{
+		ID:     "table1",
+		Title:  "Reading throughput (tags/sec) vs population size",
+		Header: []string{"N"},
+		Notes: []string{
+			fmt.Sprintf("mean of %d runs per cell; seed %d", opts.Runs, opts.Seed),
+			fmt.Sprintf("bounds at I-Code timing: ALOHA 1/(eT)=%.1f, tree 1/(2.88T)=%.1f", alohaBound(), treeBound()),
+		},
+	}
+	for _, np := range protos {
+		out.Header = append(out.Header, np.p.Name())
+	}
+	for _, n := range sizes {
+		row := []string{strconv.Itoa(n)}
+		for _, np := range protos {
+			res, err := sim.Run(np.p, campaign(opts, n, np.lambda))
+			if err != nil {
+				return out, err
+			}
+			row = append(row, f1(res.Throughput.Mean))
+		}
+		out.Rows = append(out.Rows, row)
+		opts.progressf("table1: N=%d done\n", n)
+	}
+	return out, nil
+}
+
+// Table2 reproduces Table II: the empty/singleton/collision slot breakdown
+// for each protocol at N = 10,000.
+func Table2(opts Options) (Rendered, error) {
+	opts = opts.withDefaults(sim.DefaultRuns)
+	n := opts.sizeOr(10000)
+	protos := comparisonProtocols()
+	out := Rendered{
+		ID:     "table2",
+		Title:  fmt.Sprintf("Empty, singleton and collision slots at N = %d", n),
+		Header: []string{"slots"},
+		Notes:  []string{fmt.Sprintf("mean of %d runs per cell; seed %d", opts.Runs, opts.Seed)},
+	}
+	kinds := []string{"empty", "singleton", "collision", "total"}
+	cells := make([][]string, len(kinds))
+	for i := range cells {
+		cells[i] = []string{kinds[i]}
+	}
+	for _, np := range protos {
+		out.Header = append(out.Header, np.p.Name())
+		res, err := sim.Run(np.p, campaign(opts, n, np.lambda))
+		if err != nil {
+			return out, err
+		}
+		cells[0] = append(cells[0], d0(res.EmptySlots.Mean))
+		cells[1] = append(cells[1], d0(res.SingletonSlots.Mean))
+		cells[2] = append(cells[2], d0(res.CollisionSlots.Mean))
+		cells[3] = append(cells[3], d0(res.TotalSlots.Mean))
+		opts.progressf("table2: %s done\n", np.p.Name())
+	}
+	out.Rows = cells
+	return out, nil
+}
+
+// Table3 reproduces Table III: the number of tag IDs recovered from
+// collision slots by FCAT-2/3/4.
+func Table3(opts Options) (Rendered, error) {
+	opts = opts.withDefaults(sim.DefaultRuns)
+	sizes := opts.Sizes
+	if len(sizes) == 0 {
+		sizes = []int{1000, 5000, 10000, 15000, 20000}
+	}
+	out := Rendered{
+		ID:     "table3",
+		Title:  "Tag IDs resolved from collision slots",
+		Header: []string{"N", "FCAT-2", "FCAT-3", "FCAT-4"},
+		Notes:  []string{fmt.Sprintf("mean of %d runs per cell; seed %d", opts.Runs, opts.Seed)},
+	}
+	for _, n := range sizes {
+		row := []string{strconv.Itoa(n)}
+		for _, lambda := range []int{2, 3, 4} {
+			p := fcat.New(fcat.Config{Lambda: lambda})
+			res, err := sim.Run(p, campaign(opts, n, lambda))
+			if err != nil {
+				return out, err
+			}
+			row = append(row, d0(res.ResolvedIDs.Mean))
+		}
+		out.Rows = append(out.Rows, row)
+		opts.progressf("table3: N=%d done\n", n)
+	}
+	return out, nil
+}
+
+// Table4 reproduces Table IV: for each lambda, the optimal omega found by
+// sweeping (with its maximum throughput) against the computed omega
+// (lambda!)^(1/lambda) (with FCAT's throughput at that omega).
+func Table4(opts Options) (Rendered, error) {
+	opts = opts.withDefaults(30)
+	n := opts.sizeOr(10000)
+	out := Rendered{
+		ID:    "table4",
+		Title: fmt.Sprintf("Swept-optimal omega vs computed omega (N = %d)", n),
+		Header: []string{
+			"lambda", "optimal w", "max tput", "computed w", "FCAT tput",
+		},
+		Notes: []string{
+			fmt.Sprintf("sweep step 0.05 over [0.7, 3.2]; %d runs per point; seed %d", opts.Runs, opts.Seed),
+		},
+	}
+	for _, lambda := range []int{2, 3, 4} {
+		bestOmega, bestTput := 0.0, -1.0
+		for w := 0.70; w <= 3.201; w += 0.05 {
+			tput, err := fcatThroughput(opts, n, lambda, w, 0)
+			if err != nil {
+				return out, err
+			}
+			if tput > bestTput {
+				bestTput, bestOmega = tput, w
+			}
+		}
+		computed := analysis.OptimalOmega(lambda)
+		computedTput, err := fcatThroughput(opts, n, lambda, computed, 0)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, []string{
+			strconv.Itoa(lambda), f2(bestOmega), f1(bestTput), f2(computed), f1(computedTput),
+		})
+		opts.progressf("table4: lambda=%d done (best w=%.2f)\n", lambda, bestOmega)
+	}
+	return out, nil
+}
+
+// fcatThroughput measures FCAT's mean throughput at an explicit omega (and
+// frame size, 0 = default) over the campaign defined by opts.
+func fcatThroughput(opts Options, tags, lambda int, omega float64, frameSize int) (float64, error) {
+	p := fcat.New(fcat.Config{Lambda: lambda, Omega: omega, FrameSize: frameSize})
+	res, err := sim.Run(p, campaign(opts, tags, lambda))
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput.Mean, nil
+}

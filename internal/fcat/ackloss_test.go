@@ -1,0 +1,47 @@
+package fcat
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+func TestAckLossStillCompletes(t *testing.T) {
+	for _, pLoss := range []float64{0.1, 0.3, 0.6} {
+		e := env(30, 500, channel.AbstractConfig{Lambda: 2})
+		e.PAckLoss = pLoss
+		m := mustRun(t, Config{Lambda: 2}, e)
+		if m.Identified() != 500 {
+			t.Fatalf("PAckLoss=%v: identified %d of 500", pLoss, m.Identified())
+		}
+	}
+}
+
+func TestAckLossNoDoubleCounting(t *testing.T) {
+	e := env(31, 400, channel.AbstractConfig{Lambda: 2})
+	e.PAckLoss = 0.5
+	counts := make(map[tagid.ID]int)
+	e.OnIdentified = func(id tagid.ID, _ bool) { counts[id]++ }
+	m := mustRun(t, Config{Lambda: 2}, e)
+	if m.Identified() != 400 {
+		t.Fatalf("identified %d", m.Identified())
+	}
+	for id, c := range counts {
+		if c != 1 {
+			t.Fatalf("tag %v counted %d times", id, c)
+		}
+	}
+}
+
+func TestAckLossCostsSlots(t *testing.T) {
+	clean := mustRun(t, Config{Lambda: 2}, env(32, 1000, channel.AbstractConfig{Lambda: 2}))
+	lossy := func() int {
+		e := env(32, 1000, channel.AbstractConfig{Lambda: 2})
+		e.PAckLoss = 0.5
+		return mustRun(t, Config{Lambda: 2}, e).TotalSlots()
+	}()
+	if lossy <= clean.TotalSlots() {
+		t.Fatalf("losing half the acks should cost slots: %d vs %d", lossy, clean.TotalSlots())
+	}
+}

@@ -1,0 +1,218 @@
+// Package inventory coordinates whole-site RFID inventory: the paper's
+// motivating scenario (Sections I and II-A). A reader whose range cannot
+// cover the deployment region performs the reading process at several
+// positions and removes the duplicate IDs of tags covered by multiple
+// readings; the site inventory is the union.
+package inventory
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// Position is a reader location on the floor, in metres.
+type Position struct {
+	X, Y float64
+}
+
+// Item is a tagged object at a fixed location (tags are static during
+// reading; Section IV-E).
+type Item struct {
+	ID   tagid.ID
+	X, Y float64
+}
+
+// Field is the set of tagged items on a site.
+type Field struct {
+	items []Item
+}
+
+// NewField builds a field from explicit items.
+func NewField(items []Item) *Field {
+	f := &Field{items: make([]Item, len(items))}
+	copy(f.items, items)
+	return f
+}
+
+// RandomField places n freshly-generated tags uniformly over a side x side
+// square.
+func RandomField(r *rng.Source, n int, side float64) *Field {
+	ids := tagid.Population(r, n)
+	items := make([]Item, n)
+	for i, id := range ids {
+		items[i] = Item{ID: id, X: side * r.Float64(), Y: side * r.Float64()}
+	}
+	return &Field{items: items}
+}
+
+// Size returns the number of items on the field.
+func (f *Field) Size() int { return len(f.items) }
+
+// InRange returns the IDs of the items within radius of the position.
+func (f *Field) InRange(pos Position, radius float64) []tagid.ID {
+	var ids []tagid.ID
+	for _, it := range f.items {
+		if math.Hypot(it.X-pos.X, it.Y-pos.Y) <= radius {
+			ids = append(ids, it.ID)
+		}
+	}
+	return ids
+}
+
+// PlanGrid returns reader positions on a square grid that covers a
+// side x side floor with circles of the given radius: grid pitch
+// radius*sqrt(2) so every point lies within some circle.
+func PlanGrid(side, radius float64) []Position {
+	if side <= 0 || radius <= 0 {
+		return nil
+	}
+	pitch := radius * math.Sqrt2
+	per := int(math.Ceil(side / pitch))
+	if per < 1 {
+		per = 1
+	}
+	step := side / float64(per)
+	var out []Position
+	for i := 0; i < per; i++ {
+		for j := 0; j < per; j++ {
+			out = append(out, Position{
+				X: (float64(i) + 0.5) * step,
+				Y: (float64(j) + 0.5) * step,
+			})
+		}
+	}
+	return out
+}
+
+// Config parameterises a whole-site read.
+type Config struct {
+	// Protocol performs the per-position identification (required).
+	Protocol protocol.Protocol
+	// Positions are the reader locations (required, at least one).
+	Positions []Position
+	// Radius is the reader's communication range in metres (required).
+	Radius float64
+	// RNG drives the randomness (required).
+	RNG *rng.Source
+	// NewChannel builds the channel for each position; nil selects the
+	// abstract model with Lambda.
+	NewChannel func(r *rng.Source) channel.Channel
+	// Lambda is the default abstract channel's ANC capability (default 2).
+	Lambda int
+	// Timing is the air interface (zero value selects Philips I-Code).
+	Timing air.Timing
+}
+
+// PositionReport is the outcome of reading at one position.
+type PositionReport struct {
+	Position   Position
+	InRange    int
+	NewIDs     int
+	Duplicates int
+	Metrics    protocol.Metrics
+}
+
+// Report is the outcome of a whole-site read.
+type Report struct {
+	Positions []PositionReport
+	// Inventory is the union of collected IDs.
+	Inventory map[tagid.ID]struct{}
+	// Missed counts items outside every position's range.
+	Missed int
+	// Duplicates counts reads of IDs already collected at an earlier
+	// position (removed from the inventory union).
+	Duplicates int
+	// OnAir is the total air time over all positions.
+	OnAir time.Duration
+}
+
+// Missing returns the expected IDs absent from the collected inventory,
+// in input order — the paper's audit use case: a non-empty result flags
+// administration error, vendor fraud or theft (Section I).
+func (r Report) Missing(expected []tagid.ID) []tagid.ID {
+	var missing []tagid.ID
+	for _, id := range expected {
+		if _, ok := r.Inventory[id]; !ok {
+			missing = append(missing, id)
+		}
+	}
+	return missing
+}
+
+// Coverage returns the fraction of the field collected.
+func (r Report) Coverage(field *Field) float64 {
+	if field.Size() == 0 {
+		return 1
+	}
+	return float64(len(r.Inventory)) / float64(field.Size())
+}
+
+// Read performs the whole-site inventory: one protocol run per position,
+// with duplicate removal across positions.
+func Read(field *Field, cfg Config) (Report, error) {
+	if cfg.Protocol == nil {
+		return Report{}, fmt.Errorf("inventory: Config.Protocol is required")
+	}
+	if len(cfg.Positions) == 0 {
+		return Report{}, fmt.Errorf("inventory: at least one position is required")
+	}
+	if cfg.Radius <= 0 {
+		return Report{}, fmt.Errorf("inventory: Config.Radius must be positive")
+	}
+	if cfg.RNG == nil {
+		return Report{}, fmt.Errorf("inventory: Config.RNG is required")
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 2
+	}
+	if cfg.Timing == (air.Timing{}) {
+		cfg.Timing = air.ICode()
+	}
+
+	rep := Report{Inventory: make(map[tagid.ID]struct{}, field.Size())}
+	for _, pos := range cfg.Positions {
+		inRange := field.InRange(pos, cfg.Radius)
+		pr := PositionReport{Position: pos, InRange: len(inRange)}
+
+		chanRNG := cfg.RNG.Split()
+		ch := cfg.newChannel(chanRNG)
+		env := &protocol.Env{
+			RNG:     cfg.RNG.Split(),
+			Tags:    inRange,
+			Channel: ch,
+			Timing:  cfg.Timing,
+			OnIdentified: func(id tagid.ID, _ bool) {
+				if _, seen := rep.Inventory[id]; seen {
+					pr.Duplicates++
+					return
+				}
+				rep.Inventory[id] = struct{}{}
+				pr.NewIDs++
+			},
+		}
+		m, err := cfg.Protocol.Run(env)
+		if err != nil {
+			return rep, fmt.Errorf("inventory: position (%.0f,%.0f): %w", pos.X, pos.Y, err)
+		}
+		pr.Metrics = m
+		rep.OnAir += m.OnAir
+		rep.Duplicates += pr.Duplicates
+		rep.Positions = append(rep.Positions, pr)
+	}
+	rep.Missed = field.Size() - len(rep.Inventory)
+	return rep, nil
+}
+
+func (c Config) newChannel(r *rng.Source) channel.Channel {
+	if c.NewChannel != nil {
+		return c.NewChannel(r)
+	}
+	return channel.NewAbstract(channel.AbstractConfig{Lambda: c.Lambda}, r)
+}

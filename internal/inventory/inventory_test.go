@@ -1,0 +1,167 @@
+package inventory
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/fcat"
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+func TestRandomField(t *testing.T) {
+	r := rng.New(1)
+	f := RandomField(r, 500, 100)
+	if f.Size() != 500 {
+		t.Fatalf("size %d", f.Size())
+	}
+	for _, it := range f.items {
+		if it.X < 0 || it.X > 100 || it.Y < 0 || it.Y > 100 {
+			t.Fatalf("item outside the floor: %+v", it)
+		}
+	}
+}
+
+func TestInRange(t *testing.T) {
+	f := NewField([]Item{
+		{ID: tagid.New(1, 1), X: 0, Y: 0},
+		{ID: tagid.New(2, 2), X: 3, Y: 4}, // distance 5
+		{ID: tagid.New(3, 3), X: 30, Y: 40},
+	})
+	got := f.InRange(Position{0, 0}, 5)
+	if len(got) != 2 {
+		t.Fatalf("InRange found %d items, want 2 (boundary inclusive)", len(got))
+	}
+}
+
+func TestPlanGridCoversFloor(t *testing.T) {
+	const side, radius = 100.0, 30.0
+	positions := PlanGrid(side, radius)
+	if len(positions) == 0 {
+		t.Fatal("no positions planned")
+	}
+	// Every floor point (sampled on a fine grid) must be within radius of
+	// some position.
+	for x := 0.0; x <= side; x += 5 {
+		for y := 0.0; y <= side; y += 5 {
+			covered := false
+			for _, p := range positions {
+				if math.Hypot(p.X-x, p.Y-y) <= radius {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("point (%v,%v) not covered by %d positions", x, y, len(positions))
+			}
+		}
+	}
+}
+
+func TestPlanGridDegenerate(t *testing.T) {
+	if PlanGrid(0, 10) != nil || PlanGrid(10, 0) != nil {
+		t.Fatal("degenerate plans should be nil")
+	}
+	if got := PlanGrid(10, 100); len(got) != 1 {
+		t.Fatalf("huge radius should need a single position, got %d", len(got))
+	}
+}
+
+func TestReadFullCoverage(t *testing.T) {
+	r := rng.New(2)
+	field := RandomField(r, 2000, 100)
+	rep, err := Read(field, Config{
+		Protocol:  fcat.New(fcat.Config{Lambda: 2}),
+		Positions: PlanGrid(100, 45),
+		Radius:    45,
+		RNG:       r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage(field) != 1 {
+		t.Fatalf("coverage %.3f with a covering plan (missed %d)", rep.Coverage(field), rep.Missed)
+	}
+	if rep.Duplicates == 0 {
+		t.Fatal("overlapping positions must produce duplicate reads")
+	}
+	if rep.OnAir <= 0 {
+		t.Fatal("no air time accumulated")
+	}
+	// Per-position accounting must tie out.
+	totalNew := 0
+	for _, pr := range rep.Positions {
+		if pr.NewIDs+pr.Duplicates != pr.Metrics.Identified() {
+			t.Fatalf("position accounting inconsistent: %+v", pr)
+		}
+		totalNew += pr.NewIDs
+	}
+	if totalNew != len(rep.Inventory) {
+		t.Fatalf("new-ID sum %d != inventory %d", totalNew, len(rep.Inventory))
+	}
+}
+
+func TestReadPartialCoverage(t *testing.T) {
+	r := rng.New(3)
+	field := RandomField(r, 1000, 100)
+	rep, err := Read(field, Config{
+		Protocol:  fcat.New(fcat.Config{Lambda: 2}),
+		Positions: []Position{{25, 25}},
+		Radius:    30,
+		RNG:       r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missed == 0 {
+		t.Fatal("one corner position cannot cover the floor")
+	}
+	if got := rep.Coverage(field); got <= 0 || got >= 1 {
+		t.Fatalf("coverage %.3f should be partial", got)
+	}
+}
+
+func TestReadValidation(t *testing.T) {
+	r := rng.New(4)
+	field := RandomField(r, 10, 10)
+	proto := fcat.New(fcat.Config{Lambda: 2})
+	cases := []Config{
+		{Positions: []Position{{0, 0}}, Radius: 5, RNG: r},          // no protocol
+		{Protocol: proto, Radius: 5, RNG: r},                        // no positions
+		{Protocol: proto, Positions: []Position{{0, 0}}, RNG: r},    // no radius
+		{Protocol: proto, Positions: []Position{{0, 0}}, Radius: 5}, // no rng
+	}
+	for i, cfg := range cases {
+		if _, err := Read(field, cfg); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestCoverageEmptyField(t *testing.T) {
+	f := NewField(nil)
+	if (Report{}).Coverage(f) != 1 {
+		t.Fatal("empty field is trivially covered")
+	}
+}
+
+func TestReadPropagatesProtocolErrors(t *testing.T) {
+	r := rng.New(5)
+	field := RandomField(r, 50, 10)
+	_, err := Read(field, Config{
+		Protocol:  fcat.New(fcat.Config{Lambda: 2}),
+		Positions: []Position{{5, 5}},
+		Radius:    20,
+		RNG:       r,
+		NewChannel: func(cr *rng.Source) channel.Channel {
+			// Every singleton corrupted: the read can never complete.
+			return channel.NewAbstract(channel.AbstractConfig{
+				Lambda: 2, PCorruptSingleton: 1,
+			}, cr)
+		},
+	})
+	if err == nil {
+		t.Fatal("a hopeless channel should surface the protocol error")
+	}
+}

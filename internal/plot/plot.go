@@ -1,0 +1,99 @@
+// Package plot renders simple ASCII line charts, used by cmd/tables to
+// draw the paper's figures directly in the terminal.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the series into a width x height character grid with
+// axes and a legend. Series with mismatched X/Y lengths are an error.
+func Render(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 20
+	}
+	var (
+		minX, maxX = math.Inf(1), math.Inf(-1)
+		minY, maxY = math.Inf(1), math.Inf(-1)
+		points     int
+	)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("plot: nothing to draw")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			grid[height-1-row][col] = mark
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	yLabelW := 8
+	for r, line := range grid {
+		label := strings.Repeat(" ", yLabelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*.4g", yLabelW, maxY)
+		case height - 1:
+			label = fmt.Sprintf("%*.4g", yLabelW, minY)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%*.4g", yLabelW, (minY+maxY)/2)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, line); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", yLabelW), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", yLabelW), width/2, minX, width-width/2, maxX); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%s  legend: %s\n\n", strings.Repeat(" ", yLabelW), strings.Join(legend, "   "))
+	return err
+}

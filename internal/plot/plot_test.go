@@ -1,0 +1,79 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var sb strings.Builder
+	err := Render(&sb, "demo", []Series{
+		{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+		{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "* a", "+ b", "legend:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("markers not drawn")
+	}
+}
+
+func TestRenderAxisLabels(t *testing.T) {
+	var sb strings.Builder
+	err := Render(&sb, "t", []Series{{Name: "s", X: []float64{10, 20}, Y: []float64{100, 200}}}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"200", "100", "10", "20"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("axis label %q missing:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(&sb, "t", nil, 40, 10); err == nil {
+		t.Fatal("empty chart should error")
+	}
+	if err := Render(&sb, "t", []Series{{Name: "s", X: []float64{1}, Y: nil}}, 40, 10); err == nil {
+		t.Fatal("mismatched series should error")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	var sb strings.Builder
+	// A single point (zero x and y span) must not divide by zero.
+	if err := Render(&sb, "t", []Series{{Name: "s", X: []float64{5}, Y: []float64{7}}}, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderClampsTinyDimensions(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(&sb, "t", []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(sb.String(), "\n")) < 10 {
+		t.Fatal("tiny dimensions should be clamped to usable defaults")
+	}
+}
+
+func TestManySeriesCycleMarkers(t *testing.T) {
+	var sb strings.Builder
+	series := make([]Series, 8)
+	for i := range series {
+		series[i] = Series{Name: string(rune('a' + i)), X: []float64{0, 1}, Y: []float64{float64(i), float64(i + 1)}}
+	}
+	if err := Render(&sb, "t", series, 40, 12); err != nil {
+		t.Fatal(err)
+	}
+}

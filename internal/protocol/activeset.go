@@ -1,0 +1,75 @@
+package protocol
+
+import (
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// ActiveSet tracks the tags still participating in a probabilistic protocol
+// (those that have not yet received a positive acknowledgement) and draws
+// per-slot transmitter sets under either transmission model.
+type ActiveSet struct {
+	ids []tagid.ID
+	pos map[tagid.ID]int
+}
+
+// NewActiveSet returns a set containing all given tags.
+func NewActiveSet(tags []tagid.ID) *ActiveSet {
+	s := &ActiveSet{
+		ids: make([]tagid.ID, len(tags)),
+		pos: make(map[tagid.ID]int, len(tags)),
+	}
+	copy(s.ids, tags)
+	for i, id := range s.ids {
+		s.pos[id] = i
+	}
+	return s
+}
+
+// Len returns the number of active tags.
+func (s *ActiveSet) Len() int { return len(s.ids) }
+
+// Remove silences a tag (it received its acknowledgement). It reports
+// whether the tag was still active.
+func (s *ActiveSet) Remove(id tagid.ID) bool {
+	i, ok := s.pos[id]
+	if !ok {
+		return false
+	}
+	last := len(s.ids) - 1
+	moved := s.ids[last]
+	s.ids[i] = moved
+	s.pos[moved] = i
+	s.ids = s.ids[:last]
+	delete(s.pos, id)
+	return true
+}
+
+// Transmitters returns the tags that report in the given slot at report
+// probability p, appended to buf (which is reused across slots to avoid
+// allocation). The hash model evaluates H(ID|slot) per tag; the binomial
+// model draws the count and samples distinct tags.
+func (s *ActiveSet) Transmitters(r *rng.Source, model TxModel, slot uint64, p float64, buf []tagid.ID) []tagid.ID {
+	buf = buf[:0]
+	switch model {
+	case TxHash:
+		threshold := tagid.Threshold(p)
+		for _, id := range s.ids {
+			if id.Reports(slot, threshold) {
+				buf = append(buf, id)
+			}
+		}
+	default: // TxBinomial
+		k := r.Binomial(len(s.ids), p)
+		if k == 0 {
+			return buf
+		}
+		if k >= len(s.ids) {
+			return append(buf, s.ids...)
+		}
+		for _, i := range r.SampleDistinct(k, len(s.ids)) {
+			buf = append(buf, s.ids[i])
+		}
+	}
+	return buf
+}

@@ -1,0 +1,172 @@
+// Package protocol defines the types shared by every tag-identification
+// protocol in this module: the simulation environment, the transmission
+// models, the active-tag set, and the run metrics from which the paper's
+// tables are computed.
+package protocol
+
+import (
+	"errors"
+	"time"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// ErrNoProgress is returned when a protocol exceeds its slot budget without
+// identifying every tag; it indicates a livelock (e.g. an over-noisy channel
+// where nothing resolves and report probabilities starve).
+var ErrNoProgress = errors.New("protocol: slot budget exhausted before all tags were identified")
+
+// TxModel selects how per-slot transmitter sets are drawn for the
+// probabilistic protocols (SCAT/FCAT).
+type TxModel int
+
+const (
+	// TxHash evaluates the real per-tag rule: tag transmits in slot i when
+	// H(ID|i) < floor(p*2^l). Exact protocol semantics; O(N) per slot.
+	TxHash TxModel = iota + 1
+	// TxBinomial draws the transmitter count from Binomial(N_active, p) and
+	// picks that many distinct active tags uniformly. Distributionally
+	// identical to TxHash for uniformly random IDs (property-tested), and
+	// O(omega) per slot, which makes 20000-tag Monte-Carlo sweeps cheap.
+	TxBinomial
+)
+
+// Env is the environment one protocol run executes in.
+type Env struct {
+	// RNG drives every random choice of the run.
+	RNG *rng.Source
+	// Tags is the population to identify.
+	Tags []tagid.ID
+	// Channel models the report segment and the ANC decoder.
+	Channel channel.Channel
+	// Timing is the air-interface timing model.
+	Timing air.Timing
+	// TxModel selects the transmitter-set model (defaults to TxBinomial).
+	TxModel TxModel
+	// MaxSlots bounds the run; 0 means an automatic budget of
+	// 200*N + 10000 slots (the paper observes well-tuned runs use < 3N).
+	MaxSlots int
+	// OnIdentified, when non-nil, is called once for each tag ID the
+	// reader collects, with viaResolution true when the ID was recovered
+	// from a collision record rather than read from a singleton slot.
+	OnIdentified func(id tagid.ID, viaResolution bool)
+	// OnSlot, when non-nil, receives one SlotEvent per completed report
+	// segment — the hook behind progress traces and visualisations.
+	OnSlot func(SlotEvent)
+	// PAckLoss is the probability that a reader acknowledgement fails to
+	// reach its tag. The tag then keeps transmitting until a later
+	// acknowledgement gets through, and the reader discards the duplicate
+	// reads — the retransmit-until-confirmed behaviour of Section IV-E.
+	// Supported by the ALOHA-family protocols (SCAT, FCAT, DFSA, EDFSA,
+	// CRDSA); the tree protocols use a different feedback structure and
+	// ignore it.
+	PAckLoss float64
+}
+
+// AckDelivered draws whether one acknowledgement reaches its tag.
+func (e *Env) AckDelivered() bool {
+	return e.PAckLoss <= 0 || !e.RNG.Bool(e.PAckLoss)
+}
+
+// SlotEvent describes one completed report segment, for observers that
+// trace or visualise a run's progress.
+type SlotEvent struct {
+	// Seq is the 0-based sequence number of the report segment within the
+	// run (all protocols count uniformly, frames included).
+	Seq int
+	// Kind is the observed outcome.
+	Kind channel.Kind
+	// Transmitters is the number of tags that reported (simulation ground
+	// truth; a real reader knows it only for 0 and 1).
+	Transmitters int
+	// Identified is the cumulative number of unique IDs collected after
+	// this slot's acknowledgement segment.
+	Identified int
+}
+
+// NotifySlot invokes the OnSlot callback if one is set.
+func (e *Env) NotifySlot(ev SlotEvent) {
+	if e.OnSlot != nil {
+		e.OnSlot(ev)
+	}
+}
+
+// NotifyIdentified invokes the OnIdentified callback if one is set.
+func (e *Env) NotifyIdentified(id tagid.ID, viaResolution bool) {
+	if e.OnIdentified != nil {
+		e.OnIdentified(id, viaResolution)
+	}
+}
+
+// SlotBudget returns the effective slot bound for the run.
+func (e *Env) SlotBudget() int {
+	if e.MaxSlots > 0 {
+		return e.MaxSlots
+	}
+	return 200*len(e.Tags) + 10000
+}
+
+// Protocol is a complete tag-identification protocol.
+type Protocol interface {
+	// Name returns the display name used in tables (e.g. "FCAT-2").
+	Name() string
+	// Run identifies every tag in the environment and returns the run's
+	// metrics. Implementations must be deterministic given env.RNG.
+	Run(env *Env) (Metrics, error)
+}
+
+// Metrics aggregates the observable outcomes of one protocol run. The
+// paper's Tables I-IV and Figures 5-6 are all functions of these fields.
+type Metrics struct {
+	// Tags is the population size.
+	Tags int
+	// EmptySlots, SingletonSlots and CollisionSlots break down the report
+	// segments by outcome (Table II).
+	EmptySlots     int
+	SingletonSlots int
+	CollisionSlots int
+	// DirectIDs counts tags identified from their own singleton slot;
+	// ResolvedIDs counts tags recovered from collision records via ANC
+	// (Table III).
+	DirectIDs   int
+	ResolvedIDs int
+	// Frames counts protocol frames (0 for unframed protocols).
+	Frames int
+	// TagTransmissions counts every individual tag transmission (each
+	// costs the tag transmit energy; tree protocols make tags answer at
+	// every tree level, ALOHA-family tags answer a few times in total —
+	// the energy axis studied by the paper's reference [14]).
+	TagTransmissions int
+	// OnAir is the simulated air time of the whole run, including slot
+	// guards, advertisements and acknowledgement payloads.
+	OnAir time.Duration
+}
+
+// TransmissionsPerTag returns the mean number of times each tag keyed its
+// transmitter during the run.
+func (m Metrics) TransmissionsPerTag() float64 {
+	if m.Tags == 0 {
+		return 0
+	}
+	return float64(m.TagTransmissions) / float64(m.Tags)
+}
+
+// TotalSlots returns the number of report segments used.
+func (m Metrics) TotalSlots() int {
+	return m.EmptySlots + m.SingletonSlots + m.CollisionSlots
+}
+
+// Identified returns the number of tags the reader collected.
+func (m Metrics) Identified() int { return m.DirectIDs + m.ResolvedIDs }
+
+// Throughput returns the reading throughput in tag IDs per second: the
+// paper's headline metric (Section VI-A).
+func (m Metrics) Throughput() float64 {
+	if m.OnAir <= 0 {
+		return 0
+	}
+	return float64(m.Identified()) / m.OnAir.Seconds()
+}

@@ -1,0 +1,198 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+func TestActiveSetRemove(t *testing.T) {
+	r := rng.New(1)
+	tags := tagid.Population(r, 10)
+	s := NewActiveSet(tags)
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Remove(tags[3]) {
+		t.Fatal("Remove of a member failed")
+	}
+	if s.Remove(tags[3]) {
+		t.Fatal("second Remove of the same tag succeeded")
+	}
+	if s.Len() != 9 {
+		t.Fatalf("Len = %d after removal", s.Len())
+	}
+	if s.Remove(tagid.Random(r)) {
+		t.Fatal("Remove of a non-member succeeded")
+	}
+}
+
+func TestActiveSetRemoveAll(t *testing.T) {
+	r := rng.New(2)
+	tags := tagid.Population(r, 100)
+	s := NewActiveSet(tags)
+	for _, id := range tags {
+		if !s.Remove(id) {
+			t.Fatal("member missing")
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after removing all", s.Len())
+	}
+}
+
+func TestTransmittersBinomialStats(t *testing.T) {
+	r := rng.New(3)
+	tags := tagid.Population(r, 1000)
+	s := NewActiveSet(tags)
+	const p = 0.002
+	var total int
+	const slots = 20000
+	buf := make([]tagid.ID, 0, 16)
+	for i := 0; i < slots; i++ {
+		buf = s.Transmitters(r, TxBinomial, uint64(i), p, buf)
+		total += len(buf)
+	}
+	mean := float64(total) / slots
+	want := 1000 * p
+	if math.Abs(mean-want) > 0.05 {
+		t.Errorf("binomial transmitter mean %v, want %v", mean, want)
+	}
+}
+
+func TestTransmittersHashStats(t *testing.T) {
+	r := rng.New(4)
+	tags := tagid.Population(r, 1000)
+	s := NewActiveSet(tags)
+	const p = 0.002
+	var total int
+	const slots = 20000
+	buf := make([]tagid.ID, 0, 16)
+	for i := 0; i < slots; i++ {
+		buf = s.Transmitters(r, TxHash, uint64(i), p, buf)
+		total += len(buf)
+	}
+	mean := float64(total) / slots
+	want := 1000 * p
+	if math.Abs(mean-want) > 0.05 {
+		t.Errorf("hash transmitter mean %v, want %v", mean, want)
+	}
+}
+
+func TestTransmittersHashDeterministic(t *testing.T) {
+	// The hash model must select exactly the tags whose report hash passes:
+	// re-evaluating the same slot yields the same set.
+	r := rng.New(5)
+	tags := tagid.Population(r, 200)
+	s := NewActiveSet(tags)
+	a := s.Transmitters(r, TxHash, 17, 0.1, nil)
+	b := s.Transmitters(r, TxHash, 17, 0.1, nil)
+	if len(a) != len(b) {
+		t.Fatalf("hash model not deterministic: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("hash model selected different tags")
+		}
+	}
+}
+
+func TestTransmittersModelsAgreeInDistribution(t *testing.T) {
+	// The binomial fast path must match the hash model's transmitter-count
+	// distribution (mean and variance) — the equivalence DESIGN.md claims.
+	r := rng.New(6)
+	tags := tagid.Population(r, 500)
+	s := NewActiveSet(tags)
+	const p, slots = 0.004, 30000
+	stats := func(model TxModel) (mean, variance float64) {
+		var sum, sumsq float64
+		buf := make([]tagid.ID, 0, 16)
+		for i := 0; i < slots; i++ {
+			buf = s.Transmitters(r, model, uint64(i)+1e6, p, buf)
+			k := float64(len(buf))
+			sum += k
+			sumsq += k * k
+		}
+		mean = sum / slots
+		return mean, sumsq/slots - mean*mean
+	}
+	hm, hv := stats(TxHash)
+	bm, bv := stats(TxBinomial)
+	if math.Abs(hm-bm) > 0.06 {
+		t.Errorf("means differ: hash %v binomial %v", hm, bm)
+	}
+	if math.Abs(hv-bv) > 0.25 {
+		t.Errorf("variances differ: hash %v binomial %v", hv, bv)
+	}
+}
+
+func TestTransmittersProbabilityOne(t *testing.T) {
+	r := rng.New(7)
+	tags := tagid.Population(r, 50)
+	s := NewActiveSet(tags)
+	for _, model := range []TxModel{TxHash, TxBinomial} {
+		got := s.Transmitters(r, model, 1, 1.0, nil)
+		if len(got) != 50 {
+			t.Errorf("model %v: %d transmitters at p=1, want 50", model, len(got))
+		}
+	}
+}
+
+func TestTransmittersProbabilityZero(t *testing.T) {
+	r := rng.New(8)
+	s := NewActiveSet(tagid.Population(r, 50))
+	for _, model := range []TxModel{TxHash, TxBinomial} {
+		if got := s.Transmitters(r, model, 1, 0, nil); len(got) != 0 {
+			t.Errorf("model %v: %d transmitters at p=0", model, len(got))
+		}
+	}
+}
+
+func TestMetricsArithmetic(t *testing.T) {
+	m := Metrics{
+		Tags: 10, EmptySlots: 3, SingletonSlots: 4, CollisionSlots: 5,
+		DirectIDs: 4, ResolvedIDs: 6, OnAir: 2 * time.Second,
+	}
+	if m.TotalSlots() != 12 {
+		t.Errorf("TotalSlots = %d", m.TotalSlots())
+	}
+	if m.Identified() != 10 {
+		t.Errorf("Identified = %d", m.Identified())
+	}
+	if m.Throughput() != 5 {
+		t.Errorf("Throughput = %v, want 5 tags/s", m.Throughput())
+	}
+	if (Metrics{}).Throughput() != 0 {
+		t.Error("zero metrics should have zero throughput")
+	}
+}
+
+func TestSlotBudget(t *testing.T) {
+	e := &Env{Tags: make([]tagid.ID, 100)}
+	if e.SlotBudget() != 200*100+10000 {
+		t.Errorf("auto budget = %d", e.SlotBudget())
+	}
+	e.MaxSlots = 7
+	if e.SlotBudget() != 7 {
+		t.Errorf("explicit budget = %d", e.SlotBudget())
+	}
+}
+
+func TestNotifyIdentified(t *testing.T) {
+	var got []tagid.ID
+	var resolved []bool
+	e := &Env{OnIdentified: func(id tagid.ID, via bool) {
+		got = append(got, id)
+		resolved = append(resolved, via)
+	}}
+	id := tagid.New(1, 2)
+	e.NotifyIdentified(id, true)
+	if len(got) != 1 || got[0] != id || !resolved[0] {
+		t.Fatal("callback not invoked correctly")
+	}
+	// Nil callback must be safe.
+	(&Env{}).NotifyIdentified(id, false)
+}

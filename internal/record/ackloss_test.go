@@ -1,0 +1,62 @@
+package record
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+func TestAddSubtractsKnownMembers(t *testing.T) {
+	// A known retransmitter colliding with one unknown tag resolves the
+	// record the moment it is stored.
+	tags := pop(2)
+	s := NewStore()
+	s.MarkKnown(tags[0])
+	got := s.Add(1, newMix(t, 2, tags...), tags)
+	if len(got) != 1 || got[0].ID != tags[1] || got[0].Slot != 1 {
+		t.Fatalf("Add resolved %v, want the unknown member", got)
+	}
+	if s.Active() != 0 {
+		t.Fatal("instantly-resolved record left active")
+	}
+}
+
+func TestAddAllKnownMembersIsInert(t *testing.T) {
+	tags := pop(2)
+	s := NewStore()
+	s.MarkKnown(tags[0])
+	s.MarkKnown(tags[1])
+	if got := s.Add(1, newMix(t, 2, tags...), tags); len(got) != 0 {
+		t.Fatalf("all-known record yielded %v", got)
+	}
+	if s.Active() != 0 {
+		t.Fatal("all-known record left active")
+	}
+}
+
+func TestAddImmediateResolutionCascades(t *testing.T) {
+	// Record {B,C} is stored first; then a record {A,B} with A known
+	// resolves instantly to B, and the cascade must propagate B into the
+	// earlier record, yielding C.
+	tags := pop(3)
+	a, b, c := tags[0], tags[1], tags[2]
+	s := NewStore()
+	s.Add(1, newMix(t, 2, b, c), []tagid.ID{b, c})
+	s.MarkKnown(a)
+	got := s.Add(2, newMix(t, 2, a, b), []tagid.ID{a, b})
+	if len(got) != 2 || got[0].ID != b || got[1].ID != c {
+		t.Fatalf("cascade from instant resolution = %v, want [B, C]", got)
+	}
+}
+
+func TestOnIdentifiedMarksKnown(t *testing.T) {
+	// After OnIdentified(x), records added later with x as a member have x
+	// pre-subtracted.
+	tags := pop(2)
+	s := NewStore()
+	s.OnIdentified(tags[0])
+	got := s.Add(5, newMix(t, 2, tags...), tags)
+	if len(got) != 1 || got[0].ID != tags[1] {
+		t.Fatalf("retransmitter not subtracted on Add: %v", got)
+	}
+}

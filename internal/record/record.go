@@ -1,0 +1,143 @@
+// Package record implements the reader side of collision-aware tag
+// identification: the store of recorded collision slots and the cascading
+// resolution procedure of the paper's Section IV-B pseudo-code.
+//
+// Whenever the reader learns a tag ID (from a singleton slot or from a
+// previous resolution), it revisits every stored collision record the tag
+// participated in, subtracts the tag's signal, and attempts to decode the
+// residual. Each successful decode yields a new ID which is fed back into
+// the same procedure, so one singleton can unlock a whole chain of records.
+package record
+
+import (
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// Resolved reports one ID recovered from a stored collision record.
+type Resolved struct {
+	// ID is the recovered tag identifier.
+	ID tagid.ID
+	// Slot is the index of the slot whose record resolved; FCAT acknowledges
+	// the recovery by broadcasting this index (Section V-A).
+	Slot uint64
+}
+
+type entry struct {
+	slot     uint64
+	mix      channel.Mixed
+	resolved bool
+}
+
+// Store holds the reader's outstanding collision records, indexed by
+// participant so the resolution cascade touches only relevant records.
+//
+// Under the real protocol the reader finds the records a newly-learned tag
+// participated in by re-evaluating the report hash H(ID|j) against each
+// record's advertised threshold; because the hash also decided the original
+// transmissions, that scan selects exactly the records the tag is in. The
+// member index used here is therefore outcome-identical, just faster.
+type Store struct {
+	byMember map[tagid.ID][]*entry
+	// known records every ID the reader has learned. A tag whose
+	// acknowledgement was lost keeps transmitting (Section IV-E) and lands
+	// in new collision records; its signal is already known, so it is
+	// subtracted on arrival.
+	known  map[tagid.ID]struct{}
+	active int
+	total  int
+}
+
+// NewStore returns an empty record store.
+func NewStore() *Store {
+	return &Store{
+		byMember: make(map[tagid.ID][]*entry),
+		known:    make(map[tagid.ID]struct{}),
+	}
+}
+
+// Add stores the mixed signal of a collision slot. members lists the tags
+// that transmitted in the slot (the ground truth that the report hash
+// reconstructs for the reader). Signals of members the reader has already
+// identified are subtracted immediately, which can resolve the record on
+// the spot; any IDs recovered this way are returned (including cascades).
+func (s *Store) Add(slot uint64, mix channel.Mixed, members []tagid.ID) []Resolved {
+	e := &entry{slot: slot, mix: mix}
+	unknown := 0
+	for _, id := range members {
+		if _, ok := s.known[id]; ok {
+			e.mix.Subtract(id)
+			continue
+		}
+		s.byMember[id] = append(s.byMember[id], e)
+		unknown++
+	}
+	s.total++
+	if y, ok := e.mix.Decode(); ok {
+		// All but one member were already known: the record resolves as it
+		// is stored.
+		e.resolved = true
+		out := []Resolved{{ID: y, Slot: slot}}
+		return append(out, s.OnIdentified(y)...)
+	}
+	if unknown == 0 {
+		// Every member was a retransmitting known tag; nothing new here.
+		e.resolved = true
+		return nil
+	}
+	s.active++
+	return nil
+}
+
+// MarkKnown tells a fresh store that the reader already knows this ID (a
+// retransmitter from an earlier frame whose acknowledgement was lost), so
+// its signal is subtracted from any record it joins.
+func (s *Store) MarkKnown(id tagid.ID) {
+	s.known[id] = struct{}{}
+}
+
+// Active returns the number of unresolved records currently held.
+func (s *Store) Active() int { return s.active }
+
+// Total returns the number of records ever stored.
+func (s *Store) Total() int { return s.total }
+
+// OnIdentified tells the store that the reader has learned id, and runs the
+// resolution cascade: the tag's signal is subtracted from every record it
+// participated in, fully-determined records are decoded, and each recovered
+// ID is processed the same way. It returns the recovered IDs with the slots
+// whose records yielded them, in recovery order.
+func (s *Store) OnIdentified(id tagid.ID) []Resolved {
+	var out []Resolved
+	queue := []tagid.ID{id}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		s.known[x] = struct{}{}
+		entries := s.byMember[x]
+		delete(s.byMember, x)
+		for _, e := range entries {
+			if e.resolved {
+				continue
+			}
+			e.mix.Subtract(x)
+			y, ok := e.mix.Decode()
+			if !ok {
+				continue
+			}
+			e.resolved = true
+			s.active--
+			if _, dup := s.known[y]; dup {
+				// The residual is a signal the reader already knows: two
+				// records in one cascade can strip down to the same tag
+				// (e.g. {A,B}@i and {A,B}@j when A is learned). The second
+				// record is spent, but yields nothing new.
+				continue
+			}
+			s.known[y] = struct{}{}
+			out = append(out, Resolved{ID: y, Slot: e.slot})
+			queue = append(queue, y)
+		}
+	}
+	return out
+}

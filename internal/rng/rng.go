@@ -1,0 +1,255 @@
+// Package rng provides a small, deterministic pseudo-random number source
+// used by every simulation in this module.
+//
+// The protocols and experiments in this repository are Monte-Carlo
+// simulations whose published outputs must be reproducible bit-for-bit from
+// a seed. The standard library's math/rand/v2 would work, but pinning our
+// own generator keeps results stable across Go releases and lets us derive
+// independent child streams for parallel runs.
+//
+// The core generator is xoshiro256** seeded through SplitMix64, the
+// combination recommended by the xoshiro authors.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic pseudo-random number generator. It is not safe
+// for concurrent use; derive one Source per goroutine with Split.
+type Source struct {
+	s [4]uint64
+
+	// Spare normal deviate from the last Box-Muller pair.
+	normSpare    float64
+	hasNormSpare bool
+}
+
+// New returns a Source seeded from seed. Distinct seeds yield streams that
+// are, for simulation purposes, independent.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not be seeded with the all-zero state.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 1
+	}
+	return &src
+}
+
+// Split derives a child Source whose stream is independent of the parent's
+// subsequent output. It is used to hand one generator to each Monte-Carlo
+// run so runs can be reordered or parallelised without changing results.
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xd2b74407b1ce6e93)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform deviate in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	thresh := -n % n
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= thresh {
+			return hi
+		}
+	}
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal deviate (Box-Muller, polar form).
+func (r *Source) NormFloat64() float64 {
+	if r.hasNormSpare {
+		r.hasNormSpare = false
+		return r.normSpare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.normSpare = v * f
+		r.hasNormSpare = true
+		return u * f
+	}
+}
+
+// binomialInversionCutoff bounds the expected work of the sequential-search
+// binomial sampler; above it the normal approximation is indistinguishable
+// for our workloads (collision slots with hundreds of transmitters).
+const binomialInversionCutoff = 32
+
+// Binomial returns a sample from Binomial(n, p).
+//
+// The report probabilities in the RFID protocols keep n*p near the design
+// constant omega (about 1.4-2.2), so the common case is handled by CDF
+// inversion in O(n*p) expected time. For the rare large-mean case (e.g. the
+// estimator bootstrap frames where p is far too high) a clamped normal
+// approximation is used; those slots are deep collisions whichever exact
+// value is drawn, so the approximation does not affect protocol behaviour.
+func (r *Source) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	flip := false
+	if p > 0.5 {
+		// Sample the complement to keep the mean small.
+		p = 1 - p
+		flip = true
+	}
+	var k int
+	mean := float64(n) * p
+	switch {
+	case n <= 16:
+		// Direct Bernoulli counting; cheapest and exact for tiny n.
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+	case mean <= binomialInversionCutoff:
+		k = r.binomialInversion(n, p)
+	default:
+		sd := math.Sqrt(mean * (1 - p))
+		k = int(math.Round(mean + sd*r.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+	}
+	if flip {
+		k = n - k
+	}
+	return k
+}
+
+// binomialInversion walks the binomial CDF from k=0. Requires n*p small
+// enough that (1-p)^n does not underflow (guaranteed by the caller).
+func (r *Source) binomialInversion(n int, p float64) int {
+	q := 1 - p
+	s := p / q
+	pdf := math.Pow(q, float64(n))
+	cdf := pdf
+	u := r.Float64()
+	k := 0
+	for u > cdf && k < n {
+		k++
+		pdf *= s * float64(n-k+1) / float64(k)
+		cdf += pdf
+	}
+	return k
+}
+
+// SampleDistinct returns k distinct integers drawn uniformly from [0, n),
+// in no particular order. It panics if k > n or k < 0.
+func (r *Source) SampleDistinct(k, n int) []int {
+	if k < 0 || k > n {
+		panic("rng: SampleDistinct with k out of range")
+	}
+	if k == 0 {
+		return nil
+	}
+	out := make([]int, 0, k)
+	if k*8 >= n {
+		// Dense case: partial Fisher-Yates over an index array.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		for i := 0; i < k; i++ {
+			j := i + r.Intn(n-i)
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+		return append(out, idx[:k]...)
+	}
+	// Sparse case: rejection sampling against a small set.
+	seen := make(map[int]struct{}, k)
+	for len(out) < k {
+		v := r.Intn(n)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

@@ -1,0 +1,225 @@
+// Package scat implements the Slotted Collision-Aware Tag identification
+// protocol (paper, Section IV).
+//
+// SCAT is the paper's first protocol: every slot begins with an
+// advertisement carrying the slot index and a report probability
+// p_i = omega / N_i, where N_i is the number of tags not yet identified
+// (SCAT assumes the total population N is known from a pre-estimation
+// step). Tags whose report hash passes transmit their ID; the reader
+// decodes singletons directly, records collision slots, and resolves
+// records through analog network coding as constituents become known.
+// IDs recovered from records are acknowledged in full (96 bits) — the
+// overhead FCAT later removes.
+package scat
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+	"github.com/ancrfid/ancrfid/internal/analysis"
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/prestep"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/record"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// Config parameterises SCAT.
+type Config struct {
+	// Lambda is the ANC decoder capability the protocol is tuned for; it
+	// selects the default Omega and appears in the protocol name. It must
+	// match the channel's capability for the tuning to be optimal.
+	Lambda int
+
+	// Omega overrides the report-probability constant omega = N_i * p_i.
+	// Zero selects the optimal (lambda!)^(1/lambda) from Section IV-C.
+	Omega float64
+
+	// KnownN overrides the population size the reader assumes (SCAT's
+	// pre-estimated N). Zero uses the true population size, i.e. a perfect
+	// pre-estimate — unless PreEstimate is set.
+	KnownN int
+
+	// PreEstimate runs the real pre-estimation phase of the paper's
+	// reference [24] (package prestep) to obtain N, spending probe slots
+	// and air time before identification starts. It overrides KnownN.
+	PreEstimate bool
+
+	// PreEstimateConfig tunes the pre-estimation phase (zero values take
+	// the prestep defaults).
+	PreEstimateConfig prestep.Config
+
+	// EmptyProbeAfter is the number of consecutive empty slots after which
+	// the reader probes with p = 1 to test for termination (Section IV-A).
+	// Zero selects the default of 10: at the optimal load an empty slot
+	// has probability ~0.24, so a shorter run fires spurious probes — each
+	// of which makes every outstanding tag transmit at once, wasting a
+	// collision slot and a burst of tag energy.
+	EmptyProbeAfter int
+}
+
+// Protocol is a configured SCAT instance.
+type Protocol struct {
+	cfg Config
+}
+
+var _ protocol.Protocol = (*Protocol)(nil)
+
+// New returns a SCAT instance. Zero config fields take defaults
+// (lambda = 2, the optimal omega, perfect pre-estimate).
+func New(cfg Config) *Protocol {
+	if cfg.Lambda < 1 {
+		cfg.Lambda = 2
+	}
+	if cfg.Omega <= 0 {
+		cfg.Omega = analysis.OptimalOmega(cfg.Lambda)
+	}
+	if cfg.EmptyProbeAfter <= 0 {
+		cfg.EmptyProbeAfter = 10
+	}
+	return &Protocol{cfg: cfg}
+}
+
+// Name implements protocol.Protocol.
+func (p *Protocol) Name() string { return fmt.Sprintf("SCAT-%d", p.cfg.Lambda) }
+
+// Run implements protocol.Protocol.
+func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
+	var (
+		m      = protocol.Metrics{Tags: len(env.Tags)}
+		clock  air.Clock
+		active = protocol.NewActiveSet(env.Tags)
+		store  = record.NewStore()
+		buf    = make([]tagid.ID, 0, 64)
+	)
+	n := p.cfg.KnownN
+	if n <= 0 {
+		n = len(env.Tags)
+	}
+	if p.cfg.PreEstimate {
+		pre, err := prestep.Estimate(env, p.cfg.PreEstimateConfig)
+		if err != nil {
+			m.OnAir = pre.OnAir
+			return m, fmt.Errorf("pre-estimation: %w", err)
+		}
+		n = int(math.Round(pre.Estimate))
+		m.EmptySlots += pre.EmptySlots
+		m.SingletonSlots += pre.SingletonSlots
+		m.CollisionSlots += pre.CollisionSlots
+		clock.Add(pre.OnAir)
+	}
+	budget := env.SlotBudget()
+	consecutiveEmpty := 0
+	consecutiveCollisions := 0
+	seen := make(map[tagid.ID]struct{}, len(env.Tags))
+
+	// countDirect and countResolved record a first-time identification;
+	// duplicates (retransmissions after a lost acknowledgement) are
+	// discarded, as Section IV-E prescribes.
+	countDirect := func(id tagid.ID) {
+		if _, dup := seen[id]; dup {
+			return
+		}
+		seen[id] = struct{}{}
+		m.DirectIDs++
+		env.NotifyIdentified(id, false)
+	}
+	countResolved := func(res record.Resolved) {
+		if _, dup := seen[res.ID]; dup {
+			return
+		}
+		seen[res.ID] = struct{}{}
+		m.ResolvedIDs++
+		env.NotifyIdentified(res.ID, true)
+		// SCAT broadcasts each recovered ID in full so the tag stops
+		// participating (Section IV-A).
+		clock.Add(env.Timing.ResolvedIDAck())
+	}
+
+	for slot := uint64(0); ; slot++ {
+		if int(slot) >= budget {
+			m.OnAir = clock.Elapsed()
+			return m, protocol.ErrNoProgress
+		}
+
+		remaining := n - m.Identified()
+		// Termination: after enough consecutive empty slots (or once the
+		// reader believes no tag is left) probe with p = 1; a further empty
+		// slot proves the population is exhausted.
+		probe := remaining <= 0 || consecutiveEmpty >= p.cfg.EmptyProbeAfter
+		reportProb := 1.0
+		if !probe {
+			reportProb = p.cfg.Omega / float64(remaining)
+			if reportProb > 1 {
+				reportProb = 1
+			}
+		}
+
+		clock.Add(env.Timing.SlotAdvertisement() + env.Timing.Slot())
+		buf = active.Transmitters(env.RNG, env.TxModel, slot, reportProb, buf)
+		obs := env.Channel.Observe(buf)
+
+		switch obs.Kind {
+		case channel.Empty:
+			m.EmptySlots++
+			if probe {
+				m.OnAir = clock.Elapsed()
+				return m, nil
+			}
+			consecutiveEmpty++
+			consecutiveCollisions = 0
+		case channel.Singleton:
+			m.SingletonSlots++
+			consecutiveEmpty = 0
+			consecutiveCollisions = 0
+			countDirect(obs.ID)
+			if env.AckDelivered() {
+				active.Remove(obs.ID)
+			}
+			for _, res := range store.OnIdentified(obs.ID) {
+				countResolved(res)
+				if env.AckDelivered() {
+					active.Remove(res.ID)
+				}
+			}
+		case channel.Collision:
+			m.CollisionSlots++
+			consecutiveEmpty = 0
+			consecutiveCollisions++
+			// Storing the record can resolve it immediately when all but
+			// one member are known retransmitters.
+			for _, res := range store.Add(slot, obs.Mix, buf) {
+				countResolved(res)
+				if env.AckDelivered() {
+					active.Remove(res.ID)
+				}
+			}
+			if probe && remaining <= 0 {
+				// The pre-estimate undershot: a p=1 probe collided, so tags
+				// remain. Raise the reader's belief past the identified
+				// count to resume normal operation.
+				n = m.Identified() + 2
+			}
+			if consecutiveCollisions >= 25 {
+				// At the design load a collision happens with probability
+				// ~0.41, so 25 in a row (~2e-10) only occur when the
+				// pre-estimate undershoots badly and p is far too high.
+				// Double the believed deficit to recover.
+				deficit := n - m.Identified()
+				if deficit < 1 {
+					deficit = 1
+				}
+				n = m.Identified() + 2*deficit
+				consecutiveCollisions = 0
+			}
+		}
+		m.TagTransmissions += len(buf)
+		env.NotifySlot(protocol.SlotEvent{
+			Seq:          m.TotalSlots() - 1,
+			Kind:         obs.Kind,
+			Transmitters: len(buf),
+			Identified:   m.Identified(),
+		})
+	}
+}

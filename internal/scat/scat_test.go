@@ -1,0 +1,233 @@
+package scat
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+func env(seed uint64, tags int, cfg channel.AbstractConfig) *protocol.Env {
+	r := rng.New(seed)
+	return &protocol.Env{
+		RNG:     r,
+		Tags:    tagid.Population(r, tags),
+		Channel: channel.NewAbstract(cfg, r),
+		Timing:  air.ICode(),
+		TxModel: protocol.TxBinomial,
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := New(Config{Lambda: 3}).Name(); got != "SCAT-3" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := New(Config{}).Name(); got != "SCAT-2" {
+		t.Errorf("default Name = %q", got)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := New(Config{})
+	if p.cfg.Lambda != 2 || p.cfg.Omega < 1.41 || p.cfg.Omega > 1.42 || p.cfg.EmptyProbeAfter != 10 {
+		t.Fatalf("unexpected defaults: %+v", p.cfg)
+	}
+}
+
+func TestIdentifiesEveryTag(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 500, 3000} {
+		e := env(uint64(n), n, channel.AbstractConfig{Lambda: 2})
+		m, err := New(Config{Lambda: 2}).Run(e)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if m.Identified() != n {
+			t.Fatalf("N=%d: identified %d", n, m.Identified())
+		}
+		if m.TotalSlots() != m.EmptySlots+m.SingletonSlots+m.CollisionSlots {
+			t.Fatal("slot accounting inconsistent")
+		}
+		if m.OnAir <= 0 {
+			t.Fatal("no air time recorded")
+		}
+	}
+}
+
+func TestEmptyPopulation(t *testing.T) {
+	e := env(1, 0, channel.AbstractConfig{Lambda: 2})
+	m, err := New(Config{}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 0 {
+		t.Fatal("identified tags in an empty field")
+	}
+	// Termination needs only the probe sequence.
+	if m.TotalSlots() > 10 {
+		t.Fatalf("%d slots to discover an empty field", m.TotalSlots())
+	}
+}
+
+func TestCollisionResolutionContributes(t *testing.T) {
+	e := env(5, 2000, channel.AbstractConfig{Lambda: 2})
+	m, err := New(Config{Lambda: 2}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the optimal load ~41% of IDs come from collision records.
+	if m.ResolvedIDs < 500 {
+		t.Fatalf("only %d IDs resolved from collisions", m.ResolvedIDs)
+	}
+	if m.DirectIDs+m.ResolvedIDs != 2000 {
+		t.Fatal("direct+resolved != N")
+	}
+}
+
+func TestKnownNUnderestimateRecovers(t *testing.T) {
+	// The reader believes there are only 100 tags but 400 are present; the
+	// p=1 probe discovers the shortfall and the run still completes.
+	e := env(6, 400, channel.AbstractConfig{Lambda: 2})
+	m, err := New(Config{Lambda: 2, KnownN: 100}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 400 {
+		t.Fatalf("identified %d of 400", m.Identified())
+	}
+}
+
+func TestKnownNOverestimate(t *testing.T) {
+	e := env(7, 100, channel.AbstractConfig{Lambda: 2})
+	m, err := New(Config{Lambda: 2, KnownN: 400}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 100 {
+		t.Fatalf("identified %d of 100", m.Identified())
+	}
+}
+
+func TestHashTransmissionModel(t *testing.T) {
+	e := env(8, 300, channel.AbstractConfig{Lambda: 2})
+	e.TxModel = protocol.TxHash
+	m, err := New(Config{Lambda: 2}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 300 {
+		t.Fatalf("hash model identified %d of 300", m.Identified())
+	}
+}
+
+func TestUnresolvableChannelStillCompletes(t *testing.T) {
+	// With every record spoiled SCAT degenerates to pure ALOHA but must
+	// still read every tag (Section IV-E).
+	e := env(9, 500, channel.AbstractConfig{Lambda: 2, PUnresolvable: 1})
+	m, err := New(Config{Lambda: 2}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 500 || m.ResolvedIDs != 0 {
+		t.Fatalf("identified=%d resolved=%d", m.Identified(), m.ResolvedIDs)
+	}
+}
+
+func TestCorruptionRetries(t *testing.T) {
+	// 20% of singletons are corrupted; affected tags retransmit until read.
+	e := env(10, 300, channel.AbstractConfig{Lambda: 2, PCorruptSingleton: 0.2})
+	m, err := New(Config{Lambda: 2}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 300 {
+		t.Fatalf("identified %d of 300 under corruption", m.Identified())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() protocol.Metrics {
+		e := env(11, 800, channel.AbstractConfig{Lambda: 2})
+		m, err := New(Config{Lambda: 2}).Run(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different metrics:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPreEstimationPhase(t *testing.T) {
+	// With the real pre-step of reference [24] instead of an oracle N,
+	// SCAT still identifies everyone and pays visible probe overhead.
+	e := env(20, 2000, channel.AbstractConfig{Lambda: 2})
+	withPre, err := New(Config{Lambda: 2, PreEstimate: true}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPre.Identified() != 2000 {
+		t.Fatalf("identified %d of 2000 with pre-estimation", withPre.Identified())
+	}
+	e2 := env(20, 2000, channel.AbstractConfig{Lambda: 2})
+	oracle, err := New(Config{Lambda: 2}).Run(e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPre.TotalSlots() <= oracle.TotalSlots() {
+		t.Fatalf("pre-estimation should cost probe slots: %d vs oracle %d",
+			withPre.TotalSlots(), oracle.TotalSlots())
+	}
+	// The overhead must stay modest (a handful of 64-slot probe frames).
+	if withPre.TotalSlots() > oracle.TotalSlots()+1500 {
+		t.Fatalf("pre-estimation overhead too large: %d vs %d",
+			withPre.TotalSlots(), oracle.TotalSlots())
+	}
+}
+
+func TestSCATPaysPerSlotAdvertisement(t *testing.T) {
+	// SCAT's air time must exceed slots * slot duration by the per-slot
+	// advertisement cost.
+	e := env(12, 500, channel.AbstractConfig{Lambda: 2})
+	m, err := New(Config{Lambda: 2}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := air.ICode()
+	bareSlots := time.Duration(m.TotalSlots()) * tm.Slot()
+	minAds := time.Duration(m.TotalSlots()) * tm.SlotAdvertisement()
+	if m.OnAir < bareSlots+minAds {
+		t.Fatalf("air time %v does not include per-slot advertisements (>= %v)", m.OnAir, bareSlots+minAds)
+	}
+}
+
+func TestAckLossStillCompletes(t *testing.T) {
+	e := env(30, 400, channel.AbstractConfig{Lambda: 2})
+	e.PAckLoss = 0.4
+	m, err := New(Config{Lambda: 2}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 400 {
+		t.Fatalf("identified %d of 400 under ack loss", m.Identified())
+	}
+}
+
+func TestAckLossNoDoubleCounting(t *testing.T) {
+	e := env(31, 300, channel.AbstractConfig{Lambda: 2})
+	e.PAckLoss = 0.5
+	counts := make(map[tagid.ID]int)
+	e.OnIdentified = func(id tagid.ID, _ bool) { counts[id]++ }
+	if _, err := New(Config{Lambda: 2}).Run(e); err != nil {
+		t.Fatal(err)
+	}
+	for id, c := range counts {
+		if c != 1 {
+			t.Fatalf("tag %v counted %d times", id, c)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+func TestEstimateGainAndOffsetClean(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 10; i++ {
+		id := tagid.Random(r)
+		ref := ModulateID(id, spb)
+		trueGain := cmplx.Rect(0.4+r.Float64(), 2*math.Pi*r.Float64())
+		trueOffset := (2*r.Float64() - 1) * maxOffsetSearch(spb) * 0.8
+		rx := Scale(ApplyFrequencyOffset(ref, trueOffset), trueGain)
+
+		gain, offset := EstimateGainAndOffset(rx, ref, spb)
+		if math.Abs(offset-trueOffset) > 2e-4 {
+			t.Fatalf("offset estimate %v, want %v", offset, trueOffset)
+		}
+		if cmplx.Abs(gain-trueGain) > 0.02*cmplx.Abs(trueGain)+1e-3 {
+			t.Fatalf("gain estimate %v, want %v", gain, trueGain)
+		}
+	}
+}
+
+func TestEstimateGainAndOffsetDegenerate(t *testing.T) {
+	if g, dw := EstimateGainAndOffset(nil, nil, spb); g != 0 || dw != 0 {
+		t.Fatal("empty inputs should return zeros")
+	}
+	if g, _ := EstimateGainAndOffset(make(Waveform, 3), make(Waveform, 5), spb); g != 0 {
+		t.Fatal("mismatched lengths should return zero gain")
+	}
+}
+
+func TestCancelWithOffsetResolvesDriftingCollision(t *testing.T) {
+	// Two tags whose oscillators drift in opposite directions collide; the
+	// offset-aware canceller recovers the hidden ID where the plain LS
+	// canceller fails.
+	r := rng.New(2)
+	resolvedOffsetAware, resolvedPlain := 0, 0
+	const trials = 15
+	for i := 0; i < trials; i++ {
+		a, b := tagid.Random(r), tagid.Random(r)
+		refA := ModulateID(a, spb)
+		dwA := maxOffsetSearch(spb) * 0.6
+		dwB := -maxOffsetSearch(spb) * 0.5
+		mixed := AddNoise(Mix(
+			Scale(ApplyFrequencyOffset(refA, dwA), cmplx.Rect(0.9, 1.0)),
+			Scale(ApplyFrequencyOffset(ModulateID(b, spb), dwB), cmplx.Rect(0.8, -0.7)),
+		), 0.02, r)
+
+		gain, dw := EstimateGainAndOffset(mixed, refA, spb)
+		if got, ok := DecodeID(CancelWithOffset(mixed, refA, gain, dw), spb); ok && got == b {
+			resolvedOffsetAware++
+		}
+
+		gains := EstimateGains(mixed, []Waveform{refA})
+		if got, ok := DecodeID(Cancel(mixed, []Waveform{refA}, gains), spb); ok && got == b {
+			resolvedPlain++
+		}
+	}
+	if resolvedOffsetAware < trials*2/3 {
+		t.Fatalf("offset-aware cancellation resolved only %d/%d", resolvedOffsetAware, trials)
+	}
+	if resolvedOffsetAware <= resolvedPlain {
+		t.Fatalf("offset-aware (%d) should beat plain LS (%d) under drift",
+			resolvedOffsetAware, resolvedPlain)
+	}
+}
+
+func TestOffsetSearchBound(t *testing.T) {
+	// The searchable bound must stay well under MSK's per-sample step so
+	// demodulation of the residual remains reliable.
+	if maxOffsetSearch(spb) >= math.Pi/(2*spb) {
+		t.Fatal("offset search bound exceeds the modulation step")
+	}
+}

@@ -1,0 +1,349 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+const spb = DefaultSamplesPerBit
+
+func TestModulateLength(t *testing.T) {
+	id := tagid.New(1, 2)
+	w := ModulateID(id, spb)
+	if len(w) != 1+tagid.Bits*spb {
+		t.Fatalf("waveform length %d, want %d", len(w), 1+tagid.Bits*spb)
+	}
+}
+
+func TestModulateConstantEnvelope(t *testing.T) {
+	w := ModulateID(tagid.New(3, 4), spb)
+	for i, s := range w {
+		if math.Abs(cmplx.Abs(s)-1) > 1e-9 {
+			t.Fatalf("sample %d magnitude %v, want 1 (MSK is constant-envelope)", i, cmplx.Abs(s))
+		}
+	}
+}
+
+func TestModulatePhaseContinuity(t *testing.T) {
+	// MSK phase advances at most pi/2 per bit, i.e. pi/(2*spb) per sample.
+	w := ModulateID(tagid.New(5, 6), spb)
+	maxStep := math.Pi/(2*spb) + 1e-9
+	for i := 1; i < len(w); i++ {
+		d := cmplx.Phase(w[i] * cmplx.Conj(w[i-1]))
+		if math.Abs(d) > maxStep {
+			t.Fatalf("phase jump %v at sample %d exceeds %v", d, i, maxStep)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	prop := func(hi uint16, lo uint64) bool {
+		id := tagid.New(hi, lo)
+		got, ok := DecodeID(ModulateID(id, spb), spb)
+		return ok && got == id
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripUnderGainAndPhase(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		id := tagid.Random(r)
+		gain := cmplx.Rect(0.2+r.Float64(), 2*math.Pi*r.Float64())
+		got, ok := DecodeID(Scale(ModulateID(id, spb), gain), spb)
+		if !ok || got != id {
+			t.Fatalf("round trip failed under gain %v", gain)
+		}
+	}
+}
+
+func TestRoundTripUnderNoise(t *testing.T) {
+	r := rng.New(2)
+	for i := 0; i < 50; i++ {
+		id := tagid.Random(r)
+		w := AddNoise(ModulateID(id, spb), 0.1, r)
+		got, ok := DecodeID(w, spb)
+		if !ok || got != id {
+			t.Fatalf("decode failed at sigma=0.1 (iteration %d)", i)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongLength(t *testing.T) {
+	if _, ok := DecodeID(make(Waveform, 17), spb); ok {
+		t.Fatal("DecodeID accepted a wrong-length waveform")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	r := rng.New(3)
+	w := make(Waveform, 1+tagid.Bits*spb)
+	for i := range w {
+		w[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	if _, ok := DecodeID(w, spb); ok {
+		t.Fatal("DecodeID accepted pure noise (CRC should reject)")
+	}
+}
+
+func TestMixPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mix of unequal lengths did not panic")
+		}
+	}()
+	Mix(make(Waveform, 4), make(Waveform, 5))
+}
+
+func TestMixEmpty(t *testing.T) {
+	if Mix() != nil {
+		t.Fatal("Mix() should return nil")
+	}
+}
+
+func TestMixIsSampleWiseSum(t *testing.T) {
+	a := Waveform{1, 2i}
+	b := Waveform{3, 4}
+	m := Mix(a, b)
+	if m[0] != 4 || m[1] != complex(4, 2) {
+		t.Fatalf("Mix = %v", m)
+	}
+}
+
+func TestTwoCollisionDoesNotDecodeDirectly(t *testing.T) {
+	// Equal-amplitude superpositions must fail the plain decode (CRC).
+	r := rng.New(4)
+	failures := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		a, b := tagid.Random(r), tagid.Random(r)
+		mixed := Mix(
+			Scale(ModulateID(a, spb), cmplx.Rect(0.8, 2*math.Pi*r.Float64())),
+			Scale(ModulateID(b, spb), cmplx.Rect(0.8, 2*math.Pi*r.Float64())),
+		)
+		if _, ok := DecodeID(mixed, spb); !ok {
+			failures++
+		}
+	}
+	if failures < trials-2 {
+		t.Fatalf("equal-amplitude collisions decoded directly %d/%d times", trials-failures, trials)
+	}
+}
+
+func TestEnvelopeFlat(t *testing.T) {
+	r := rng.New(5)
+	const sigma = 0.03
+	single := AddNoise(Scale(ModulateID(tagid.Random(r), spb), cmplx.Rect(0.8, 1.0)), sigma, r)
+	if !EnvelopeFlat(single, sigma) {
+		t.Fatal("single MSK signal failed the envelope test")
+	}
+	mixed := AddNoise(Mix(
+		Scale(ModulateID(tagid.Random(r), spb), cmplx.Rect(0.9, 0.3)),
+		Scale(ModulateID(tagid.Random(r), spb), cmplx.Rect(0.5, 2.1)),
+	), sigma, r)
+	if EnvelopeFlat(mixed, sigma) {
+		t.Fatal("two-signal mix passed the envelope test")
+	}
+	if !EnvelopeFlat(nil, sigma) {
+		t.Fatal("empty waveform should trivially pass")
+	}
+}
+
+func TestEstimateGainsSingle(t *testing.T) {
+	r := rng.New(6)
+	for i := 0; i < 20; i++ {
+		id := tagid.Random(r)
+		ref := ModulateID(id, spb)
+		gain := cmplx.Rect(0.3+r.Float64(), 2*math.Pi*r.Float64())
+		got := EstimateGains(Scale(ref, gain), []Waveform{ref})
+		if len(got) != 1 || cmplx.Abs(got[0]-gain) > 1e-9 {
+			t.Fatalf("gain estimate %v, want %v", got, gain)
+		}
+	}
+}
+
+func TestEstimateGainsJoint(t *testing.T) {
+	// With both references known, the joint LS recovers both gains almost
+	// exactly even though the signals overlap.
+	r := rng.New(7)
+	a, b := tagid.Random(r), tagid.Random(r)
+	refA, refB := ModulateID(a, spb), ModulateID(b, spb)
+	gA, gB := cmplx.Rect(0.9, 0.5), cmplx.Rect(0.6, -1.2)
+	mixed := Mix(Scale(refA, gA), Scale(refB, gB))
+	gains := EstimateGains(mixed, []Waveform{refA, refB})
+	if gains == nil {
+		t.Fatal("joint estimation failed")
+	}
+	if cmplx.Abs(gains[0]-gA) > 1e-6 || cmplx.Abs(gains[1]-gB) > 1e-6 {
+		t.Fatalf("joint gains %v, want %v %v", gains, gA, gB)
+	}
+}
+
+func TestEstimateGainsEmpty(t *testing.T) {
+	if EstimateGains(make(Waveform, 8), nil) != nil {
+		t.Fatal("no references should yield nil")
+	}
+}
+
+func TestEstimateGainsSingularSystem(t *testing.T) {
+	ref := ModulateID(tagid.New(1, 1), spb)
+	// Two identical references make the normal equations singular.
+	if got := EstimateGains(ref.Clone(), []Waveform{ref, ref}); got != nil {
+		t.Fatalf("singular system should return nil, got %v", got)
+	}
+}
+
+func TestCancellationRecoversHiddenID(t *testing.T) {
+	// The core ANC property: subtract the known signal, decode the other.
+	r := rng.New(8)
+	for i := 0; i < 30; i++ {
+		a, b := tagid.Random(r), tagid.Random(r)
+		refA := ModulateID(a, spb)
+		mixed := AddNoise(Mix(
+			Scale(refA, cmplx.Rect(0.5+0.5*r.Float64(), 2*math.Pi*r.Float64())),
+			Scale(ModulateID(b, spb), cmplx.Rect(0.5+0.5*r.Float64(), 2*math.Pi*r.Float64())),
+		), 0.02, r)
+		gains := EstimateGains(mixed, []Waveform{refA})
+		residual := Cancel(mixed, []Waveform{refA}, gains)
+		got, ok := DecodeID(residual, spb)
+		if !ok || got != b {
+			t.Fatalf("iteration %d: failed to recover hidden ID", i)
+		}
+	}
+}
+
+func TestThreeWayCancellation(t *testing.T) {
+	// A 3-collision resolves once two constituents are known (lambda = 3).
+	r := rng.New(9)
+	ids := []tagid.ID{tagid.Random(r), tagid.Random(r), tagid.Random(r)}
+	var parts []Waveform
+	for _, id := range ids {
+		parts = append(parts, Scale(ModulateID(id, spb), cmplx.Rect(0.4+0.6*r.Float64(), 2*math.Pi*r.Float64())))
+	}
+	mixed := AddNoise(Mix(parts...), 0.02, r)
+	refs := []Waveform{ModulateID(ids[0], spb), ModulateID(ids[1], spb)}
+	gains := EstimateGains(mixed, refs)
+	got, ok := DecodeID(Cancel(mixed, refs, gains), spb)
+	if !ok || got != ids[2] {
+		t.Fatal("3-collision did not resolve with two known constituents")
+	}
+}
+
+func TestEstimateTwoAmplitudes(t *testing.T) {
+	r := rng.New(10)
+	for i := 0; i < 30; i++ {
+		a := 0.5 + 0.5*r.Float64()
+		b := 0.2 + 0.5*r.Float64()
+		if b > a {
+			a, b = b, a
+		}
+		// A small carrier-frequency offset between the two tags makes their
+		// relative phase sweep the circle — the estimator's derivation
+		// condition (independent oscillators always differ slightly).
+		mixed := Mix(
+			Scale(ModulateID(tagid.Random(r), spb), cmplx.Rect(a, 2*math.Pi*r.Float64())),
+			ApplyFrequencyOffset(
+				Scale(ModulateID(tagid.Random(r), spb), cmplx.Rect(b, 2*math.Pi*r.Float64())),
+				0.05),
+		)
+		gotA, gotB, ok := EstimateTwoAmplitudes(mixed)
+		if !ok {
+			t.Fatalf("estimation failed for A=%v B=%v", a, b)
+		}
+		// The energy-statistics estimator is approximate: the 4AB/pi term
+		// assumes a uniform relative-phase distribution over the window.
+		if math.Abs(gotA-a) > 0.15*a+0.05 || math.Abs(gotB-b) > 0.3*b+0.1 {
+			t.Errorf("amplitudes (%v,%v), want (%v,%v)", gotA, gotB, a, b)
+		}
+	}
+}
+
+func TestEstimateTwoAmplitudesRejectsEmpty(t *testing.T) {
+	if _, _, ok := EstimateTwoAmplitudes(nil); ok {
+		t.Fatal("empty waveform should not estimate")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	w := Waveform{complex(3, 4), complex(0, 0)}
+	if got := w.Energy(); math.Abs(got-12.5) > 1e-12 {
+		t.Fatalf("Energy = %v, want 12.5", got)
+	}
+	var empty Waveform
+	if empty.Energy() != 0 {
+		t.Fatal("empty waveform energy != 0")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	w := Waveform{1, 2}
+	c := w.Clone()
+	c[0] = 99
+	if w[0] == 99 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestAddNoiseZeroSigma(t *testing.T) {
+	r := rng.New(11)
+	w := Waveform{1, 2}
+	got := AddNoise(w, 0, r)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatal("zero-sigma noise modified the waveform")
+	}
+}
+
+func TestDemodulateArbitraryBits(t *testing.T) {
+	data := []byte{0b10110010, 0b01011100}
+	w := Modulate(data, 16, spb)
+	got := Demodulate(w, 16, spb)
+	if got[0] != data[0] || got[1] != data[1] {
+		t.Fatalf("demodulated %08b %08b, want %08b %08b", got[0], got[1], data[0], data[1])
+	}
+}
+
+func TestRoundTripAcrossOversamplingFactors(t *testing.T) {
+	// The modem must work at any oversampling factor, including the
+	// minimal spb=1 (one sample per bit).
+	r := rng.New(20)
+	for _, factor := range []int{1, 2, 4, 8, 16} {
+		for i := 0; i < 10; i++ {
+			id := tagid.Random(r)
+			got, ok := DecodeID(ModulateID(id, factor), factor)
+			if !ok || got != id {
+				t.Fatalf("spb=%d: round trip failed", factor)
+			}
+		}
+	}
+}
+
+func TestNoiseToleranceDegradesGracefully(t *testing.T) {
+	// Decode success should be near-certain at low noise and near-zero at
+	// extreme noise, with a transition in between (no cliff at sigma=0).
+	r := rng.New(21)
+	rate := func(sigma float64) float64 {
+		ok := 0
+		const trials = 40
+		for i := 0; i < trials; i++ {
+			id := tagid.Random(r)
+			w := AddNoise(Scale(ModulateID(id, spb), complex(0.8, 0)), sigma, r)
+			if got, valid := DecodeID(w, spb); valid && got == id {
+				ok++
+			}
+		}
+		return float64(ok) / trials
+	}
+	if low := rate(0.05); low < 0.95 {
+		t.Errorf("decode rate %.2f at sigma=0.05, want ~1", low)
+	}
+	if high := rate(1.5); high > 0.2 {
+		t.Errorf("decode rate %.2f at sigma=1.5, want ~0", high)
+	}
+}

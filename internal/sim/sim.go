@@ -1,0 +1,155 @@
+// Package sim is the Monte-Carlo harness: it executes a protocol over many
+// independent runs with deterministic per-run seeds and aggregates the
+// metrics the paper's tables report. The paper averages 100 runs per data
+// point (Section VI); every experiment here does the same by default.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/stats"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// DefaultRuns is the paper's Monte-Carlo repetition count.
+const DefaultRuns = 100
+
+// Config describes one simulation campaign (a protocol at one population
+// size).
+type Config struct {
+	// Tags is the population size N.
+	Tags int
+	// Runs is the number of independent Monte-Carlo runs (default 100).
+	Runs int
+	// Seed makes the whole campaign reproducible. Run i derives its own
+	// generator from (Seed, i), so runs are independent and reorderable.
+	Seed uint64
+	// NewChannel builds the channel model for a run; nil selects the
+	// paper's abstract model with Lambda.
+	NewChannel func(r *rng.Source) channel.Channel
+	// Lambda is the ANC capability of the default abstract channel
+	// (ignored when NewChannel is set); zero selects 2.
+	Lambda int
+	// Timing is the air-interface model; the zero value selects Philips
+	// I-Code.
+	Timing air.Timing
+	// TxModel selects the transmitter-set model (default TxBinomial).
+	TxModel protocol.TxModel
+	// MaxSlots bounds each run (0 = automatic).
+	MaxSlots int
+	// PAckLoss is the probability a reader acknowledgement is lost (see
+	// protocol.Env.PAckLoss).
+	PAckLoss float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runs <= 0 {
+		c.Runs = DefaultRuns
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 2
+	}
+	if c.Timing == (air.Timing{}) {
+		c.Timing = air.ICode()
+	}
+	if c.TxModel == 0 {
+		c.TxModel = protocol.TxBinomial
+	}
+	return c
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	Protocol string
+	Tags     int
+	Runs     []protocol.Metrics
+
+	Throughput     stats.Summary
+	EmptySlots     stats.Summary
+	SingletonSlots stats.Summary
+	CollisionSlots stats.Summary
+	TotalSlots     stats.Summary
+	DirectIDs      stats.Summary
+	ResolvedIDs    stats.Summary
+}
+
+// Run executes the campaign for one protocol.
+func Run(p protocol.Protocol, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{Protocol: p.Name(), Tags: cfg.Tags, Runs: make([]protocol.Metrics, 0, cfg.Runs)}
+
+	for i := 0; i < cfg.Runs; i++ {
+		m, err := RunOnce(p, cfg, i)
+		if err != nil {
+			return res, fmt.Errorf("%s run %d (N=%d): %w", p.Name(), i, cfg.Tags, err)
+		}
+		res.Runs = append(res.Runs, m)
+	}
+	res.summarize()
+	return res, nil
+}
+
+// RunOnce executes a single run of the campaign with the deterministic
+// generator derived from (cfg.Seed, run).
+func RunOnce(p protocol.Protocol, cfg Config, run int) (protocol.Metrics, error) {
+	cfg = cfg.withDefaults()
+	r := runRNG(cfg.Seed, run)
+	tags := tagid.Population(r, cfg.Tags)
+	ch := cfg.newChannel(r)
+	env := &protocol.Env{
+		RNG:      r,
+		Tags:     tags,
+		Channel:  ch,
+		Timing:   cfg.Timing,
+		TxModel:  cfg.TxModel,
+		MaxSlots: cfg.MaxSlots,
+		PAckLoss: cfg.PAckLoss,
+	}
+	return p.Run(env)
+}
+
+func (c Config) newChannel(r *rng.Source) channel.Channel {
+	if c.NewChannel != nil {
+		return c.NewChannel(r)
+	}
+	return channel.NewAbstract(channel.AbstractConfig{Lambda: c.Lambda}, r)
+}
+
+// runRNG derives the run's generator: a SplitMix-style mix of the campaign
+// seed and the run index, so each run has an independent stream.
+func runRNG(seed uint64, run int) *rng.Source {
+	return rng.New(seed ^ (uint64(run)+1)*0x9e3779b97f4a7c15)
+}
+
+func (r *Result) summarize() {
+	n := len(r.Runs)
+	var (
+		tp  = make([]float64, 0, n)
+		e   = make([]float64, 0, n)
+		s   = make([]float64, 0, n)
+		c   = make([]float64, 0, n)
+		tot = make([]float64, 0, n)
+		d   = make([]float64, 0, n)
+		rv  = make([]float64, 0, n)
+	)
+	for _, m := range r.Runs {
+		tp = append(tp, m.Throughput())
+		e = append(e, float64(m.EmptySlots))
+		s = append(s, float64(m.SingletonSlots))
+		c = append(c, float64(m.CollisionSlots))
+		tot = append(tot, float64(m.TotalSlots()))
+		d = append(d, float64(m.DirectIDs))
+		rv = append(rv, float64(m.ResolvedIDs))
+	}
+	r.Throughput = stats.Summarize(tp)
+	r.EmptySlots = stats.Summarize(e)
+	r.SingletonSlots = stats.Summarize(s)
+	r.CollisionSlots = stats.Summarize(c)
+	r.TotalSlots = stats.Summarize(tot)
+	r.DirectIDs = stats.Summarize(d)
+	r.ResolvedIDs = stats.Summarize(rv)
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/fcat"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/rng"
+)
+
+func TestRunAggregates(t *testing.T) {
+	res, err := Run(fcat.New(fcat.Config{Lambda: 2}), Config{Tags: 500, Runs: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != "FCAT-2" || res.Tags != 500 || len(res.Runs) != 5 {
+		t.Fatalf("result header: %+v", res)
+	}
+	if res.Throughput.N != 5 || res.Throughput.Mean <= 0 {
+		t.Fatalf("throughput summary: %+v", res.Throughput)
+	}
+	for _, m := range res.Runs {
+		if m.Identified() != 500 {
+			t.Fatalf("a run identified %d of 500", m.Identified())
+		}
+	}
+	// total = empty + singleton + collision must hold in the aggregate.
+	sum := res.EmptySlots.Mean + res.SingletonSlots.Mean + res.CollisionSlots.Mean
+	if diff := sum - res.TotalSlots.Mean; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("slot means inconsistent: %v vs %v", sum, res.TotalSlots.Mean)
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	p := fcat.New(fcat.Config{Lambda: 2})
+	cfg := Config{Tags: 300, Runs: 3, Seed: 9}
+	a, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Runs {
+		if a.Runs[i] != b.Runs[i] {
+			t.Fatalf("run %d differs between identical campaigns", i)
+		}
+	}
+}
+
+func TestSeedsMatter(t *testing.T) {
+	p := fcat.New(fcat.Config{Lambda: 2})
+	a, err := Run(p, Config{Tags: 300, Runs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, Config{Tags: 300, Runs: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runs[0] == b.Runs[0] {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestRunsAreIndependentOfOrder(t *testing.T) {
+	// RunOnce(i) must reproduce run i of the campaign regardless of the
+	// other runs.
+	p := fcat.New(fcat.Config{Lambda: 2})
+	cfg := Config{Tags: 200, Runs: 4, Seed: 5}
+	all, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i >= 0; i-- {
+		m, err := RunOnce(p, cfg, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != all.Runs[i] {
+			t.Fatalf("RunOnce(%d) differs from campaign run %d", i, i)
+		}
+	}
+}
+
+func TestCustomChannelFactory(t *testing.T) {
+	used := 0
+	cfg := Config{
+		Tags: 100, Runs: 2, Seed: 3,
+		NewChannel: func(r *rng.Source) channel.Channel {
+			used++
+			return channel.NewAbstract(channel.AbstractConfig{Lambda: 3}, r)
+		},
+	}
+	if _, err := Run(fcat.New(fcat.Config{Lambda: 3}), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if used != 2 {
+		t.Fatalf("channel factory called %d times, want 2", used)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Runs != DefaultRuns || c.Lambda != 2 || c.TxModel != protocol.TxBinomial {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.Timing.BitDuration == 0 {
+		t.Fatal("timing default not applied")
+	}
+}
+
+func TestErrorPropagatesWithContext(t *testing.T) {
+	cfg := Config{
+		Tags: 30, Runs: 2, Seed: 1, MaxSlots: 100,
+		NewChannel: func(r *rng.Source) channel.Channel {
+			return channel.NewAbstract(channel.AbstractConfig{Lambda: 2, PCorruptSingleton: 1}, r)
+		},
+	}
+	_, err := Run(fcat.New(fcat.Config{Lambda: 2}), cfg)
+	if err == nil {
+		t.Fatal("expected an error from a hopeless channel")
+	}
+}

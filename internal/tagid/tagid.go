@@ -1,0 +1,143 @@
+// Package tagid models 96-bit RFID tag identifiers.
+//
+// Following the paper (Section VI: "We set the ID length to be 96 bits
+// (including the 16 bits CRC code)"), an ID is an 80-bit payload followed by
+// a CRC-16. The package also implements the report hash H(ID|i) that SCAT
+// and FCAT tags evaluate to decide whether to transmit in slot i
+// (Section IV-A).
+package tagid
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"github.com/ancrfid/ancrfid/internal/crc"
+	"github.com/ancrfid/ancrfid/internal/rng"
+)
+
+const (
+	// Bits is the total ID length on air, CRC included.
+	Bits = 96
+	// PayloadBits is the number of identity bits (EPC-style payload).
+	PayloadBits = Bits - crc.Size
+	// bytesLen is the ID length in bytes.
+	bytesLen = Bits / 8
+)
+
+// HashBits is l, the width of the report-probability fixed-point encoding:
+// the reader advertises floor(p * 2^l) and a tag transmits in slot i when
+// H(ID|i) <= floor(p * 2^l) (paper, Section IV-A).
+const HashBits = 16
+
+// ID is a 96-bit tag identifier: 80 payload bits followed by a CRC-16 over
+// the payload. The zero value is not a valid ID (its CRC does not verify).
+type ID [bytesLen]byte
+
+// New builds an ID from an 80-bit payload (the top 16 bits of hi are
+// ignored) and appends the CRC.
+func New(hi uint16, lo uint64) ID {
+	var id ID
+	binary.BigEndian.PutUint16(id[0:2], hi)
+	binary.BigEndian.PutUint64(id[2:10], lo)
+	sum := crc.Checksum(id[:10])
+	binary.BigEndian.PutUint16(id[10:12], sum)
+	return id
+}
+
+// Random returns a uniformly random valid ID.
+func Random(r *rng.Source) ID {
+	return New(uint16(r.Uint64()), r.Uint64())
+}
+
+// Population returns n distinct uniformly random IDs.
+func Population(r *rng.Source, n int) []ID {
+	ids := make([]ID, 0, n)
+	seen := make(map[ID]struct{}, n)
+	for len(ids) < n {
+		id := Random(r)
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Valid reports whether the embedded CRC verifies. The reader uses this to
+// distinguish a clean singleton decode from a collision or a corrupted
+// signal.
+func (id ID) Valid() bool {
+	return crc.Verify(id[:10], binary.BigEndian.Uint16(id[10:12]))
+}
+
+// Bit returns bit i of the ID, most-significant first (bit 0 is the first
+// bit sent on air). Query-tree protocols split tag sets on these bits.
+func (id ID) Bit(i int) byte {
+	return id[i/8] >> (7 - i%8) & 1
+}
+
+// Bytes returns the 12-byte wire encoding.
+func (id ID) Bytes() []byte {
+	b := make([]byte, bytesLen)
+	copy(b, id[:])
+	return b
+}
+
+// CorruptBit returns a copy of the ID with bit i flipped; used to emulate
+// channel errors. The result fails Valid with overwhelming probability.
+func (id ID) CorruptBit(i int) ID {
+	id[i/8] ^= 1 << (7 - i%8)
+	return id
+}
+
+// String renders the ID as hex, e.g. "30f1-4e2a99c0b51d-77aa".
+func (id ID) String() string {
+	return fmt.Sprintf("%s-%s-%s",
+		hex.EncodeToString(id[0:2]),
+		hex.EncodeToString(id[2:10]),
+		hex.EncodeToString(id[10:12]))
+}
+
+// ReportHash computes H(ID|slot) in [0, 2^HashBits): the pseudo-random but
+// deterministic value a tag compares against the advertised threshold to
+// decide whether to report in the slot. Both the tag (to transmit) and the
+// reader (to test membership of a learned ID in an old collision record)
+// evaluate this function, so it must depend only on (ID, slot).
+func (id ID) ReportHash(slot uint64) uint32 {
+	// FNV-1a over the 12 ID bytes followed by the slot index.
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range id {
+		h = (h ^ uint64(b)) * prime
+	}
+	for i := 0; i < 8; i++ {
+		h = (h ^ (slot >> (8 * i) & 0xff)) * prime
+	}
+	// Fold to HashBits so the threshold comparison matches the advertised
+	// fixed-point probability.
+	return uint32(h^h>>16^h>>32^h>>48) & (1<<HashBits - 1)
+}
+
+// Threshold converts a report probability into the fixed-point threshold the
+// reader advertises: a tag transmits when ReportHash(slot) < Threshold(p).
+// Threshold(1) is 2^HashBits, which every hash value is below.
+func Threshold(p float64) uint32 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << HashBits
+	}
+	return uint32(p * (1 << HashBits))
+}
+
+// Reports reports whether the tag with this ID transmits in slot given the
+// advertised threshold.
+func (id ID) Reports(slot uint64, threshold uint32) bool {
+	return id.ReportHash(slot) < threshold
+}

@@ -1,0 +1,188 @@
+package tagid
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/ancrfid/ancrfid/internal/rng"
+)
+
+func TestNewProducesValidIDs(t *testing.T) {
+	prop := func(hi uint16, lo uint64) bool {
+		return New(hi, lo).Valid()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroValueInvalid(t *testing.T) {
+	var id ID
+	if id.Valid() {
+		t.Fatal("zero ID must not verify (CRC of zero payload is not zero)")
+	}
+}
+
+func TestRandomValid(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		if !Random(r).Valid() {
+			t.Fatal("Random produced an invalid ID")
+		}
+	}
+}
+
+func TestPopulationDistinct(t *testing.T) {
+	r := rng.New(2)
+	ids := Population(r, 5000)
+	if len(ids) != 5000 {
+		t.Fatalf("population size %d, want 5000", len(ids))
+	}
+	seen := make(map[ID]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate ID %v", id)
+		}
+		seen[id] = true
+		if !id.Valid() {
+			t.Fatalf("invalid ID %v in population", id)
+		}
+	}
+}
+
+func TestBitAccessor(t *testing.T) {
+	id := New(0x8001, 0) // first bit set, bit 15 set
+	if id.Bit(0) != 1 {
+		t.Error("Bit(0) = 0, want 1")
+	}
+	if id.Bit(1) != 0 {
+		t.Error("Bit(1) = 1, want 0")
+	}
+	if id.Bit(15) != 1 {
+		t.Error("Bit(15) = 0, want 1")
+	}
+	// Verify every bit against the byte representation.
+	b := id.Bytes()
+	for i := 0; i < Bits; i++ {
+		want := b[i/8] >> (7 - i%8) & 1
+		if id.Bit(i) != want {
+			t.Fatalf("Bit(%d) = %d, want %d", i, id.Bit(i), want)
+		}
+	}
+}
+
+func TestBytesIsACopy(t *testing.T) {
+	id := New(1, 2)
+	b := id.Bytes()
+	b[0] ^= 0xFF
+	if id.Bytes()[0] == b[0] {
+		t.Fatal("Bytes returned a view into the ID")
+	}
+}
+
+func TestCorruptBitInvalidates(t *testing.T) {
+	prop := func(hi uint16, lo uint64, pos uint8) bool {
+		id := New(hi, lo)
+		return !id.CorruptBit(int(pos) % Bits).Valid()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := New(0xABCD, 0x1122334455667788).String()
+	if !strings.HasPrefix(s, "abcd-1122334455667788-") {
+		t.Fatalf("unexpected String: %q", s)
+	}
+	if len(strings.Split(s, "-")) != 3 {
+		t.Fatalf("String should have 3 groups: %q", s)
+	}
+}
+
+func TestReportHashDeterministicAndBounded(t *testing.T) {
+	prop := func(hi uint16, lo uint64, slot uint64) bool {
+		id := New(hi, lo)
+		h := id.ReportHash(slot)
+		return h == id.ReportHash(slot) && h < 1<<HashBits
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportHashVariesAcrossSlots(t *testing.T) {
+	id := New(7, 7)
+	seen := make(map[uint32]bool)
+	for slot := uint64(0); slot < 1000; slot++ {
+		seen[id.ReportHash(slot)] = true
+	}
+	// With a 16-bit range, 1000 slots should give nearly 1000 values.
+	if len(seen) < 950 {
+		t.Fatalf("hash shows too many collisions across slots: %d unique of 1000", len(seen))
+	}
+}
+
+func TestReportHashUniform(t *testing.T) {
+	// Mean of the hash over many (ID, slot) pairs should be ~2^15.
+	r := rng.New(3)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += float64(Random(r).ReportHash(uint64(i)))
+	}
+	mean := sum / n
+	want := float64(1<<HashBits) / 2
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("hash mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	if Threshold(0) != 0 {
+		t.Error("Threshold(0) != 0")
+	}
+	if Threshold(-1) != 0 {
+		t.Error("Threshold(-1) != 0")
+	}
+	if Threshold(1) != 1<<HashBits {
+		t.Error("Threshold(1) != 2^l")
+	}
+	if Threshold(2) != 1<<HashBits {
+		t.Error("Threshold(2) != 2^l")
+	}
+	if Threshold(0.5) != 1<<(HashBits-1) {
+		t.Errorf("Threshold(0.5) = %d", Threshold(0.5))
+	}
+}
+
+func TestReportsProbability(t *testing.T) {
+	// The fraction of (tag, slot) pairs that report should track p.
+	r := rng.New(4)
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9} {
+		th := Threshold(p)
+		count := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			if Random(r).Reports(uint64(i), th) {
+				count++
+			}
+		}
+		got := float64(count) / n
+		if math.Abs(got-p) > 4*math.Sqrt(p*(1-p)/n)+1.0/(1<<HashBits) {
+			t.Errorf("Reports rate at p=%v: got %v", p, got)
+		}
+	}
+}
+
+func TestReportsAlwaysAtPOne(t *testing.T) {
+	r := rng.New(5)
+	th := Threshold(1)
+	for i := 0; i < 1000; i++ {
+		if !Random(r).Reports(uint64(i), th) {
+			t.Fatal("a tag skipped a p=1 slot")
+		}
+	}
+}

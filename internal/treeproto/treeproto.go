@@ -1,0 +1,337 @@
+// Package treeproto implements the tree-based anti-collision baselines the
+// paper compares against (Section VI): Adaptive Binary Splitting (ABS) and
+// Adaptive Query Splitting (AQS), both from Myung & Lee, MobiHoc 2006
+// (paper reference [12]).
+//
+// Both protocols resolve collisions by recursively splitting the colliding
+// tag set into two subsets until every subset is a singleton:
+//
+//   - ABS splits on a random bit each colliding tag draws. Tags maintain
+//     slot counters that realise a depth-first traversal of the random
+//     split tree; simulating the traversal with an explicit group stack is
+//     slot-for-slot identical and avoids touching every tag every slot.
+//   - AQS splits on the next bit of the tag ID: the reader grows query
+//     prefixes, and tags whose ID extends the query respond. Its adaptive
+//     feature is that a reading round starts from the leaf queries of the
+//     previous round instead of from the root.
+package treeproto
+
+import (
+	"bytes"
+	"sort"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// ABS is the Adaptive Binary Splitting protocol.
+type ABS struct{}
+
+var _ protocol.Protocol = ABS{}
+
+// NewABS returns an ABS instance.
+func NewABS() ABS { return ABS{} }
+
+// Name implements protocol.Protocol.
+func (ABS) Name() string { return "ABS" }
+
+// Run implements protocol.Protocol. The first round of ABS begins with all
+// tags answering the initial query (every counter starts at zero), which is
+// one big collision that the random splitting then resolves.
+func (ABS) Run(env *protocol.Env) (protocol.Metrics, error) {
+	var (
+		m     = protocol.Metrics{Tags: len(env.Tags)}
+		clock air.Clock
+	)
+	budget := env.SlotBudget()
+
+	// The stack holds the pending tag groups in depth-first order, exactly
+	// the order the tags' slot counters would produce.
+	initial := make([]tagid.ID, len(env.Tags))
+	copy(initial, env.Tags)
+	stack := [][]tagid.ID{initial}
+	slots := 0
+
+	for len(stack) > 0 {
+		if slots >= budget {
+			m.OnAir = clock.Elapsed()
+			return m, protocol.ErrNoProgress
+		}
+		group := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		slots++
+		clock.AddSlots(env.Timing, 1)
+
+		obs := env.Channel.Observe(group)
+		switch obs.Kind {
+		case channel.Empty:
+			m.EmptySlots++
+		case channel.Singleton:
+			m.SingletonSlots++
+			m.DirectIDs++
+			env.NotifyIdentified(obs.ID, false)
+		case channel.Collision:
+			m.CollisionSlots++
+			// Each colliding tag draws a random bit; the zero-subset
+			// transmits in the next slot. Tags are exchangeable under the
+			// random draw, so splitting by a binomial count is equivalent
+			// to per-tag draws.
+			k := env.RNG.Binomial(len(group), 0.5)
+			zero, one := group[:k], group[k:]
+			stack = append(stack, one, zero)
+		}
+		m.TagTransmissions += len(group)
+		env.NotifySlot(protocol.SlotEvent{
+			Seq:          m.TotalSlots() - 1,
+			Kind:         obs.Kind,
+			Transmitters: len(group),
+			Identified:   m.Identified(),
+		})
+	}
+	m.OnAir = clock.Elapsed()
+	return m, nil
+}
+
+// query is one pending AQS query: a bit prefix (the first depth bits of
+// prefix) and the tags whose IDs extend it.
+type query struct {
+	depth  int
+	prefix tagid.ID
+	tags   []tagid.ID
+}
+
+// AQS is the Adaptive Query Splitting protocol. The zero value starts a
+// fresh reading process from the root queries {0, 1}; after a completed
+// round, the leaf queries are retained so the next round (for an unchanged
+// tag population) skips the collision-resolution work — AQS's adaptive
+// feature for periodic inventory reads.
+type AQS struct {
+	// leaves are the readable (singleton or empty) queries retained from
+	// the last completed round. They partition the whole ID space, so any
+	// population — including tags that arrived since — maps onto exactly
+	// one leaf each.
+	leaves []leaf
+}
+
+// leaf is a retained readable query: the first depth bits of prefix.
+// hasTag records whether the query read a singleton (false: it read empty).
+type leaf struct {
+	depth  int
+	prefix tagid.ID
+	hasTag bool
+}
+
+var _ protocol.Protocol = (*AQS)(nil)
+
+// NewAQS returns a fresh AQS reader.
+func NewAQS() *AQS { return &AQS{} }
+
+// Name implements protocol.Protocol.
+func (*AQS) Name() string { return "AQS" }
+
+// Run implements protocol.Protocol: one independent reading round started
+// from the root queries. Monte-Carlo campaigns reuse a protocol instance
+// across unrelated populations, so Run deliberately discards any retained
+// state; use RunRound for AQS's adaptive periodic re-reads.
+func (a *AQS) Run(env *protocol.Env) (protocol.Metrics, error) {
+	a.leaves = nil
+	return a.RunRound(env)
+}
+
+// RunRound executes one reading round, starting from the leaf queries
+// retained by the previous round if any — AQS's adaptive feature:
+// re-reading an unchanged population costs about one slot per retained
+// query and resolves no collisions, while arrivals collide inside their
+// covering leaf and are split out as usual.
+func (a *AQS) RunRound(env *protocol.Env) (protocol.Metrics, error) {
+	var (
+		m     = protocol.Metrics{Tags: len(env.Tags)}
+		clock air.Clock
+	)
+	budget := env.SlotBudget()
+
+	// Build the initial query queue: retained leaves if a previous round
+	// ran, else the root queries 0 and 1.
+	var queue []query
+	if len(a.leaves) > 0 {
+		queue = replayLeaves(a.leaves, env.Tags)
+	} else {
+		var zero, one []tagid.ID
+		for _, id := range env.Tags {
+			if id.Bit(0) == 0 {
+				zero = append(zero, id)
+			} else {
+				one = append(one, id)
+			}
+		}
+		queue = []query{
+			{depth: 1, prefix: withBit(tagid.ID{}, 0, 0), tags: zero},
+			{depth: 1, prefix: withBit(tagid.ID{}, 0, 1), tags: one},
+		}
+	}
+
+	var nextLeaves []leaf
+	slots := 0
+	// AQS serves queries breadth-first from a FIFO queue.
+	for head := 0; head < len(queue); head++ {
+		if slots >= budget {
+			m.OnAir = clock.Elapsed()
+			return m, protocol.ErrNoProgress
+		}
+		q := queue[head]
+		slots++
+		clock.AddSlots(env.Timing, 1)
+
+		obs := env.Channel.Observe(q.tags)
+		switch obs.Kind {
+		case channel.Empty:
+			m.EmptySlots++
+			// Empty queries stay readable and are retained; sibling empties
+			// are merged after the round so stale holes do not accumulate.
+			nextLeaves = append(nextLeaves, leaf{depth: q.depth, prefix: q.prefix})
+		case channel.Singleton:
+			m.SingletonSlots++
+			m.DirectIDs++
+			env.NotifyIdentified(obs.ID, false)
+			nextLeaves = append(nextLeaves, leaf{depth: q.depth, prefix: q.prefix, hasTag: true})
+		case channel.Collision:
+			m.CollisionSlots++
+			if q.depth >= tagid.Bits {
+				// Identical 96-bit IDs cannot be split further; with the
+				// distinct populations used here this cannot happen.
+				m.OnAir = clock.Elapsed()
+				return m, protocol.ErrNoProgress
+			}
+			var zero, one []tagid.ID
+			for _, id := range q.tags {
+				if id.Bit(q.depth) == 0 {
+					zero = append(zero, id)
+				} else {
+					one = append(one, id)
+				}
+			}
+			queue = append(queue,
+				query{depth: q.depth + 1, prefix: withBit(q.prefix, q.depth, 0), tags: zero},
+				query{depth: q.depth + 1, prefix: withBit(q.prefix, q.depth, 1), tags: one})
+		}
+		m.TagTransmissions += len(q.tags)
+		env.NotifySlot(protocol.SlotEvent{
+			Seq:          m.TotalSlots() - 1,
+			Kind:         obs.Kind,
+			Transmitters: len(q.tags),
+			Identified:   m.Identified(),
+		})
+	}
+	a.leaves = mergeEmptySiblings(nextLeaves)
+	m.OnAir = clock.Elapsed()
+	return m, nil
+}
+
+// replayLeaves distributes the population over the retained leaves. The
+// leaves partition the ID space, so each tag extends exactly one leaf
+// prefix; tags that arrived since the last round land in some leaf and
+// trigger collision splitting there.
+func replayLeaves(leaves []leaf, tags []tagid.ID) []query {
+	queue := make([]query, len(leaves))
+	for i, lf := range leaves {
+		queue[i] = query{depth: lf.depth, prefix: lf.prefix}
+	}
+	// Sort leaf indices by prefix so each tag finds its covering leaf by
+	// binary search (the padded prefix is the lower bound of its range).
+	order := make([]int, len(leaves))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, b := leaves[order[x]], leaves[order[y]]
+		return prefixLess(a.prefix, b.prefix)
+	})
+	for _, id := range tags {
+		// Rightmost leaf whose padded prefix is <= id.
+		lo, hi := 0, len(order)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if prefixLess(id, leaves[order[mid]].prefix) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if lo == 0 {
+			// The leaves partition the space, so this cannot happen with a
+			// consistent leaf set; fall back to the first leaf.
+			lo = 1
+		}
+		q := &queue[order[lo-1]]
+		q.tags = append(q.tags, id)
+	}
+	return queue
+}
+
+// mergeEmptySiblings compresses the retained leaf set: pairs of sibling
+// queries that both read empty are replaced by their parent query,
+// repeatedly, so a departed population does not leave a forest of stale
+// one-slot holes to re-probe every round.
+func mergeEmptySiblings(leaves []leaf) []leaf {
+	type key struct {
+		depth  int
+		prefix tagid.ID
+	}
+	empty := make(map[key]bool)
+	kept := make([]leaf, 0, len(leaves))
+	for _, lf := range leaves {
+		if lf.hasTag {
+			kept = append(kept, lf)
+		} else {
+			empty[key{lf.depth, lf.prefix}] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for k := range empty {
+			if k.depth < 1 || !empty[k] {
+				continue
+			}
+			bit := k.prefix.Bit(k.depth - 1)
+			sibling := key{k.depth, withBit(k.prefix, k.depth-1, 1-bit)}
+			if !empty[sibling] {
+				continue
+			}
+			delete(empty, k)
+			delete(empty, sibling)
+			empty[key{k.depth - 1, withBit(k.prefix, k.depth-1, 0)}] = true
+			changed = true
+		}
+	}
+	for k := range empty {
+		kept = append(kept, leaf{depth: k.depth, prefix: k.prefix})
+	}
+	return kept
+}
+
+// withBit returns id with bit i (most significant first) set to v.
+func withBit(id tagid.ID, i int, v byte) tagid.ID {
+	if v == 0 {
+		id[i/8] &^= 1 << (7 - i%8)
+	} else {
+		id[i/8] |= 1 << (7 - i%8)
+	}
+	return id
+}
+
+// prefixLess compares two IDs as big-endian bit strings.
+func prefixLess(a, b tagid.ID) bool {
+	return bytes.Compare(a[:], b[:]) < 0
+}
+
+// samePrefix reports whether the first depth bits of the two IDs agree.
+func samePrefix(a, b tagid.ID, depth int) bool {
+	for i := 0; i < depth; i++ {
+		if a.Bit(i) != b.Bit(i) {
+			return false
+		}
+	}
+	return true
+}

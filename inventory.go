@@ -1,0 +1,43 @@
+package ancrfid
+
+import (
+	"github.com/ancrfid/ancrfid/internal/inventory"
+)
+
+// Whole-site inventory re-exports: the paper's motivating scenario
+// (Section II-A) — a reader visits several positions, reads the tags in
+// range at each, and removes duplicates, yielding the site inventory as
+// the union.
+type (
+	// Position is a reader location on the floor, in metres.
+	Position = inventory.Position
+	// Item is a tagged object at a fixed location.
+	Item = inventory.Item
+	// Field is the set of tagged items on a site.
+	Field = inventory.Field
+	// InventoryConfig parameterises a whole-site read.
+	InventoryConfig = inventory.Config
+	// InventoryReport is the outcome of a whole-site read.
+	InventoryReport = inventory.Report
+	// PositionReport is the outcome of reading at one position.
+	PositionReport = inventory.PositionReport
+)
+
+// NewField builds a field from explicit items.
+func NewField(items []Item) *Field { return inventory.NewField(items) }
+
+// RandomField places n freshly-generated tags uniformly over a
+// side x side square floor.
+func RandomField(r *RNG, n int, side float64) *Field {
+	return inventory.RandomField(r, n, side)
+}
+
+// PlanGrid returns reader positions on a grid that covers a side x side
+// floor with reading circles of the given radius.
+func PlanGrid(side, radius float64) []Position { return inventory.PlanGrid(side, radius) }
+
+// ReadInventory performs a whole-site read: one protocol run per position
+// with duplicate removal across positions.
+func ReadInventory(field *Field, cfg InventoryConfig) (InventoryReport, error) {
+	return inventory.Read(field, cfg)
+}

@@ -1,0 +1,34 @@
+package ancrfid_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/ancrfid/ancrfid"
+)
+
+func TestPerfScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf probe")
+	}
+	for _, tc := range []struct {
+		name string
+		p    ancrfid.Protocol
+		n    int
+	}{
+		{"FCAT-2", ancrfid.NewFCAT(2), 10000},
+		{"FCAT-2", ancrfid.NewFCAT(2), 20000},
+		{"DFSA", ancrfid.NewDFSA(), 20000},
+		{"EDFSA", ancrfid.NewEDFSA(), 20000},
+		{"ABS", ancrfid.NewABS(), 20000},
+		{"AQS", ancrfid.NewAQS(), 20000},
+	} {
+		start := time.Now()
+		m, err := ancrfid.RunOnce(tc.p, ancrfid.SimConfig{Tags: tc.n, Seed: 3}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%-7s N=%-6d wall=%-12v tput=%.1f slots=%d\n", tc.name, tc.n, time.Since(start), m.Throughput(), m.TotalSlots())
+	}
+}

@@ -1,0 +1,108 @@
+package ancrfid_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ancrfid/ancrfid"
+)
+
+// TestProtocolInvariantsQuick property-tests every protocol over random
+// small configurations: whatever the population size, seed, ANC capability
+// and mild channel noise, a run must terminate, identify every tag exactly
+// once, and keep its slot accounting consistent.
+func TestProtocolInvariantsQuick(t *testing.T) {
+	protocols := []func() ancrfid.Protocol{
+		func() ancrfid.Protocol { return ancrfid.NewFCAT(2) },
+		func() ancrfid.Protocol { return ancrfid.NewFCAT(3) },
+		func() ancrfid.Protocol { return ancrfid.NewSCAT(2) },
+		func() ancrfid.Protocol { return ancrfid.NewDFSA() },
+		func() ancrfid.Protocol { return ancrfid.NewEDFSA() },
+		func() ancrfid.Protocol { return ancrfid.NewABS() },
+		func() ancrfid.Protocol { return ancrfid.NewAQS() },
+		func() ancrfid.Protocol { return ancrfid.NewCRDSA() },
+	}
+
+	prop := func(seed uint64, nRaw uint16, protoRaw, lambdaRaw uint8, noiseRaw uint8) bool {
+		n := int(nRaw%600) + 1
+		lambda := int(lambdaRaw%3) + 2
+		pBad := float64(noiseRaw%4) * 0.15 // 0, 0.15, 0.30, 0.45
+		p := protocols[int(protoRaw)%len(protocols)]()
+
+		cfg := ancrfid.SimConfig{
+			Tags: n, Runs: 1, Seed: seed, Lambda: lambda,
+			NewChannel: func(r *ancrfid.RNG) ancrfid.Channel {
+				return ancrfid.NewAbstractChannel(ancrfid.AbstractChannelConfig{
+					Lambda:        lambda,
+					PUnresolvable: pBad,
+				}, r)
+			},
+		}
+		m, err := ancrfid.RunOnce(p, cfg, 0)
+		if err != nil {
+			t.Logf("%s N=%d lambda=%d pBad=%.2f: %v", p.Name(), n, lambda, pBad, err)
+			return false
+		}
+		if m.Identified() != n {
+			t.Logf("%s N=%d: identified %d", p.Name(), n, m.Identified())
+			return false
+		}
+		if m.TotalSlots() != m.EmptySlots+m.SingletonSlots+m.CollisionSlots {
+			t.Logf("%s: slot accounting inconsistent", p.Name())
+			return false
+		}
+		if m.OnAir <= 0 || m.TagTransmissions < n {
+			t.Logf("%s: degenerate accounting %+v", p.Name(), m)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDuplicateFreeIdentificationQuick checks, across random configurations
+// with acknowledgement loss, that no protocol ever reports the same ID
+// twice through the OnIdentified callback.
+func TestDuplicateFreeIdentificationQuick(t *testing.T) {
+	names := []string{"FCAT-2", "SCAT-2", "DFSA", "EDFSA", "CRDSA"}
+	prop := func(seed uint64, nRaw uint16, protoRaw uint8, lossRaw uint8) bool {
+		n := int(nRaw%400) + 1
+		loss := float64(lossRaw%5) * 0.1
+		p, err := ancrfid.ByName(names[int(protoRaw)%len(names)])
+		if err != nil {
+			return false
+		}
+		r := ancrfid.NewRNG(seed)
+		counts := make(map[ancrfid.TagID]int)
+		env := &ancrfid.Env{
+			RNG:      r,
+			Tags:     ancrfid.Population(r, n),
+			Channel:  ancrfid.NewAbstractChannel(ancrfid.AbstractChannelConfig{Lambda: 2}, r),
+			Timing:   ancrfid.ICodeTiming(),
+			PAckLoss: loss,
+			OnIdentified: func(id ancrfid.TagID, _ bool) {
+				counts[id]++
+			},
+		}
+		if _, err := p.Run(env); err != nil {
+			t.Logf("%s N=%d loss=%.1f: %v", p.Name(), n, loss, err)
+			return false
+		}
+		if len(counts) != n {
+			t.Logf("%s N=%d loss=%.1f: %d unique callbacks", p.Name(), n, loss, len(counts))
+			return false
+		}
+		for _, c := range counts {
+			if c != 1 {
+				t.Logf("%s: duplicate callback", p.Name())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
