@@ -35,6 +35,7 @@ package ancrfid
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"github.com/ancrfid/ancrfid/internal/air"
@@ -44,6 +45,7 @@ import (
 	"github.com/ancrfid/ancrfid/internal/dfsa"
 	"github.com/ancrfid/ancrfid/internal/edfsa"
 	"github.com/ancrfid/ancrfid/internal/fcat"
+	"github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/prestep"
 	"github.com/ancrfid/ancrfid/internal/protocol"
 	"github.com/ancrfid/ancrfid/internal/rng"
@@ -88,6 +90,76 @@ type (
 	// observers.
 	SlotEvent = protocol.SlotEvent
 )
+
+// Observability types, re-exported from the obs subsystem. A Tracer set on
+// Env.Tracer (single run) or SimConfig.Tracer (whole campaign) receives the
+// run's typed event stream; a Registry set on SimConfig.Metrics aggregates
+// campaign-wide counters and histograms. See docs/observability.md.
+type (
+	// Tracer receives the typed event stream of a protocol run.
+	Tracer = obs.Tracer
+	// TracerHooks is a Tracer assembled from optional per-event funcs.
+	TracerHooks = obs.Hooks
+	// Registry is a concurrency-safe metrics registry of counters and
+	// histograms.
+	Registry = obs.Registry
+
+	// TraceRunStartEvent opens a run.
+	TraceRunStartEvent = obs.RunStartEvent
+	// TraceRunEndEvent closes a run with its totals.
+	TraceRunEndEvent = obs.RunEndEvent
+	// TraceFrameEvent marks a frame boundary (framed protocols).
+	TraceFrameEvent = obs.FrameEvent
+	// TraceAdvertEvent reports a per-slot advertisement (SCAT).
+	TraceAdvertEvent = obs.AdvertEvent
+	// TraceSlotEvent reports one completed report segment.
+	TraceSlotEvent = obs.SlotEvent
+	// TraceIdentifyEvent reports a first-time tag identification.
+	TraceIdentifyEvent = obs.IdentifyEvent
+	// TraceAckEvent reports an acknowledgement and whether it reached the tag.
+	TraceAckEvent = obs.AckEvent
+	// TraceRecordEvent reports a collision record being stored.
+	TraceRecordEvent = obs.RecordEvent
+	// TraceCascadeEvent reports one step of a resolution cascade.
+	TraceCascadeEvent = obs.CascadeEvent
+	// TraceResolveEvent reports an ID recovered from a collision record.
+	TraceResolveEvent = obs.ResolveEvent
+	// TraceEstimateEvent reports a population-estimate update.
+	TraceEstimateEvent = obs.EstimateEvent
+	// AckKind distinguishes direct, resolved-index and resolved-ID acks.
+	AckKind = obs.AckKind
+)
+
+// Acknowledgement kinds carried by TraceAckEvent.
+const (
+	// AckDirect acknowledges a singleton-slot read.
+	AckDirect = obs.AckDirect
+	// AckResolvedIndex acknowledges an ANC-resolved ID by slot index
+	// (FCAT's 23-bit ack).
+	AckResolvedIndex = obs.AckResolvedIndex
+	// AckResolvedID acknowledges an ANC-resolved ID in full (SCAT).
+	AckResolvedID = obs.AckResolvedID
+)
+
+// TraceSchemaVersion is the version stamped on every JSONL trace line.
+const TraceSchemaVersion = obs.SchemaVersion
+
+// MultiTracer fans events out to several tracers in order (nils skipped).
+func MultiTracer(tracers ...Tracer) Tracer { return obs.Multi(tracers...) }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewMetricsTracer returns a Tracer that folds events into reg.
+func NewMetricsTracer(reg *Registry) Tracer { return obs.NewMetricsTracer(reg) }
+
+// NewJSONLTracer returns a Tracer that writes one JSON object per event to
+// w (the trace format behind rfidsim -trace); check Err when done.
+func NewJSONLTracer(w io.Writer) *obs.JSONL { return obs.NewJSONL(w) }
+
+// NewTimelineTracer returns a Tracer that renders a human-readable slot
+// timeline to w (the format behind rfidsim -timeline).
+func NewTimelineTracer(w io.Writer) *obs.Timeline { return obs.NewTimeline(w) }
 
 // ErrNoProgress is returned when a run exhausts its slot budget before
 // identifying every tag — a livelocked read (e.g. a channel too noisy for

@@ -223,6 +223,48 @@ func BenchmarkCancellation(b *testing.B) {
 	}
 }
 
+// BenchmarkTracerOverhead measures the cost of the observability layer on
+// the standard FCAT-2 campaign: "off" is the nil-tracer fast path (must be
+// indistinguishable from the pre-instrumentation baseline), "hooks" is an
+// empty Hooks tracer (the cost of event fan-out alone) and "metrics" folds
+// every event into a registry.
+func BenchmarkTracerOverhead(b *testing.B) {
+	base := ancrfid.SimConfig{Tags: 5000, Runs: 2, Seed: 1}
+	b.Run("off", func(b *testing.B) { benchProtocol(b, ancrfid.NewFCAT(2), base) })
+	b.Run("hooks", func(b *testing.B) {
+		cfg := base
+		cfg.Tracer = &ancrfid.TracerHooks{}
+		benchProtocol(b, ancrfid.NewFCAT(2), cfg)
+	})
+	b.Run("metrics", func(b *testing.B) {
+		cfg := base
+		cfg.Metrics = ancrfid.NewRegistry()
+		benchProtocol(b, ancrfid.NewFCAT(2), cfg)
+	})
+}
+
+// TestNilTracerZeroAlloc guards the tracing fast path: with Env.Tracer nil,
+// every emission helper must be a branch and nothing else — zero
+// allocations per call.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	r := ancrfid.NewRNG(1)
+	id := ancrfid.Population(r, 1)[0]
+	env := &ancrfid.Env{}
+	allocs := testing.AllocsPerRun(100, func() {
+		env.NotifySlot(ancrfid.SlotEvent{Seq: 1, Transmitters: 2, Identified: 3})
+		env.NotifyIdentified(id, true)
+		env.TraceRunStart("FCAT-2")
+		env.TraceRunEnd("FCAT-2", ancrfid.Metrics{}, nil)
+		env.TraceFrame(ancrfid.TraceFrameEvent{Frame: 1, Size: 64})
+		env.TraceAdvert(ancrfid.TraceAdvertEvent{Seq: 1, P: 0.5})
+		env.TraceAck(ancrfid.TraceAckEvent{Seq: 1, ID: id, Kind: ancrfid.AckDirect, Delivered: true})
+		env.TraceEstimate(ancrfid.TraceEstimateEvent{Frame: 1, Estimate: 100})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer emission allocated %.1f times per run, want 0", allocs)
+	}
+}
+
 // BenchmarkExtensionExperiments runs the extension experiments (beyond the
 // paper's tables) at a reduced budget: the CRDSA comparison, the tag-energy
 // table and the identification-progress curves.

@@ -6,18 +6,27 @@
 //	rfidsim -protocol FCAT-2 -tags 10000 -runs 100
 //	rfidsim -protocol DFSA -tags 5000
 //	rfidsim -protocol FCAT-2 -channel signal -tags 200 -noise 0.05
+//	rfidsim -protocol FCAT-2 -tags 1000 -runs 3 -trace trace.jsonl -metrics -
 //
 // The abstract channel is the paper's slot-level model; the signal channel
 // runs real MSK waveform mixing and interference cancellation (slower —
 // use smaller populations).
+//
+// Observability (see docs/observability.md): -trace writes the campaign's
+// full event stream as JSON Lines, -timeline renders a human-readable
+// slot-by-slot account, -metrics dumps the aggregated counter/histogram
+// registry as "key value" lines, and -progress reports per-run completion
+// on stderr. Output paths accept "-" for stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/ancrfid/ancrfid"
+	"github.com/ancrfid/ancrfid/internal/obs"
 )
 
 func main() {
@@ -42,7 +51,10 @@ func run(args []string) error {
 		pcorrupt  = fs.Float64("pcorrupt", 0, "abstract channel: probability a singleton is corrupted")
 		ackloss   = fs.Float64("ackloss", 0, "probability a reader acknowledgement is lost (tags retransmit)")
 		timing    = fs.String("timing", "icode", "air interface: icode (53 kbit/s) or gen2 (128 kbit/s)")
-		trace     = fs.Bool("trace", false, "FCAT only: print per-frame estimator state to stderr (run 0)")
+		tracePath = fs.String("trace", "", "write the campaign's JSONL event trace to this file (\"-\" = stdout)")
+		timeline  = fs.String("timeline", "", "write a human-readable slot timeline to this file (\"-\" = stdout)")
+		metrics   = fs.String("metrics", "", "write the aggregated metrics registry to this file (\"-\" = stdout)")
+		progress  = fs.Bool("progress", false, "report per-run completion on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,15 +84,60 @@ func run(args []string) error {
 		}
 	}
 
-	if *trace {
-		var k int
-		if _, err := fmt.Sscanf(p.Name(), "FCAT-%d", &k); err != nil {
-			return fmt.Errorf("-trace requires an FCAT protocol, got %s", p.Name())
-		}
-		p = ancrfid.NewFCATWith(ancrfid.FCATConfig{Lambda: k, Trace: os.Stderr})
-	}
-
 	cfg := ancrfid.SimConfig{Tags: *tags, Runs: *runs, Seed: *seed, Lambda: lam, Timing: tm, PAckLoss: *ackloss}
+
+	var (
+		tracers []ancrfid.Tracer
+		closers []io.Closer
+		jsonl   *obs.JSONL
+	)
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	openOut := func(path string) (io.Writer, error) {
+		if path == "-" {
+			return os.Stdout, nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		closers = append(closers, f)
+		return f, nil
+	}
+	if *tracePath != "" {
+		w, err := openOut(*tracePath)
+		if err != nil {
+			return err
+		}
+		jsonl = ancrfid.NewJSONLTracer(w)
+		tracers = append(tracers, jsonl)
+	}
+	if *timeline != "" {
+		w, err := openOut(*timeline)
+		if err != nil {
+			return err
+		}
+		tracers = append(tracers, ancrfid.NewTimelineTracer(w))
+	}
+	cfg.Tracer = ancrfid.MultiTracer(tracers...)
+	var reg *ancrfid.Registry
+	if *metrics != "" {
+		reg = ancrfid.NewRegistry()
+		cfg.Metrics = reg
+	}
+	if *progress {
+		cfg.Progress = func(run int, m ancrfid.Metrics, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "run %d/%d: %v\n", run+1, *runs, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "run %d/%d: %d/%d tags in %d slots (%.1f tags/s)\n",
+				run+1, *runs, m.Identified(), m.Tags, m.TotalSlots(), m.Throughput())
+		}
+	}
 	switch *chanKind {
 	case "abstract":
 		if *punres > 0 || *pcorrupt > 0 {
@@ -109,6 +166,20 @@ func run(args []string) error {
 	res, err := ancrfid.Run(p, cfg)
 	if err != nil {
 		return err
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if reg != nil {
+		w, err := openOut(*metrics)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.WriteTo(w); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
 	}
 
 	m0 := res.Runs[0]

@@ -1,6 +1,15 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
 
 func TestRunBasic(t *testing.T) {
 	if err := run([]string{"-protocol", "FCAT-2", "-tags", "200", "-runs", "2"}); err != nil {
@@ -52,12 +61,148 @@ func TestRunCRDSA(t *testing.T) {
 	}
 }
 
-func TestRunTrace(t *testing.T) {
-	if err := run([]string{"-protocol", "FCAT-2", "-tags", "100", "-runs", "1", "-trace"}); err != nil {
+// knownEvents is the JSONL schema's closed event-name set; a new event name
+// must be added here and to docs/observability.md.
+var knownEvents = map[string]bool{
+	"run_start": true, "run_end": true, "frame": true, "advert": true,
+	"slot": true, "identify": true, "ack": true, "record": true,
+	"cascade": true, "resolve": true, "estimate": true,
+}
+
+func TestRunTraceJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"-protocol", "FCAT-2", "-tags", "100", "-runs", "2",
+		"-trace", path}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-protocol", "DFSA", "-trace", "-tags", "50"}); err == nil {
-		t.Fatal("-trace with a non-FCAT protocol should fail")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines int
+	var starts, ends int
+	for sc.Scan() {
+		lines++
+		var ev struct {
+			V   int    `json:"v"`
+			Ev  string `json:"ev"`
+			Run int    `json:"run"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if ev.V != 1 {
+			t.Fatalf("line %d: schema version %d, want 1", lines, ev.V)
+		}
+		if !knownEvents[ev.Ev] {
+			t.Fatalf("line %d: unknown event %q", lines, ev.Ev)
+		}
+		if ev.Run < 0 || ev.Run > 1 {
+			t.Fatalf("line %d: run index %d out of range", lines, ev.Run)
+		}
+		switch ev.Ev {
+		case "run_start":
+			starts++
+		case "run_end":
+			ends++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("empty trace")
+	}
+	if starts != 2 || ends != 2 {
+		t.Fatalf("got %d run_start / %d run_end events, want 2 / 2", starts, ends)
+	}
+}
+
+// TestRunTraceGolden pins the exact JSONL bytes of a tiny deterministic
+// campaign. A diff here means the trace schema or the simulation's RNG draw
+// order changed; regenerate with UPDATE_GOLDEN=1 go test ./cmd/rfidsim -run
+// Golden and bump obs.SchemaVersion if the change is not purely additive.
+func TestRunTraceGolden(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"-protocol", "FCAT-2", "-tags", "6", "-runs", "1",
+		"-seed", "7", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden.jsonl")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace differs from %s (regenerate with UPDATE_GOLDEN=1)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+func TestRunMetricsOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.txt")
+	if err := run([]string{"-protocol", "SCAT-2", "-tags", "120", "-runs", "2",
+		"-metrics", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty metrics dump")
+	}
+	values := make(map[string]float64)
+	for _, line := range lines {
+		key, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("metrics line %q is not \"key value\"", line)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("metrics line %q: value does not parse: %v", line, err)
+		}
+		values[key] = f
+	}
+	if values["runs.completed"] != 2 {
+		t.Fatalf("runs.completed = %v, want 2", values["runs.completed"])
+	}
+	if values["ids.direct"]+values["ids.resolved"] != 2*120 {
+		t.Fatalf("ids.direct+ids.resolved = %v, want %d",
+			values["ids.direct"]+values["ids.resolved"], 2*120)
+	}
+}
+
+func TestRunTimelineAndProgress(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "timeline.txt")
+	if err := run([]string{"-protocol", "DFSA", "-tags", "80", "-runs", "1",
+		"-timeline", path, "-progress"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "run DFSA tags=80") {
+		t.Fatalf("timeline missing run header:\n%.400s", data)
+	}
+	if !strings.Contains(string(data), "run end:") {
+		t.Fatalf("timeline missing run end:\n%.400s", data)
 	}
 }
 

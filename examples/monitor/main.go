@@ -6,6 +6,12 @@
 // (cheap re-reads, expensive on churn) against the collision-aware FCAT
 // reader (flat cost).
 //
+// The per-round inventory is assembled live from the reader's event
+// stream: an ancrfid.TracerHooks observer collects every identification
+// event as it happens (tagging each ID with how it was obtained), so the
+// arrival/departure report needs no access to the simulation's ground
+// truth — it sees exactly what a reader in the field would see.
+//
 // Run with:
 //
 //	go run ./examples/monitor
@@ -17,6 +23,32 @@ import (
 
 	"github.com/ancrfid/ancrfid"
 )
+
+// inventory accumulates one reading round from the event stream.
+type inventory struct {
+	ids      map[ancrfid.TagID]struct{}
+	resolved int // IDs recovered from collision records via ANC
+	slots    int
+}
+
+// tracer returns the event-stream observer that fills the inventory.
+func (inv *inventory) tracer() ancrfid.Tracer {
+	return &ancrfid.TracerHooks{
+		OnTagIdentified: func(ev ancrfid.TraceIdentifyEvent) {
+			inv.ids[ev.ID] = struct{}{}
+			if ev.ViaResolution {
+				inv.resolved++
+			}
+		},
+		OnSlotDone: func(ev ancrfid.TraceSlotEvent) {
+			inv.slots++
+		},
+	}
+}
+
+func newInventory() *inventory {
+	return &inventory{ids: make(map[ancrfid.TagID]struct{})}
+}
 
 func main() {
 	r := ancrfid.NewRNG(99)
@@ -45,7 +77,7 @@ func main() {
 	fcat := ancrfid.NewFCAT(2)
 	known := make(map[ancrfid.TagID]struct{})
 
-	fmt.Println("round  present  arrived  departed  AQS slots  FCAT slots")
+	fmt.Println("round  present  arrived  departed  resolved  AQS slots  FCAT slots")
 	for round := 1; round <= 6; round++ {
 		// Overnight churn: trucks come and go.
 		switch round {
@@ -63,47 +95,46 @@ func main() {
 			tags = append(tags, id)
 		}
 
-		aqsMetrics, err := aqs.RunRound(freshEnv(r, tags))
-		if err != nil {
+		// Each reader streams its events into its own inventory; the AQS
+		// inventory is only used for its slot count here, the FCAT one
+		// drives the change report.
+		aqsInv, fcatInv := newInventory(), newInventory()
+		if _, err := aqs.RunRound(freshEnv(r, tags, aqsInv.tracer())); err != nil {
 			log.Fatal(err)
 		}
-		fcatMetrics, err := fcat.Run(freshEnv(r, tags))
-		if err != nil {
+		if _, err := fcat.Run(freshEnv(r, tags, fcatInv.tracer())); err != nil {
 			log.Fatal(err)
 		}
 
-		// Diff this round's reading against the last known inventory.
-		seen := make(map[ancrfid.TagID]struct{}, len(tags))
-		for _, id := range tags {
-			seen[id] = struct{}{}
-		}
+		// Diff the streamed reading against the last known inventory.
 		arrived, departed := 0, 0
-		for id := range seen {
+		for id := range fcatInv.ids {
 			if _, ok := known[id]; !ok {
 				arrived++
 			}
 		}
 		for id := range known {
-			if _, ok := seen[id]; !ok {
+			if _, ok := fcatInv.ids[id]; !ok {
 				departed++
 			}
 		}
-		known = seen
+		known = fcatInv.ids
 
-		fmt.Printf("%5d  %7d  %7d  %8d  %9d  %10d\n",
-			round, len(present), arrived, departed,
-			aqsMetrics.TotalSlots(), fcatMetrics.TotalSlots())
+		fmt.Printf("%5d  %7d  %7d  %8d  %8d  %9d  %10d\n",
+			round, len(present), arrived, departed, fcatInv.resolved,
+			aqsInv.slots, fcatInv.slots)
 	}
 
 	fmt.Println("\nAQS re-reads an unchanged dock almost for free but pays to rebuild")
 	fmt.Println("its tree under churn; FCAT's cost tracks the population size alone.")
 }
 
-func freshEnv(r *ancrfid.RNG, tags []ancrfid.TagID) *ancrfid.Env {
+func freshEnv(r *ancrfid.RNG, tags []ancrfid.TagID, tr ancrfid.Tracer) *ancrfid.Env {
 	return &ancrfid.Env{
 		RNG:     r.Split(),
 		Tags:    tags,
 		Channel: ancrfid.NewAbstractChannel(ancrfid.AbstractChannelConfig{Lambda: 2}, r.Split()),
 		Timing:  ancrfid.ICodeTiming(),
+		Tracer:  tr,
 	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"github.com/ancrfid/ancrfid/internal/air"
 	"github.com/ancrfid/ancrfid/internal/channel"
+	obsev "github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/protocol"
 	"github.com/ancrfid/ancrfid/internal/record"
 	"github.com/ancrfid/ancrfid/internal/tagid"
@@ -64,10 +65,17 @@ func (p *Protocol) Name() string { return "CRDSA" }
 
 // Run implements protocol.Protocol.
 func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
+	m, err := p.run(env)
+	env.TraceRunEnd(p.Name(), m, err)
+	return m, err
+}
+
+func (p *Protocol) run(env *protocol.Env) (protocol.Metrics, error) {
 	var (
 		m     = protocol.Metrics{Tags: len(env.Tags)}
 		clock air.Clock
 	)
+	env.TraceRunStart(p.Name())
 	unread := make([]tagid.ID, len(env.Tags))
 	copy(unread, env.Tags)
 	seen := make(map[tagid.ID]struct{}, len(env.Tags))
@@ -95,6 +103,7 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 		}
 		clock.Add(env.Timing.FrameAnnouncement())
 		m.Frames++
+		env.TraceFrame(obsev.FrameEvent{Seq: slots, Frame: m.Frames, Size: frameSize, P: 1})
 
 		read, transmissions := p.runFrame(env, frameSize, unread, seen, &m)
 		slots += frameSize
@@ -150,6 +159,7 @@ func (p *Protocol) runFrame(env *protocol.Env, frameSize int, unread []tagid.ID,
 	// lost acknowledgement) are marked known so their replicas are
 	// subtracted on sight.
 	store := record.NewStore()
+	store.Tracer = env.Tracer
 	for _, id := range unread {
 		if _, ok := seen[id]; ok {
 			store.MarkKnown(id)
@@ -171,7 +181,11 @@ func (p *Protocol) runFrame(env *protocol.Env, frameSize int, unread []tagid.ID,
 				env.NotifyIdentified(obs.ID, false)
 				queue = append(queue, obs.ID)
 			}
-			if env.AckDelivered() {
+			delivered := env.AckDelivered()
+			env.TraceAck(obsev.AckEvent{
+				Seq: s, ID: obs.ID, Kind: obsev.AckDirect, Delivered: delivered,
+			})
+			if delivered {
 				read[obs.ID] = struct{}{}
 			}
 		case channel.Collision:
@@ -183,7 +197,11 @@ func (p *Protocol) runFrame(env *protocol.Env, frameSize int, unread []tagid.ID,
 				seen[res.ID] = struct{}{}
 				m.ResolvedIDs++
 				env.NotifyIdentified(res.ID, true)
-				if env.AckDelivered() {
+				delivered := env.AckDelivered()
+				env.TraceAck(obsev.AckEvent{
+					Seq: s, ID: res.ID, Kind: obsev.AckResolvedID, Delivered: delivered,
+				})
+				if delivered {
 					read[res.ID] = struct{}{}
 				}
 			}
@@ -208,7 +226,11 @@ func (p *Protocol) runFrame(env *protocol.Env, frameSize int, unread []tagid.ID,
 			seen[res.ID] = struct{}{}
 			m.ResolvedIDs++
 			env.NotifyIdentified(res.ID, true)
-			if env.AckDelivered() {
+			delivered := env.AckDelivered()
+			env.TraceAck(obsev.AckEvent{
+				Seq: int(res.Slot), ID: res.ID, Kind: obsev.AckResolvedID, Delivered: delivered,
+			})
+			if delivered {
 				read[res.ID] = struct{}{}
 			}
 		}

@@ -14,6 +14,7 @@ import (
 
 	"github.com/ancrfid/ancrfid/internal/air"
 	"github.com/ancrfid/ancrfid/internal/channel"
+	obsev "github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/protocol"
 	"github.com/ancrfid/ancrfid/internal/tagid"
 )
@@ -56,10 +57,17 @@ func (p *Protocol) Name() string { return "DFSA" }
 
 // Run implements protocol.Protocol.
 func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
+	m, err := p.run(env)
+	env.TraceRunEnd(p.Name(), m, err)
+	return m, err
+}
+
+func (p *Protocol) run(env *protocol.Env) (protocol.Metrics, error) {
 	var (
 		m     = protocol.Metrics{Tags: len(env.Tags)}
 		clock air.Clock
 	)
+	env.TraceRunStart(p.Name())
 	unread := make([]tagid.ID, len(env.Tags))
 	copy(unread, env.Tags)
 	seen := make(map[tagid.ID]struct{}, len(env.Tags))
@@ -83,6 +91,7 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 		}
 		clock.Add(env.Timing.FrameAnnouncement())
 		m.Frames++
+		env.TraceFrame(obsev.FrameEvent{Seq: slots, Frame: m.Frames, Size: frameSize, P: 1})
 
 		var collisions, transmissions int
 		unread, collisions, transmissions = runFrame(env, frameSize, unread, seen, &m)
@@ -96,6 +105,9 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 		}
 		// Schoute's estimate: each colliding slot hides ~2.39 tags.
 		frameSize = int(math.Round(SchouteFactor * float64(collisions)))
+		env.TraceEstimate(obsev.EstimateEvent{
+			Frame: m.Frames, Estimate: float64(frameSize), Identified: m.Identified(),
+		})
 	}
 }
 
@@ -125,7 +137,11 @@ func runFrame(env *protocol.Env, frameSize int, unread []tagid.ID, seen map[tagi
 				m.DirectIDs++
 				env.NotifyIdentified(obs.ID, false)
 			}
-			if env.AckDelivered() {
+			delivered := env.AckDelivered()
+			env.TraceAck(obsev.AckEvent{
+				Seq: m.TotalSlots() - 1, ID: obs.ID, Kind: obsev.AckDirect, Delivered: delivered,
+			})
+			if delivered {
 				read[obs.ID] = struct{}{}
 			}
 		case channel.Collision:

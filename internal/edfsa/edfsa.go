@@ -14,6 +14,7 @@ import (
 	"github.com/ancrfid/ancrfid/internal/air"
 	"github.com/ancrfid/ancrfid/internal/channel"
 	"github.com/ancrfid/ancrfid/internal/dfsa"
+	obsev "github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/protocol"
 	"github.com/ancrfid/ancrfid/internal/tagid"
 )
@@ -76,10 +77,17 @@ func frameSizeFor(est int) (frame, groups int) {
 
 // Run implements protocol.Protocol.
 func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
+	m, err := p.run(env)
+	env.TraceRunEnd(p.Name(), m, err)
+	return m, err
+}
+
+func (p *Protocol) run(env *protocol.Env) (protocol.Metrics, error) {
 	var (
 		m     = protocol.Metrics{Tags: len(env.Tags)}
 		clock air.Clock
 	)
+	env.TraceRunStart(p.Name())
 	unread := make([]tagid.ID, len(env.Tags))
 	copy(unread, env.Tags)
 	seen := make(map[tagid.ID]struct{}, len(env.Tags))
@@ -106,6 +114,9 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 			members := groupMembers(unread, round, groups, g)
 			clock.Add(env.Timing.FrameAnnouncement())
 			m.Frames++
+			env.TraceFrame(obsev.FrameEvent{
+				Seq: slots, Frame: m.Frames, Size: frame, P: 1 / float64(groups),
+			})
 			collisions, transmissions, read := runGroupFrame(env, frame, members, seen, &m)
 			roundCollisions += collisions
 			roundTransmissions += transmissions
@@ -130,6 +141,9 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 		if estimated < 1 {
 			estimated = 1
 		}
+		env.TraceEstimate(obsev.EstimateEvent{
+			Frame: m.Frames, Estimate: float64(estimated), Identified: m.Identified(),
+		})
 	}
 }
 
@@ -171,7 +185,11 @@ func runGroupFrame(env *protocol.Env, frameSize int, members []tagid.ID, seen ma
 				m.DirectIDs++
 				env.NotifyIdentified(obs.ID, false)
 			}
-			if env.AckDelivered() {
+			delivered := env.AckDelivered()
+			env.TraceAck(obsev.AckEvent{
+				Seq: m.TotalSlots() - 1, ID: obs.ID, Kind: obsev.AckDirect, Delivered: delivered,
+			})
+			if delivered {
 				read[obs.ID] = struct{}{}
 			}
 		case channel.Collision:

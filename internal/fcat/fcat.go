@@ -28,6 +28,7 @@ import (
 	"github.com/ancrfid/ancrfid/internal/analysis"
 	"github.com/ancrfid/ancrfid/internal/channel"
 	"github.com/ancrfid/ancrfid/internal/estimate"
+	obsev "github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/protocol"
 	"github.com/ancrfid/ancrfid/internal/record"
 	"github.com/ancrfid/ancrfid/internal/tagid"
@@ -156,8 +157,11 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 		buf:    make([]tagid.ID, 0, 64),
 		budget: env.SlotBudget(),
 	}
+	r.store.Tracer = env.Tracer
+	env.TraceRunStart(p.Name())
 	err := r.execute()
 	r.m.OnAir = r.clock.Elapsed()
+	env.TraceRunEnd(p.Name(), r.m, err)
 	return r.m, err
 }
 
@@ -175,6 +179,7 @@ func (r *run) execute() error {
 		if estimateN <= 0 { // bootstrap proved the field empty
 			return nil
 		}
+		r.env.TraceEstimate(obsev.EstimateEvent{Estimate: estimateN})
 	}
 
 	var tracker estimate.Tracker
@@ -200,6 +205,9 @@ func (r *run) execute() error {
 			}
 			estimateN = float64(r.m.Identified()) + rem
 			tracker = estimate.Tracker{}
+			r.env.TraceEstimate(obsev.EstimateEvent{
+				Frame: r.m.Frames, Estimate: estimateN, Identified: r.m.Identified(),
+			})
 			continue
 		}
 
@@ -208,6 +216,7 @@ func (r *run) execute() error {
 			p = 1
 		}
 		r.clock.Add(r.env.Timing.FrameAdvertisement())
+		r.env.TraceFrame(obsev.FrameEvent{Seq: int(r.slot), Frame: r.m.Frames + 1, Size: f, P: p})
 		identifiedBefore := r.m.Identified()
 		nc, n0 := 0, 0
 		for j := 0; j < f; j++ {
@@ -243,6 +252,9 @@ func (r *run) execute() error {
 			}
 			estimateN = float64(r.m.Identified()) + rem
 			tracker = estimate.Tracker{}
+			r.env.TraceEstimate(obsev.EstimateEvent{
+				Frame: r.m.Frames, Estimate: estimateN, Identified: r.m.Identified(),
+			})
 			continue
 		}
 
@@ -258,6 +270,9 @@ func (r *run) execute() error {
 				deficit = 1
 			}
 			estimateN = float64(r.m.Identified()) + 2*deficit + 1
+			r.env.TraceEstimate(obsev.EstimateEvent{
+				Frame: r.m.Frames, Estimate: estimateN, Identified: r.m.Identified(),
+			})
 			continue
 		}
 		total := frameEst + float64(identifiedBefore)
@@ -275,6 +290,12 @@ func (r *run) execute() error {
 			tracker.Add(total)
 			estimateN, _ = tracker.Mean()
 		}
+		r.env.TraceEstimate(obsev.EstimateEvent{
+			Frame:      r.m.Frames,
+			Estimate:   estimateN,
+			FrameEst:   total,
+			Identified: r.m.Identified(),
+		})
 	}
 }
 
@@ -299,6 +320,7 @@ func (r *run) executeOracle() error {
 			p = 1
 		}
 		r.clock.Add(r.env.Timing.FrameAdvertisement())
+		r.env.TraceFrame(obsev.FrameEvent{Seq: int(r.slot), Frame: r.m.Frames + 1, Size: f, P: p})
 		for j := 0; j < f; j++ {
 			if _, err := r.doSlot(p); err != nil {
 				return err
@@ -374,6 +396,7 @@ func (r *run) probe() (done bool, err error) {
 // by bootstrap and termination probes, which change p for a single slot).
 func (r *run) doSlotAdvertised(p float64) (channel.Kind, error) {
 	r.clock.Add(r.env.Timing.SlotAdvertisement())
+	r.env.TraceAdvert(obsev.AdvertEvent{Seq: int(r.slot), P: p})
 	return r.doSlot(p)
 }
 
@@ -394,7 +417,11 @@ func (r *run) doSlot(p float64) (channel.Kind, error) {
 	case channel.Singleton:
 		r.m.SingletonSlots++
 		r.countDirect(obs.ID)
-		if r.env.AckDelivered() {
+		delivered := r.env.AckDelivered()
+		r.env.TraceAck(obsev.AckEvent{
+			Seq: int(slot), ID: obs.ID, Kind: obsev.AckDirect, Delivered: delivered,
+		})
+		if delivered {
 			r.active.Remove(obs.ID)
 		}
 		for _, res := range r.store.OnIdentified(obs.ID) {
@@ -440,7 +467,11 @@ func (r *run) countResolved(res record.Resolved) {
 		r.env.NotifyIdentified(res.ID, true)
 	}
 	r.clock.Add(r.env.Timing.ResolvedIndexAck())
-	if r.env.AckDelivered() {
+	delivered := r.env.AckDelivered()
+	r.env.TraceAck(obsev.AckEvent{
+		Seq: int(r.slot) - 1, ID: res.ID, Kind: obsev.AckResolvedIndex, Delivered: delivered,
+	})
+	if delivered {
 		r.active.Remove(res.ID)
 	}
 }

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// JSONL writes the event stream as JSON Lines: one self-contained JSON
+// object per event, each stamped with the schema version ("v") and the
+// event name ("ev"). The format is append-only and stream-friendly —
+// `jq 'select(.ev=="resolve")'` over a trace file reconstructs every
+// cancellation cascade of a run.
+//
+// Every line additionally carries "run", a 0-based counter of RunStart
+// events seen by this writer, so traces of multi-run campaigns stay
+// separable.
+//
+// The writer is not safe for concurrent use; give each concurrent run its
+// own JSONL (or serialise runs, as the sim harness does). Errors are
+// sticky: the first write error stops all output and is reported by Err.
+type JSONL struct {
+	w   io.Writer
+	buf []byte
+	run int
+	err error
+}
+
+var _ Tracer = (*JSONL)(nil)
+
+// NewJSONL returns a JSONL trace writer over w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, buf: make([]byte, 0, 256), run: -1}
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error { return j.err }
+
+// open starts a line with the fixed prefix {"v":1,"ev":"<name>","run":N.
+func (j *JSONL) open(ev string) {
+	j.buf = j.buf[:0]
+	j.buf = append(j.buf, `{"v":`...)
+	j.buf = strconv.AppendInt(j.buf, SchemaVersion, 10)
+	j.buf = append(j.buf, `,"ev":"`...)
+	j.buf = append(j.buf, ev...)
+	j.buf = append(j.buf, `","run":`...)
+	j.buf = strconv.AppendInt(j.buf, int64(j.run), 10)
+}
+
+func (j *JSONL) int(key string, v int64) {
+	j.buf = append(j.buf, ',', '"')
+	j.buf = append(j.buf, key...)
+	j.buf = append(j.buf, '"', ':')
+	j.buf = strconv.AppendInt(j.buf, v, 10)
+}
+
+func (j *JSONL) float(key string, v float64) {
+	j.buf = append(j.buf, ',', '"')
+	j.buf = append(j.buf, key...)
+	j.buf = append(j.buf, '"', ':')
+	j.buf = strconv.AppendFloat(j.buf, v, 'g', -1, 64)
+}
+
+func (j *JSONL) str(key, v string) {
+	j.buf = append(j.buf, ',', '"')
+	j.buf = append(j.buf, key...)
+	j.buf = append(j.buf, '"', ':')
+	j.buf = strconv.AppendQuote(j.buf, v)
+}
+
+func (j *JSONL) bool(key string, v bool) {
+	j.buf = append(j.buf, ',', '"')
+	j.buf = append(j.buf, key...)
+	j.buf = append(j.buf, '"', ':')
+	j.buf = strconv.AppendBool(j.buf, v)
+}
+
+func (j *JSONL) id(key string, v tagid.ID) {
+	j.str(key, v.String())
+}
+
+func (j *JSONL) close() {
+	if j.err != nil {
+		return
+	}
+	j.buf = append(j.buf, '}', '\n')
+	if _, err := j.w.Write(j.buf); err != nil {
+		j.err = err
+	}
+}
+
+func (j *JSONL) RunStart(ev RunStartEvent) {
+	if j.err != nil {
+		return
+	}
+	j.run++
+	j.open("run_start")
+	j.str("protocol", ev.Protocol)
+	j.int("tags", int64(ev.Tags))
+	j.close()
+}
+
+func (j *JSONL) RunEnd(ev RunEndEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("run_end")
+	j.str("protocol", ev.Protocol)
+	j.int("slots", int64(ev.Slots))
+	j.int("frames", int64(ev.Frames))
+	j.int("direct", int64(ev.Direct))
+	j.int("resolved", int64(ev.Resolved))
+	if ev.Err != "" {
+		j.str("err", ev.Err)
+	}
+	j.close()
+}
+
+func (j *JSONL) FrameStart(ev FrameEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("frame")
+	j.int("seq", int64(ev.Seq))
+	j.int("frame", int64(ev.Frame))
+	j.int("size", int64(ev.Size))
+	j.float("p", ev.P)
+	j.close()
+}
+
+func (j *JSONL) Advertisement(ev AdvertEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("advert")
+	j.int("seq", int64(ev.Seq))
+	j.float("p", ev.P)
+	j.close()
+}
+
+func (j *JSONL) SlotDone(ev SlotEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("slot")
+	j.int("seq", int64(ev.Seq))
+	j.str("kind", ev.Kind.String())
+	j.int("tx", int64(ev.Transmitters))
+	j.int("identified", int64(ev.Identified))
+	j.close()
+}
+
+func (j *JSONL) TagIdentified(ev IdentifyEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("identify")
+	j.id("id", ev.ID)
+	j.bool("via_resolution", ev.ViaResolution)
+	j.close()
+}
+
+func (j *JSONL) AckSent(ev AckEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("ack")
+	j.int("seq", int64(ev.Seq))
+	j.id("id", ev.ID)
+	j.str("kind", ev.Kind.String())
+	j.bool("delivered", ev.Delivered)
+	j.close()
+}
+
+func (j *JSONL) RecordCreated(ev RecordEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("record")
+	j.int("slot", int64(ev.Slot))
+	j.int("mult", int64(ev.Multiplicity))
+	j.int("unknown", int64(ev.Unknown))
+	j.close()
+}
+
+func (j *JSONL) CascadeStep(ev CascadeEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("cascade")
+	j.id("id", ev.ID)
+	j.int("records", int64(ev.Records))
+	j.int("depth", int64(ev.Depth))
+	j.close()
+}
+
+func (j *JSONL) RecordResolved(ev ResolveEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("resolve")
+	j.int("slot", int64(ev.Slot))
+	j.id("id", ev.ID)
+	var zero tagid.ID
+	if ev.Trigger != zero {
+		j.id("trigger", ev.Trigger)
+	}
+	j.int("depth", int64(ev.Depth))
+	if ev.Dup {
+		j.bool("dup", true)
+	}
+	j.close()
+}
+
+func (j *JSONL) EstimatorUpdate(ev EstimateEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("estimate")
+	j.int("frame", int64(ev.Frame))
+	j.float("estimate", ev.Estimate)
+	j.float("frame_est", ev.FrameEst)
+	j.int("identified", int64(ev.Identified))
+	j.close()
+}

@@ -1,0 +1,146 @@
+package obs
+
+import "github.com/ancrfid/ancrfid/internal/channel"
+
+// Metric names fed by MetricsTracer. The slot, frame, identification and
+// transmission counters mirror the protocol.Metrics fields of the traced
+// runs exactly (summed over runs when one registry serves a campaign);
+// the remaining counters expose what Metrics cannot see: acknowledgement
+// fates, record-store activity and cascade structure.
+const (
+	MetricRunsStarted   = "runs.started"
+	MetricRunsCompleted = "runs.completed"
+	MetricRunsFailed    = "runs.failed"
+
+	MetricSlotsEmpty     = "slots.empty"
+	MetricSlotsSingleton = "slots.singleton"
+	MetricSlotsCollision = "slots.collision"
+
+	MetricFrames  = "frames"
+	MetricAdverts = "adverts"
+
+	MetricTxTotal = "tx.total"
+
+	MetricIDsDirect   = "ids.direct"
+	MetricIDsResolved = "ids.resolved"
+
+	MetricAcksSent = "acks.sent"
+	MetricAcksLost = "acks.lost"
+
+	MetricRecordsCreated  = "records.created"
+	MetricRecordsResolved = "records.resolved"
+	MetricRecordsSpent    = "records.spent"
+	MetricCascadeSteps    = "cascade.steps"
+
+	MetricEstimatorUpdates = "estimator.updates"
+
+	HistTxPerSlot    = "hist.tx_per_slot"
+	HistCascadeDepth = "hist.cascade_depth"
+	HistRecordMult   = "hist.record_multiplicity"
+)
+
+// MetricsTracer feeds a Registry from the event stream. The counter handles
+// are resolved once at construction, so per-event cost is a handful of
+// atomic adds — safe for concurrent runs sharing one registry.
+type MetricsTracer struct {
+	runsStarted, runsCompleted, runsFailed     *Counter
+	slotsEmpty, slotsSingleton, slotsCollision *Counter
+	frames, adverts                            *Counter
+	txTotal                                    *Counter
+	idsDirect, idsResolved                     *Counter
+	acksSent, acksLost                         *Counter
+	recCreated, recResolved, recSpent          *Counter
+	cascadeSteps, estimatorUpdates             *Counter
+	txPerSlot, cascadeDepth, recordMult        *Histogram
+}
+
+var _ Tracer = (*MetricsTracer)(nil)
+
+// NewMetricsTracer returns a tracer that accumulates into reg.
+func NewMetricsTracer(reg *Registry) *MetricsTracer {
+	return &MetricsTracer{
+		runsStarted:      reg.Counter(MetricRunsStarted),
+		runsCompleted:    reg.Counter(MetricRunsCompleted),
+		runsFailed:       reg.Counter(MetricRunsFailed),
+		slotsEmpty:       reg.Counter(MetricSlotsEmpty),
+		slotsSingleton:   reg.Counter(MetricSlotsSingleton),
+		slotsCollision:   reg.Counter(MetricSlotsCollision),
+		frames:           reg.Counter(MetricFrames),
+		adverts:          reg.Counter(MetricAdverts),
+		txTotal:          reg.Counter(MetricTxTotal),
+		idsDirect:        reg.Counter(MetricIDsDirect),
+		idsResolved:      reg.Counter(MetricIDsResolved),
+		acksSent:         reg.Counter(MetricAcksSent),
+		acksLost:         reg.Counter(MetricAcksLost),
+		recCreated:       reg.Counter(MetricRecordsCreated),
+		recResolved:      reg.Counter(MetricRecordsResolved),
+		recSpent:         reg.Counter(MetricRecordsSpent),
+		cascadeSteps:     reg.Counter(MetricCascadeSteps),
+		estimatorUpdates: reg.Counter(MetricEstimatorUpdates),
+		txPerSlot:        reg.Histogram(HistTxPerSlot),
+		cascadeDepth:     reg.Histogram(HistCascadeDepth),
+		recordMult:       reg.Histogram(HistRecordMult),
+	}
+}
+
+func (t *MetricsTracer) RunStart(RunStartEvent) { t.runsStarted.Inc() }
+
+func (t *MetricsTracer) RunEnd(ev RunEndEvent) {
+	if ev.Err == "" {
+		t.runsCompleted.Inc()
+	} else {
+		t.runsFailed.Inc()
+	}
+}
+
+func (t *MetricsTracer) FrameStart(FrameEvent) { t.frames.Inc() }
+
+func (t *MetricsTracer) Advertisement(AdvertEvent) { t.adverts.Inc() }
+
+func (t *MetricsTracer) SlotDone(ev SlotEvent) {
+	// Classify by the observed kind, not the transmitter count: a
+	// corrupted singleton observes as a collision and must count as one.
+	switch ev.Kind {
+	case channel.Empty:
+		t.slotsEmpty.Inc()
+	case channel.Singleton:
+		t.slotsSingleton.Inc()
+	case channel.Collision:
+		t.slotsCollision.Inc()
+	}
+	t.txTotal.Add(int64(ev.Transmitters))
+	t.txPerSlot.Observe(int64(ev.Transmitters))
+}
+
+func (t *MetricsTracer) TagIdentified(ev IdentifyEvent) {
+	if ev.ViaResolution {
+		t.idsResolved.Inc()
+	} else {
+		t.idsDirect.Inc()
+	}
+}
+
+func (t *MetricsTracer) AckSent(ev AckEvent) {
+	t.acksSent.Inc()
+	if !ev.Delivered {
+		t.acksLost.Inc()
+	}
+}
+
+func (t *MetricsTracer) RecordCreated(ev RecordEvent) {
+	t.recCreated.Inc()
+	t.recordMult.Observe(int64(ev.Multiplicity))
+}
+
+func (t *MetricsTracer) CascadeStep(CascadeEvent) { t.cascadeSteps.Inc() }
+
+func (t *MetricsTracer) RecordResolved(ev ResolveEvent) {
+	if ev.Dup {
+		t.recSpent.Inc()
+		return
+	}
+	t.recResolved.Inc()
+	t.cascadeDepth.Observe(int64(ev.Depth))
+}
+
+func (t *MetricsTracer) EstimatorUpdate(EstimateEvent) { t.estimatorUpdates.Inc() }

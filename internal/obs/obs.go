@@ -1,0 +1,426 @@
+// Package obs is the observability layer of the simulator: a typed,
+// allocation-free event stream emitted by every protocol run, plus the
+// consumers that turn it into traces and metrics.
+//
+// The paper's argument is entirely about what happens *inside* slots —
+// collision records accumulating, ANC cancellation cascades, the embedded
+// estimator locking on (Eq. 12) — so the event taxonomy mirrors exactly
+// those moments:
+//
+//	RunStart / RunEnd            one protocol run begins / finishes
+//	FrameStart                   a frame boundary (framed protocols)
+//	Advertisement                a per-slot advertisement (probe slots)
+//	SlotDone                     one report segment completed
+//	TagIdentified                a tag ID entered the reader's inventory
+//	AckSent                      a reader acknowledgement (and its fate)
+//	RecordCreated                a collision record was stored
+//	CascadeStep                  a known signal is subtracted from records
+//	RecordResolved               a record decoded (or was spent)
+//	EstimatorUpdate              the population estimate changed
+//
+// Producers hold a Tracer behind a nil check (see protocol.Env.Tracer), so
+// a run without observers pays nothing: events are plain structs passed by
+// value through concrete method calls — no interface boxing, no heap
+// allocation. bench_test.go guards this with a testing.AllocsPerRun
+// assertion.
+//
+// Consumers provided here:
+//
+//   - JSONL: a machine-readable trace writer (one JSON object per line,
+//     schema versioned by SchemaVersion; see docs/observability.md).
+//   - Timeline: a human-readable slot timeline for debugging cascades.
+//   - MetricsTracer: feeds an atomic counter/histogram Registry whose
+//     totals mirror protocol.Metrics (cross-checked in tests) and whose
+//     text dump parses as "key value" lines.
+//   - Hooks: a struct-of-functions adapter for ad-hoc observers.
+//   - Multi: fan-out to several tracers.
+package obs
+
+import (
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// SchemaVersion is the version number stamped on every JSONL trace line.
+// It increments whenever an existing field changes meaning or is removed;
+// adding new event types or new fields is backward compatible and does not
+// bump it (see docs/observability.md for the full policy).
+const SchemaVersion = 1
+
+// AckKind classifies a reader acknowledgement.
+type AckKind uint8
+
+const (
+	// AckDirect acknowledges a tag read from its own singleton slot.
+	AckDirect AckKind = iota + 1
+	// AckResolvedIndex acknowledges an ID recovered from a collision
+	// record by broadcasting the record's 23-bit slot index (FCAT,
+	// Section V-A).
+	AckResolvedIndex
+	// AckResolvedID acknowledges a recovered ID by broadcasting the full
+	// 96-bit ID (SCAT and the frame-based collision resolvers).
+	AckResolvedID
+)
+
+// String returns the acknowledgement-kind name.
+func (k AckKind) String() string {
+	switch k {
+	case AckDirect:
+		return "direct"
+	case AckResolvedIndex:
+		return "resolved-index"
+	case AckResolvedID:
+		return "resolved-id"
+	default:
+		return "unknown"
+	}
+}
+
+// RunStartEvent opens one protocol run.
+type RunStartEvent struct {
+	// Protocol is the display name, e.g. "FCAT-2".
+	Protocol string
+	// Tags is the population size the run faces.
+	Tags int
+}
+
+// RunEndEvent closes one protocol run.
+type RunEndEvent struct {
+	// Protocol is the display name, e.g. "FCAT-2".
+	Protocol string
+	// Slots, Frames, Direct and Resolved summarise the finished run (the
+	// same quantities as protocol.Metrics).
+	Slots    int
+	Frames   int
+	Direct   int
+	Resolved int
+	// Err is the run error, empty on success.
+	Err string
+}
+
+// FrameEvent marks a frame boundary: the advertisement that opens a frame
+// of Size slots at report probability P.
+type FrameEvent struct {
+	// Seq is the sequence number the frame's first slot will get.
+	Seq int
+	// Frame is the 1-based frame number within the run.
+	Frame int
+	// Size is the number of slots in the frame.
+	Size int
+	// P is the advertised report probability; 0 for frame-ALOHA protocols,
+	// which advertise a frame size instead.
+	P float64
+}
+
+// AdvertEvent marks a single-slot advertisement (SCAT's per-slot
+// advertisements and FCAT's bootstrap/termination probes).
+type AdvertEvent struct {
+	// Seq is the sequence number the advertised slot will get.
+	Seq int
+	// P is the advertised report probability.
+	P float64
+}
+
+// SlotEvent reports one completed report segment.
+type SlotEvent struct {
+	// Seq is the 0-based sequence number of the slot within the run.
+	Seq int
+	// Kind is the observed outcome (empty / singleton / collision).
+	Kind channel.Kind
+	// Transmitters is the number of tags that reported (ground truth).
+	Transmitters int
+	// Identified is the cumulative unique-ID count after the slot.
+	Identified int
+}
+
+// IdentifyEvent reports a tag ID entering the reader's inventory, exactly
+// once per counted tag.
+type IdentifyEvent struct {
+	// ID is the identified tag.
+	ID tagid.ID
+	// ViaResolution is true when the ID was recovered from a collision
+	// record rather than read from a singleton slot.
+	ViaResolution bool
+}
+
+// AckEvent reports one reader acknowledgement and whether it reached its
+// tag (lost acknowledgements make the tag keep transmitting, Section IV-E).
+type AckEvent struct {
+	// Seq is the sequence number of the slot the acknowledgement follows.
+	Seq int
+	// ID is the acknowledged tag.
+	ID tagid.ID
+	// Kind is the acknowledgement encoding.
+	Kind AckKind
+	// Delivered is false when the acknowledgement was lost.
+	Delivered bool
+}
+
+// RecordEvent reports a collision record entering the reader's store.
+type RecordEvent struct {
+	// Slot is the record's slot index (the key FCAT later acknowledges).
+	Slot uint64
+	// Multiplicity is the number of tags that transmitted in the slot.
+	Multiplicity int
+	// Unknown is how many of them the reader had not identified yet when
+	// the record was stored.
+	Unknown int
+}
+
+// CascadeEvent reports one step of the resolution cascade: a newly-known
+// tag's signal being subtracted from every record it participated in.
+type CascadeEvent struct {
+	// ID is the tag whose signal is subtracted.
+	ID tagid.ID
+	// Records is the number of stored records the tag participated in.
+	Records int
+	// Depth is the cascade depth: 0 for the identification that started
+	// the cascade, d+1 for an ID recovered at depth d.
+	Depth int
+}
+
+// ResolveEvent reports a collision record resolving.
+type ResolveEvent struct {
+	// Slot is the resolved record's slot index.
+	Slot uint64
+	// ID is the recovered tag ID (the record's last unknown constituent).
+	ID tagid.ID
+	// Trigger is the identification whose subtraction completed the
+	// record; the zero ID when the record resolved as it was stored
+	// (all other members already known).
+	Trigger tagid.ID
+	// Depth is the cascade depth at which the record resolved: 0 when it
+	// resolved as stored, d+1 when triggered by an ID known at depth d.
+	Depth int
+	// Dup is true when the residual was an ID the reader already knew
+	// (the record is spent but yields nothing new — two records in one
+	// cascade can strip down to the same tag).
+	Dup bool
+}
+
+// EstimateEvent reports a population-estimate update.
+type EstimateEvent struct {
+	// Frame is the frame number the update follows (0 for updates outside
+	// frames, e.g. FCAT's bootstrap probe or SCAT's recovery heuristics).
+	Frame int
+	// Estimate is the reader's running estimate of the total population
+	// after the update.
+	Estimate float64
+	// FrameEst is the raw single-frame estimate that produced the update
+	// (0 when the update did not come from a frame inversion).
+	FrameEst float64
+	// Identified is the unique-ID count at the time of the update.
+	Identified int
+}
+
+// Tracer receives the typed event stream of a protocol run. Implementations
+// must tolerate events from any protocol (a DFSA run emits no record or
+// estimator events, a tree run emits only run/slot events, and so on).
+//
+// Embed NopTracer to implement only the methods you care about, or use
+// Hooks for a closure-based observer.
+type Tracer interface {
+	RunStart(RunStartEvent)
+	RunEnd(RunEndEvent)
+	FrameStart(FrameEvent)
+	Advertisement(AdvertEvent)
+	SlotDone(SlotEvent)
+	TagIdentified(IdentifyEvent)
+	AckSent(AckEvent)
+	RecordCreated(RecordEvent)
+	CascadeStep(CascadeEvent)
+	RecordResolved(ResolveEvent)
+	EstimatorUpdate(EstimateEvent)
+}
+
+// NopTracer implements Tracer with no-ops; embed it to build partial
+// tracers.
+type NopTracer struct{}
+
+var _ Tracer = NopTracer{}
+
+func (NopTracer) RunStart(RunStartEvent)        {}
+func (NopTracer) RunEnd(RunEndEvent)            {}
+func (NopTracer) FrameStart(FrameEvent)         {}
+func (NopTracer) Advertisement(AdvertEvent)     {}
+func (NopTracer) SlotDone(SlotEvent)            {}
+func (NopTracer) TagIdentified(IdentifyEvent)   {}
+func (NopTracer) AckSent(AckEvent)              {}
+func (NopTracer) RecordCreated(RecordEvent)     {}
+func (NopTracer) CascadeStep(CascadeEvent)      {}
+func (NopTracer) RecordResolved(ResolveEvent)   {}
+func (NopTracer) EstimatorUpdate(EstimateEvent) {}
+
+// Hooks adapts plain functions into a Tracer; nil fields are skipped. It is
+// the quickest way to observe a run ad hoc:
+//
+//	env.Tracer = &obs.Hooks{
+//		OnRecordResolved: func(ev obs.ResolveEvent) { ... },
+//	}
+type Hooks struct {
+	OnRunStart        func(RunStartEvent)
+	OnRunEnd          func(RunEndEvent)
+	OnFrameStart      func(FrameEvent)
+	OnAdvertisement   func(AdvertEvent)
+	OnSlotDone        func(SlotEvent)
+	OnTagIdentified   func(IdentifyEvent)
+	OnAckSent         func(AckEvent)
+	OnRecordCreated   func(RecordEvent)
+	OnCascadeStep     func(CascadeEvent)
+	OnRecordResolved  func(ResolveEvent)
+	OnEstimatorUpdate func(EstimateEvent)
+}
+
+var _ Tracer = (*Hooks)(nil)
+
+func (h *Hooks) RunStart(ev RunStartEvent) {
+	if h.OnRunStart != nil {
+		h.OnRunStart(ev)
+	}
+}
+
+func (h *Hooks) RunEnd(ev RunEndEvent) {
+	if h.OnRunEnd != nil {
+		h.OnRunEnd(ev)
+	}
+}
+
+func (h *Hooks) FrameStart(ev FrameEvent) {
+	if h.OnFrameStart != nil {
+		h.OnFrameStart(ev)
+	}
+}
+
+func (h *Hooks) Advertisement(ev AdvertEvent) {
+	if h.OnAdvertisement != nil {
+		h.OnAdvertisement(ev)
+	}
+}
+
+func (h *Hooks) SlotDone(ev SlotEvent) {
+	if h.OnSlotDone != nil {
+		h.OnSlotDone(ev)
+	}
+}
+
+func (h *Hooks) TagIdentified(ev IdentifyEvent) {
+	if h.OnTagIdentified != nil {
+		h.OnTagIdentified(ev)
+	}
+}
+
+func (h *Hooks) AckSent(ev AckEvent) {
+	if h.OnAckSent != nil {
+		h.OnAckSent(ev)
+	}
+}
+
+func (h *Hooks) RecordCreated(ev RecordEvent) {
+	if h.OnRecordCreated != nil {
+		h.OnRecordCreated(ev)
+	}
+}
+
+func (h *Hooks) CascadeStep(ev CascadeEvent) {
+	if h.OnCascadeStep != nil {
+		h.OnCascadeStep(ev)
+	}
+}
+
+func (h *Hooks) RecordResolved(ev ResolveEvent) {
+	if h.OnRecordResolved != nil {
+		h.OnRecordResolved(ev)
+	}
+}
+
+func (h *Hooks) EstimatorUpdate(ev EstimateEvent) {
+	if h.OnEstimatorUpdate != nil {
+		h.OnEstimatorUpdate(ev)
+	}
+}
+
+// Multi fans every event out to each tracer in order. Nil members are
+// skipped, so Multi(a, nil, b) is valid.
+func Multi(tracers ...Tracer) Tracer {
+	kept := make([]Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return multi(kept)
+}
+
+type multi []Tracer
+
+func (m multi) RunStart(ev RunStartEvent) {
+	for _, t := range m {
+		t.RunStart(ev)
+	}
+}
+
+func (m multi) RunEnd(ev RunEndEvent) {
+	for _, t := range m {
+		t.RunEnd(ev)
+	}
+}
+
+func (m multi) FrameStart(ev FrameEvent) {
+	for _, t := range m {
+		t.FrameStart(ev)
+	}
+}
+
+func (m multi) Advertisement(ev AdvertEvent) {
+	for _, t := range m {
+		t.Advertisement(ev)
+	}
+}
+
+func (m multi) SlotDone(ev SlotEvent) {
+	for _, t := range m {
+		t.SlotDone(ev)
+	}
+}
+
+func (m multi) TagIdentified(ev IdentifyEvent) {
+	for _, t := range m {
+		t.TagIdentified(ev)
+	}
+}
+
+func (m multi) AckSent(ev AckEvent) {
+	for _, t := range m {
+		t.AckSent(ev)
+	}
+}
+
+func (m multi) RecordCreated(ev RecordEvent) {
+	for _, t := range m {
+		t.RecordCreated(ev)
+	}
+}
+
+func (m multi) CascadeStep(ev CascadeEvent) {
+	for _, t := range m {
+		t.CascadeStep(ev)
+	}
+}
+
+func (m multi) RecordResolved(ev ResolveEvent) {
+	for _, t := range m {
+		t.RecordResolved(ev)
+	}
+}
+
+func (m multi) EstimatorUpdate(ev EstimateEvent) {
+	for _, t := range m {
+		t.EstimatorUpdate(ev)
+	}
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two histogram buckets: bucket 0
+// holds the value 0, bucket i >= 1 holds values in [2^(i-1), 2^i - 1].
+// 40 buckets cover every count the simulator can produce.
+const histBuckets = 40
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is an atomic histogram over non-negative integer values with
+// power-of-two buckets, plus exact count and sum. Concurrent Observe calls
+// are safe; a snapshot taken while writers are active is approximate (each
+// bucket is individually consistent).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a value to its bucket: 0 -> 0, v -> bits.Len(v).
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1)<<i - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the mean observed value (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Bucket returns the number of observations in bucket i.
+func (h *Histogram) Bucket(i int) int64 {
+	if i < 0 || i >= histBuckets {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
+
+// Registry is a concurrency-safe collection of named counters and
+// histograms. Lookup-or-create takes a mutex; the returned handles update
+// atomically, so hot paths should cache them (as MetricsTracer does).
+// One registry can aggregate a whole campaign: the sim harness feeds every
+// run of a campaign into the same registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it at zero if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it empty if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Value returns the named counter's current value (0 if absent).
+func (r *Registry) Value(name string) int64 {
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.Value()
+}
+
+// WriteTo dumps the registry as sorted expvar/Prometheus-style text: one
+// "key value" pair per line. Counters dump as "name value"; histograms as
+// "name.count", "name.sum" and cumulative "name.le.<upper>" bucket lines
+// (only up to the last non-empty bucket). All values are integers.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	hnames := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		hnames = append(hnames, name)
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	sort.Strings(names)
+	sort.Strings(hnames)
+	var total int64
+	for _, name := range names {
+		n, err := fmt.Fprintf(w, "%s %d\n", name, counters[name].Value())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, name := range hnames {
+		h := hists[name]
+		n, err := fmt.Fprintf(w, "%s.count %d\n%s.sum %d\n", name, h.Count(), name, h.Sum())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		last := histBuckets - 1
+		for last > 0 && h.Bucket(last) == 0 {
+			last--
+		}
+		cum := int64(0)
+		for i := 0; i <= last; i++ {
+			cum += h.Bucket(i)
+			n, err := fmt.Fprintf(w, "%s.le.%d %d\n", name, BucketUpper(i), cum)
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}

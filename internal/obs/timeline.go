@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ancrfid/ancrfid/internal/channel"
+)
+
+// Timeline renders the event stream as a human-readable slot timeline, the
+// debugging view of a run: one line per slot (`.` empty, `S` singleton,
+// `C` collision) with indented annotations for frames, acknowledgements,
+// record activity, cascade steps and estimator updates. Example:
+//
+//	run FCAT-2 tags=50
+//	    frame 1 size=30 p=0.02828
+//	[0007] C tx=2                              record @7 mult=2
+//	[0012] S tx=1 id=30f1-4e2a99c0b51d-77aa    ack direct ok
+//	           cascade 30f1-4e2a99c0b51d-77aa -> 1 record (depth 0)
+//	           resolve @7 -> a012-... (depth 1)
+//	    estimate 48.2 (frame est 47.0, identified 9)
+//	run end: 61 slots, 2 frames, 38 direct + 12 resolved
+//
+// Not safe for concurrent use; errors are sticky and reported by Err.
+type Timeline struct {
+	w   io.Writer
+	err error
+}
+
+var _ Tracer = (*Timeline)(nil)
+
+// NewTimeline returns a timeline writer over w.
+func NewTimeline(w io.Writer) *Timeline {
+	return &Timeline{w: w}
+}
+
+// Err returns the first write error, if any.
+func (t *Timeline) Err() error { return t.err }
+
+func (t *Timeline) printf(format string, args ...any) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, format, args...)
+}
+
+func (t *Timeline) RunStart(ev RunStartEvent) {
+	t.printf("run %s tags=%d\n", ev.Protocol, ev.Tags)
+}
+
+func (t *Timeline) RunEnd(ev RunEndEvent) {
+	if ev.Err != "" {
+		t.printf("run end: %d slots, %d frames, %d direct + %d resolved, ERROR %s\n",
+			ev.Slots, ev.Frames, ev.Direct, ev.Resolved, ev.Err)
+		return
+	}
+	t.printf("run end: %d slots, %d frames, %d direct + %d resolved\n",
+		ev.Slots, ev.Frames, ev.Direct, ev.Resolved)
+}
+
+func (t *Timeline) FrameStart(ev FrameEvent) {
+	if ev.P > 0 {
+		t.printf("    frame %d size=%d p=%.5f\n", ev.Frame, ev.Size, ev.P)
+		return
+	}
+	t.printf("    frame %d size=%d\n", ev.Frame, ev.Size)
+}
+
+func (t *Timeline) Advertisement(ev AdvertEvent) {
+	t.printf("    advert p=%.5f\n", ev.P)
+}
+
+func glyph(k channel.Kind) byte {
+	switch k {
+	case channel.Empty:
+		return '.'
+	case channel.Singleton:
+		return 'S'
+	case channel.Collision:
+		return 'C'
+	default:
+		return '?'
+	}
+}
+
+func (t *Timeline) SlotDone(ev SlotEvent) {
+	t.printf("[%04d] %c tx=%d identified=%d\n", ev.Seq, glyph(ev.Kind), ev.Transmitters, ev.Identified)
+}
+
+func (t *Timeline) TagIdentified(ev IdentifyEvent) {
+	how := "direct"
+	if ev.ViaResolution {
+		how = "resolved"
+	}
+	t.printf("           identify %s (%s)\n", ev.ID, how)
+}
+
+func (t *Timeline) AckSent(ev AckEvent) {
+	fate := "ok"
+	if !ev.Delivered {
+		fate = "LOST"
+	}
+	t.printf("           ack %s %s %s\n", ev.Kind, ev.ID, fate)
+}
+
+func (t *Timeline) RecordCreated(ev RecordEvent) {
+	t.printf("           record @%d mult=%d unknown=%d\n", ev.Slot, ev.Multiplicity, ev.Unknown)
+}
+
+func (t *Timeline) CascadeStep(ev CascadeEvent) {
+	t.printf("           cascade %s -> %d records (depth %d)\n", ev.ID, ev.Records, ev.Depth)
+}
+
+func (t *Timeline) RecordResolved(ev ResolveEvent) {
+	if ev.Dup {
+		t.printf("           resolve @%d spent (residual %s already known)\n", ev.Slot, ev.ID)
+		return
+	}
+	t.printf("           resolve @%d -> %s (depth %d)\n", ev.Slot, ev.ID, ev.Depth)
+}
+
+func (t *Timeline) EstimatorUpdate(ev EstimateEvent) {
+	t.printf("    estimate %.1f (frame est %.1f, identified %d)\n", ev.Estimate, ev.FrameEst, ev.Identified)
+}

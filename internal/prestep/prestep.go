@@ -30,6 +30,7 @@ import (
 
 	"github.com/ancrfid/ancrfid/internal/air"
 	"github.com/ancrfid/ancrfid/internal/channel"
+	obsev "github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/protocol"
 	"github.com/ancrfid/ancrfid/internal/tagid"
 )
@@ -124,7 +125,10 @@ func Estimate(env *protocol.Env, cfg Config) (Result, error) {
 			}
 			return res, ErrInconclusive
 		}
-		n0, nc := probeFrame(env, f, p)
+		if env.Tracer != nil {
+			env.Tracer.FrameStart(obsev.FrameEvent{Seq: res.Slots, Frame: frames + 1, Size: f, P: p})
+		}
+		n0, nc := probeFrame(env, f, p, res.Slots)
 		res.Slots += f
 		res.EmptySlots += n0
 		res.CollisionSlots += nc
@@ -204,8 +208,11 @@ func PlanFrames(n int, cfg Config, p, relErr float64) int {
 
 // probeFrame simulates one probe frame: every tag picks a slot of the
 // frame with probability p; the reader only needs each slot's
-// empty/occupied/collided state.
-func probeFrame(env *protocol.Env, f int, p float64) (n0, nc int) {
+// empty/occupied/collided state. seq is the sequence number of the frame's
+// first slot, used only to label trace events. Probe slots feed the tracer
+// directly (not Env.NotifySlot) so pre-existing OnSlot observers keep
+// seeing identification slots only.
+func probeFrame(env *protocol.Env, f int, p float64, seq int) (n0, nc int) {
 	occupants := make([][]tagid.ID, f)
 	for _, id := range env.Tags {
 		if !env.RNG.Bool(p) {
@@ -214,12 +221,20 @@ func probeFrame(env *protocol.Env, f int, p float64) (n0, nc int) {
 		s := env.RNG.Intn(f)
 		occupants[s] = append(occupants[s], id)
 	}
-	for _, tx := range occupants {
-		switch obs := env.Channel.Observe(tx); obs.Kind {
+	for i, tx := range occupants {
+		obs := env.Channel.Observe(tx)
+		switch obs.Kind {
 		case channel.Empty:
 			n0++
 		case channel.Collision:
 			nc++
+		}
+		if env.Tracer != nil {
+			env.Tracer.SlotDone(obsev.SlotEvent{
+				Seq:          seq + i,
+				Kind:         obs.Kind,
+				Transmitters: len(tx),
+			})
 		}
 	}
 	return n0, nc

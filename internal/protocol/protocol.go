@@ -10,6 +10,7 @@ import (
 
 	"github.com/ancrfid/ancrfid/internal/air"
 	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/rng"
 	"github.com/ancrfid/ancrfid/internal/tagid"
 )
@@ -56,6 +57,12 @@ type Env struct {
 	// OnSlot, when non-nil, receives one SlotEvent per completed report
 	// segment — the hook behind progress traces and visualisations.
 	OnSlot func(SlotEvent)
+	// Tracer, when non-nil, receives the run's full typed event stream
+	// (slot outcomes, frame boundaries, advertisements, acknowledgements,
+	// collision-record activity, estimator updates; see internal/obs).
+	// The nil default costs nothing: every emission point is a nil check
+	// around a by-value method call, with no allocation on the hot path.
+	Tracer obs.Tracer
 	// PAckLoss is the probability that a reader acknowledgement fails to
 	// reach its tag. The tag then keeps transmitting until a later
 	// acknowledgement gets through, and the reader discards the duplicate
@@ -87,17 +94,85 @@ type SlotEvent struct {
 	Identified int
 }
 
-// NotifySlot invokes the OnSlot callback if one is set.
+// NotifySlot invokes the OnSlot callback if one is set and forwards the
+// slot outcome to the tracer.
 func (e *Env) NotifySlot(ev SlotEvent) {
 	if e.OnSlot != nil {
 		e.OnSlot(ev)
 	}
+	if e.Tracer != nil {
+		e.Tracer.SlotDone(obs.SlotEvent{
+			Seq:          ev.Seq,
+			Kind:         ev.Kind,
+			Transmitters: ev.Transmitters,
+			Identified:   ev.Identified,
+		})
+	}
 }
 
-// NotifyIdentified invokes the OnIdentified callback if one is set.
+// NotifyIdentified invokes the OnIdentified callback if one is set and
+// forwards the identification to the tracer. Protocols call it exactly once
+// per counted tag, so tracer-side tallies match Metrics.DirectIDs and
+// Metrics.ResolvedIDs.
 func (e *Env) NotifyIdentified(id tagid.ID, viaResolution bool) {
 	if e.OnIdentified != nil {
 		e.OnIdentified(id, viaResolution)
+	}
+	if e.Tracer != nil {
+		e.Tracer.TagIdentified(obs.IdentifyEvent{ID: id, ViaResolution: viaResolution})
+	}
+}
+
+// TraceRunStart emits the run-opening event.
+func (e *Env) TraceRunStart(protocol string) {
+	if e.Tracer != nil {
+		e.Tracer.RunStart(obs.RunStartEvent{Protocol: protocol, Tags: len(e.Tags)})
+	}
+}
+
+// TraceRunEnd emits the run-closing event with the finished run's totals.
+func (e *Env) TraceRunEnd(protocol string, m Metrics, err error) {
+	if e.Tracer == nil {
+		return
+	}
+	ev := obs.RunEndEvent{
+		Protocol: protocol,
+		Slots:    m.TotalSlots(),
+		Frames:   m.Frames,
+		Direct:   m.DirectIDs,
+		Resolved: m.ResolvedIDs,
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	e.Tracer.RunEnd(ev)
+}
+
+// TraceFrame emits a frame-boundary event.
+func (e *Env) TraceFrame(ev obs.FrameEvent) {
+	if e.Tracer != nil {
+		e.Tracer.FrameStart(ev)
+	}
+}
+
+// TraceAdvert emits a single-slot advertisement event.
+func (e *Env) TraceAdvert(ev obs.AdvertEvent) {
+	if e.Tracer != nil {
+		e.Tracer.Advertisement(ev)
+	}
+}
+
+// TraceAck emits an acknowledgement event.
+func (e *Env) TraceAck(ev obs.AckEvent) {
+	if e.Tracer != nil {
+		e.Tracer.AckSent(ev)
+	}
+}
+
+// TraceEstimate emits a population-estimate update event.
+func (e *Env) TraceEstimate(ev obs.EstimateEvent) {
+	if e.Tracer != nil {
+		e.Tracer.EstimatorUpdate(ev)
 	}
 }
 

@@ -11,6 +11,7 @@ package record
 
 import (
 	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/tagid"
 )
 
@@ -38,6 +39,11 @@ type entry struct {
 // transmissions, that scan selects exactly the records the tag is in. The
 // member index used here is therefore outcome-identical, just faster.
 type Store struct {
+	// Tracer, when non-nil, receives record-created, cascade-step and
+	// record-resolved events as the store works (see internal/obs).
+	// Protocols point it at their run's Env.Tracer.
+	Tracer obs.Tracer
+
 	byMember map[tagid.ID][]*entry
 	// known records every ID the reader has learned. A tag whose
 	// acknowledgement was lost keeps transmitting (Section IV-E) and lands
@@ -73,10 +79,16 @@ func (s *Store) Add(slot uint64, mix channel.Mixed, members []tagid.ID) []Resolv
 		unknown++
 	}
 	s.total++
+	if s.Tracer != nil {
+		s.Tracer.RecordCreated(obs.RecordEvent{Slot: slot, Multiplicity: len(members), Unknown: unknown})
+	}
 	if y, ok := e.mix.Decode(); ok {
 		// All but one member were already known: the record resolves as it
 		// is stored.
 		e.resolved = true
+		if s.Tracer != nil {
+			s.Tracer.RecordResolved(obs.ResolveEvent{Slot: slot, ID: y})
+		}
 		out := []Resolved{{ID: y, Slot: slot}}
 		return append(out, s.OnIdentified(y)...)
 	}
@@ -109,18 +121,21 @@ func (s *Store) Total() int { return s.total }
 // whose records yielded them, in recovery order.
 func (s *Store) OnIdentified(id tagid.ID) []Resolved {
 	var out []Resolved
-	queue := []tagid.ID{id}
+	queue := []cascadeItem{{id: id}}
 	for len(queue) > 0 {
 		x := queue[0]
 		queue = queue[1:]
-		s.known[x] = struct{}{}
-		entries := s.byMember[x]
-		delete(s.byMember, x)
+		s.known[x.id] = struct{}{}
+		entries := s.byMember[x.id]
+		delete(s.byMember, x.id)
+		if s.Tracer != nil && len(entries) > 0 {
+			s.Tracer.CascadeStep(obs.CascadeEvent{ID: x.id, Records: len(entries), Depth: x.depth})
+		}
 		for _, e := range entries {
 			if e.resolved {
 				continue
 			}
-			e.mix.Subtract(x)
+			e.mix.Subtract(x.id)
 			y, ok := e.mix.Decode()
 			if !ok {
 				continue
@@ -132,12 +147,29 @@ func (s *Store) OnIdentified(id tagid.ID) []Resolved {
 				// records in one cascade can strip down to the same tag
 				// (e.g. {A,B}@i and {A,B}@j when A is learned). The second
 				// record is spent, but yields nothing new.
+				if s.Tracer != nil {
+					s.Tracer.RecordResolved(obs.ResolveEvent{
+						Slot: e.slot, ID: y, Trigger: x.id, Depth: x.depth + 1, Dup: true,
+					})
+				}
 				continue
 			}
 			s.known[y] = struct{}{}
+			if s.Tracer != nil {
+				s.Tracer.RecordResolved(obs.ResolveEvent{
+					Slot: e.slot, ID: y, Trigger: x.id, Depth: x.depth + 1,
+				})
+			}
 			out = append(out, Resolved{ID: y, Slot: e.slot})
-			queue = append(queue, y)
+			queue = append(queue, cascadeItem{id: y, depth: x.depth + 1})
 		}
 	}
 	return out
+}
+
+// cascadeItem is one pending step of the resolution cascade: a
+// newly-learned ID and the cascade depth it was learned at.
+type cascadeItem struct {
+	id    tagid.ID
+	depth int
 }

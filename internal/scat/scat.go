@@ -19,6 +19,7 @@ import (
 	"github.com/ancrfid/ancrfid/internal/air"
 	"github.com/ancrfid/ancrfid/internal/analysis"
 	"github.com/ancrfid/ancrfid/internal/channel"
+	obsev "github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/prestep"
 	"github.com/ancrfid/ancrfid/internal/protocol"
 	"github.com/ancrfid/ancrfid/internal/record"
@@ -86,6 +87,12 @@ func (p *Protocol) Name() string { return fmt.Sprintf("SCAT-%d", p.cfg.Lambda) }
 
 // Run implements protocol.Protocol.
 func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
+	m, err := p.run(env)
+	env.TraceRunEnd(p.Name(), m, err)
+	return m, err
+}
+
+func (p *Protocol) run(env *protocol.Env) (protocol.Metrics, error) {
 	var (
 		m      = protocol.Metrics{Tags: len(env.Tags)}
 		clock  air.Clock
@@ -93,6 +100,8 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 		store  = record.NewStore()
 		buf    = make([]tagid.ID, 0, 64)
 	)
+	store.Tracer = env.Tracer
+	env.TraceRunStart(p.Name())
 	n := p.cfg.KnownN
 	if n <= 0 {
 		n = len(env.Tags)
@@ -108,6 +117,7 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 		m.SingletonSlots += pre.SingletonSlots
 		m.CollisionSlots += pre.CollisionSlots
 		clock.Add(pre.OnAir)
+		env.TraceEstimate(obsev.EstimateEvent{Estimate: float64(n)})
 	}
 	budget := env.SlotBudget()
 	consecutiveEmpty := 0
@@ -157,6 +167,7 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 		}
 
 		clock.Add(env.Timing.SlotAdvertisement() + env.Timing.Slot())
+		env.TraceAdvert(obsev.AdvertEvent{Seq: int(slot), P: reportProb})
 		buf = active.Transmitters(env.RNG, env.TxModel, slot, reportProb, buf)
 		obs := env.Channel.Observe(buf)
 
@@ -165,6 +176,13 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 			m.EmptySlots++
 			if probe {
 				m.OnAir = clock.Elapsed()
+				// The terminating probe is a counted slot like any other;
+				// report it so observers see exactly TotalSlots() events.
+				env.NotifySlot(protocol.SlotEvent{
+					Seq:        m.TotalSlots() - 1,
+					Kind:       obs.Kind,
+					Identified: m.Identified(),
+				})
 				return m, nil
 			}
 			consecutiveEmpty++
@@ -174,12 +192,20 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 			consecutiveEmpty = 0
 			consecutiveCollisions = 0
 			countDirect(obs.ID)
-			if env.AckDelivered() {
+			delivered := env.AckDelivered()
+			env.TraceAck(obsev.AckEvent{
+				Seq: int(slot), ID: obs.ID, Kind: obsev.AckDirect, Delivered: delivered,
+			})
+			if delivered {
 				active.Remove(obs.ID)
 			}
 			for _, res := range store.OnIdentified(obs.ID) {
 				countResolved(res)
-				if env.AckDelivered() {
+				delivered := env.AckDelivered()
+				env.TraceAck(obsev.AckEvent{
+					Seq: int(slot), ID: res.ID, Kind: obsev.AckResolvedID, Delivered: delivered,
+				})
+				if delivered {
 					active.Remove(res.ID)
 				}
 			}
@@ -191,7 +217,11 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 			// one member are known retransmitters.
 			for _, res := range store.Add(slot, obs.Mix, buf) {
 				countResolved(res)
-				if env.AckDelivered() {
+				delivered := env.AckDelivered()
+				env.TraceAck(obsev.AckEvent{
+					Seq: int(slot), ID: res.ID, Kind: obsev.AckResolvedID, Delivered: delivered,
+				})
+				if delivered {
 					active.Remove(res.ID)
 				}
 			}
@@ -200,6 +230,7 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 				// remain. Raise the reader's belief past the identified
 				// count to resume normal operation.
 				n = m.Identified() + 2
+				env.TraceEstimate(obsev.EstimateEvent{Estimate: float64(n), Identified: m.Identified()})
 			}
 			if consecutiveCollisions >= 25 {
 				// At the design load a collision happens with probability
@@ -212,6 +243,7 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 				}
 				n = m.Identified() + 2*deficit
 				consecutiveCollisions = 0
+				env.TraceEstimate(obsev.EstimateEvent{Estimate: float64(n), Identified: m.Identified()})
 			}
 		}
 		m.TagTransmissions += len(buf)

@@ -9,6 +9,7 @@ import (
 
 	"github.com/ancrfid/ancrfid/internal/air"
 	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/protocol"
 	"github.com/ancrfid/ancrfid/internal/rng"
 	"github.com/ancrfid/ancrfid/internal/stats"
@@ -44,6 +45,18 @@ type Config struct {
 	// PAckLoss is the probability a reader acknowledgement is lost (see
 	// protocol.Env.PAckLoss).
 	PAckLoss float64
+	// Tracer, when non-nil, receives the typed event stream of every run in
+	// the campaign (see internal/obs). Events from consecutive runs are
+	// delimited by RunStart/RunEnd pairs.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, aggregates campaign-wide counters and
+	// histograms: every run's events are folded into the registry through an
+	// obs.MetricsTracer, alongside (and independent of) Tracer.
+	Metrics *obs.Registry
+	// Progress, when non-nil, is called after each completed run with the
+	// 0-based run index and the run's metrics; err is non-nil when the run
+	// failed (the campaign then stops after the callback).
+	Progress func(run int, m protocol.Metrics, err error)
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +97,9 @@ func Run(p protocol.Protocol, cfg Config) (Result, error) {
 
 	for i := 0; i < cfg.Runs; i++ {
 		m, err := RunOnce(p, cfg, i)
+		if cfg.Progress != nil {
+			cfg.Progress(i, m, err)
+		}
 		if err != nil {
 			return res, fmt.Errorf("%s run %d (N=%d): %w", p.Name(), i, cfg.Tags, err)
 		}
@@ -108,8 +124,19 @@ func RunOnce(p protocol.Protocol, cfg Config, run int) (protocol.Metrics, error)
 		TxModel:  cfg.TxModel,
 		MaxSlots: cfg.MaxSlots,
 		PAckLoss: cfg.PAckLoss,
+		Tracer:   cfg.tracer(),
 	}
 	return p.Run(env)
+}
+
+// tracer combines the campaign's event tracer with the metrics registry
+// into the single tracer each run's Env carries. Nil when neither is set,
+// so untraced campaigns keep the zero-cost fast path.
+func (c Config) tracer() obs.Tracer {
+	if c.Metrics == nil {
+		return c.Tracer
+	}
+	return obs.Multi(obs.NewMetricsTracer(c.Metrics), c.Tracer)
 }
 
 func (c Config) newChannel(r *rng.Source) channel.Channel {

@@ -40,11 +40,18 @@ func (ABS) Name() string { return "ABS" }
 // Run implements protocol.Protocol. The first round of ABS begins with all
 // tags answering the initial query (every counter starts at zero), which is
 // one big collision that the random splitting then resolves.
-func (ABS) Run(env *protocol.Env) (protocol.Metrics, error) {
+func (p ABS) Run(env *protocol.Env) (protocol.Metrics, error) {
+	m, err := p.run(env)
+	env.TraceRunEnd(p.Name(), m, err)
+	return m, err
+}
+
+func (p ABS) run(env *protocol.Env) (protocol.Metrics, error) {
 	var (
 		m     = protocol.Metrics{Tags: len(env.Tags)}
 		clock air.Clock
 	)
+	env.TraceRunStart(p.Name())
 	budget := env.SlotBudget()
 
 	// The stack holds the pending tag groups in depth-first order, exactly
@@ -146,10 +153,17 @@ func (a *AQS) Run(env *protocol.Env) (protocol.Metrics, error) {
 // query and resolves no collisions, while arrivals collide inside their
 // covering leaf and are split out as usual.
 func (a *AQS) RunRound(env *protocol.Env) (protocol.Metrics, error) {
+	m, err := a.runRound(env)
+	env.TraceRunEnd(a.Name(), m, err)
+	return m, err
+}
+
+func (a *AQS) runRound(env *protocol.Env) (protocol.Metrics, error) {
 	var (
 		m     = protocol.Metrics{Tags: len(env.Tags)}
 		clock air.Clock
 	)
+	env.TraceRunStart(a.Name())
 	budget := env.SlotBudget()
 
 	// Build the initial query queue: retained leaves if a previous round
