@@ -63,7 +63,9 @@ type (
 	Metrics = protocol.Metrics
 	// Env is the environment a single protocol run executes in.
 	Env = protocol.Env
-	// SimConfig describes a Monte-Carlo campaign.
+	// SimConfig describes a Monte-Carlo campaign. Setting Workers > 1 runs
+	// the campaign's repetitions on a worker pool; results, traces and
+	// metrics are bit-identical to sequential (see docs/parallelism.md).
 	SimConfig = sim.Config
 	// SimResult aggregates a campaign.
 	SimResult = sim.Result

@@ -13,6 +13,10 @@
 package ancrfid_test
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	"github.com/ancrfid/ancrfid"
@@ -262,6 +266,116 @@ func TestNilTracerZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("nil-tracer emission allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// campaignBenchConfig is the fixed campaign measured by the worker-scaling
+// benchmark and the BENCH_campaign.json emitter: large enough that the
+// per-run work dominates pool overhead, small enough for CI.
+func campaignBenchConfig(workers int) ancrfid.SimConfig {
+	return ancrfid.SimConfig{Tags: 2000, Runs: 16, Seed: 1, Workers: workers}
+}
+
+// campaignWorkerCounts returns the worker counts the scaling benchmark
+// measures: sequential, 4, and all CPUs (deduplicated, ascending).
+func campaignWorkerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkCampaignWorkers measures the parallel campaign runner's scaling:
+// the identical FCAT-2 campaign at 1, 4 and GOMAXPROCS workers. The output
+// is bit-identical across sub-benchmarks (see docs/parallelism.md); only
+// the wall clock may differ. tags/sec here is wall-clock campaign
+// throughput (population x runs / elapsed), not the protocol's reading
+// throughput.
+func BenchmarkCampaignWorkers(b *testing.B) {
+	p := ancrfid.NewFCAT(2)
+	for _, w := range campaignWorkerCounts() {
+		cfg := campaignBenchConfig(w)
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ancrfid.Run(p, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			simulated := float64(cfg.Tags*cfg.Runs) * float64(b.N)
+			b.ReportMetric(simulated/b.Elapsed().Seconds(), "tags/sec")
+		})
+	}
+}
+
+// TestEmitCampaignBench writes the campaign-scaling measurements as JSON to
+// the path named by BENCH_CAMPAIGN_OUT (skipped when unset). CI uploads the
+// file as the BENCH_campaign.json artifact; run locally with:
+//
+//	BENCH_CAMPAIGN_OUT=BENCH_campaign.json go test -run TestEmitCampaignBench .
+func TestEmitCampaignBench(t *testing.T) {
+	out := os.Getenv("BENCH_CAMPAIGN_OUT")
+	if out == "" {
+		t.Skip("BENCH_CAMPAIGN_OUT not set")
+	}
+	p := ancrfid.NewFCAT(2)
+	type row struct {
+		Workers             int     `json:"workers"`
+		NsPerOp             float64 `json:"ns_per_op"`
+		TagsPerSec          float64 `json:"tags_per_sec"`
+		SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+	}
+	report := struct {
+		Bench      string `json:"bench"`
+		GoVersion  string `json:"go_version"`
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		Tags       int    `json:"tags"`
+		Runs       int    `json:"runs"`
+		Results    []row  `json:"results"`
+	}{
+		Bench:      "campaign",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Tags:       campaignBenchConfig(1).Tags,
+		Runs:       campaignBenchConfig(1).Runs,
+	}
+	var seqNs float64
+	for _, w := range campaignWorkerCounts() {
+		cfg := campaignBenchConfig(w)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ancrfid.Run(p, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if w == 1 {
+			seqNs = ns
+		}
+		speedup := 0.0
+		if seqNs > 0 {
+			speedup = seqNs / ns
+		}
+		report.Results = append(report.Results, row{
+			Workers:             w,
+			NsPerOp:             ns,
+			TagsPerSec:          float64(cfg.Tags*cfg.Runs) / (ns / 1e9),
+			SpeedupVsSequential: speedup,
+		})
+		t.Logf("workers=%d: %.0f ns/op, %.0f tags/s, %.2fx", w, ns,
+			float64(cfg.Tags*cfg.Runs)/(ns/1e9), speedup)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

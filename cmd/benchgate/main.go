@@ -1,0 +1,184 @@
+// Command benchgate turns `go test -bench` output into JSON and gates CI
+// on benchmark regressions against a checked-in baseline.
+//
+// Usage:
+//
+//	go test -bench 'Fig4|CampaignWorkers' -benchtime=1x -count=5 -run '^$' . > bench.txt
+//	benchgate -in bench.txt -out bench.json                       # parse only
+//	benchgate -in bench.txt -baseline .github/bench-baseline.json # parse + gate
+//	benchgate -in bench.txt -baseline ... -update                 # refresh baseline
+//
+// Parsing keeps the minimum ns/op over the -count repetitions of each
+// benchmark (the least-noisy estimator of its true cost) and strips the
+// -GOMAXPROCS suffix from names so results compare across machines. The
+// gate fails (exit 1) when any baseline benchmark is missing from the
+// current run or slower than baseline by more than -tolerance (default
+// 15%). Benchmarks present only in the current run are reported but do not
+// fail the gate; add them to the baseline with -update.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the JSON form of a parsed benchmark run.
+type Report struct {
+	// Benchmarks maps benchmark name (without the -GOMAXPROCS suffix) to
+	// its minimum ns/op across repetitions.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		in        = fs.String("in", "-", "benchmark output to parse (\"-\" = stdin)")
+		out       = fs.String("out", "", "write the parsed results as JSON to this file (\"-\" = stdout)")
+		baseline  = fs.String("baseline", "", "baseline JSON to gate against")
+		tolerance = fs.Float64("tolerance", 0.15, "allowed slowdown before the gate fails (0.15 = 15%)")
+		update    = fs.Bool("update", false, "rewrite the baseline from the current results instead of gating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results in %s", *in)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *out == "-" {
+			if _, err := stdout.Write(data); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+	}
+
+	if *baseline == "" {
+		return nil
+	}
+	if *update {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*baseline, append(data, '\n'), 0o644)
+	}
+	base, err := readBaseline(*baseline)
+	if err != nil {
+		return err
+	}
+	return Gate(stdout, base, rep, *tolerance)
+}
+
+func readBaseline(path string) (Report, error) {
+	var base Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return base, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return base, nil
+}
+
+// benchLine matches one result line of `go test -bench` output:
+// "BenchmarkName-8   10   123456 ns/op   ...". The -8 GOMAXPROCS suffix is
+// optional (sub-benchmarks of serial benchmarks may lack it).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// Parse extracts benchmark results, keeping the minimum ns/op across
+// repeated runs of the same benchmark (go test -count=N emits N lines).
+func Parse(r io.Reader) (Report, error) {
+	rep := Report{Benchmarks: map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return rep, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		if prev, ok := rep.Benchmarks[m[1]]; !ok || ns < prev {
+			rep.Benchmarks[m[1]] = ns
+		}
+	}
+	return rep, sc.Err()
+}
+
+// Gate compares current results against the baseline and returns an error
+// naming every regression: a baseline benchmark that is missing, or slower
+// than baseline by more than the tolerance fraction.
+func Gate(w io.Writer, base, cur Report, tolerance float64) error {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := cur.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		ratio := got / want
+		status := "ok"
+		if ratio > 1+tolerance {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%, tolerance %.0f%%)",
+				name, got, want, (ratio-1)*100, tolerance*100))
+		}
+		fmt.Fprintf(w, "%-50s %12.0f ns/op  baseline %12.0f  %+6.1f%%  %s\n",
+			name, got, want, (ratio-1)*100, status)
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "%-50s not in baseline (add with -update)\n", name)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/ancrfid/ancrfid
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig4ExpectedSlots-4         	       1	   120000 ns/op
+BenchmarkFig4ExpectedSlots-4         	       1	   100000 ns/op
+BenchmarkFig4ExpectedSlots-4         	       1	   110000 ns/op
+BenchmarkCampaignWorkers/workers=1-4 	       1	 60000000 ns/op	  530000 tags/sec
+BenchmarkCampaignWorkers/workers=1-4 	       1	 62000000 ns/op	  510000 tags/sec
+BenchmarkCampaignWorkers/workers=4   	       1	 25000000 ns/op	 1280000 tags/sec
+PASS
+ok  	github.com/ancrfid/ancrfid	1.5s
+`
+
+func TestParseMinOverCountAndSuffixStrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkFig4ExpectedSlots":         100000, // min of 3 reps
+		"BenchmarkCampaignWorkers/workers=1": 60000000,
+		"BenchmarkCampaignWorkers/workers=4": 25000000,
+	}
+	if len(rep.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(rep.Benchmarks), len(want), rep.Benchmarks)
+	}
+	for name, ns := range want {
+		if got := rep.Benchmarks[name]; got != ns {
+			t.Errorf("%s = %v, want %v", name, got, ns)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := Report{Benchmarks: map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200}}
+	cases := []struct {
+		name string
+		cur  map[string]float64
+		ok   bool
+	}{
+		{"identical", map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200}, true},
+		{"within tolerance", map[string]float64{"BenchmarkA": 114, "BenchmarkB": 229}, true},
+		{"faster", map[string]float64{"BenchmarkA": 50, "BenchmarkB": 100}, true},
+		{"regression", map[string]float64{"BenchmarkA": 116, "BenchmarkB": 200}, false},
+		{"missing", map[string]float64{"BenchmarkA": 100}, false},
+		{"extra benchmark passes", map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200, "BenchmarkC": 1}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var sb strings.Builder
+			err := Gate(&sb, base, Report{Benchmarks: c.cur}, 0.15)
+			if (err == nil) != c.ok {
+				t.Fatalf("Gate err = %v, want ok=%v\n%s", err, c.ok, sb.String())
+			}
+		})
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseline := filepath.Join(dir, "baseline.json")
+	jsonOut := filepath.Join(dir, "bench.json")
+
+	// First pass: no baseline yet — create it with -update.
+	var sb strings.Builder
+	if err := run([]string{"-in", in, "-out", jsonOut, "-baseline", baseline, "-update"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{baseline, jsonOut} {
+		if data, err := os.ReadFile(path); err != nil || !strings.Contains(string(data), "BenchmarkFig4ExpectedSlots") {
+			t.Fatalf("%s not written correctly: %v", path, err)
+		}
+	}
+
+	// Second pass: identical results must pass the gate.
+	if err := run([]string{"-in", in, "-baseline", baseline}, &sb); err != nil {
+		t.Fatalf("identical run failed the gate: %v", err)
+	}
+
+	// Third pass: a 2x regression must fail it.
+	slow := strings.ReplaceAll(sampleBench, "   100000 ns/op", "   400000 ns/op")
+	slow = strings.ReplaceAll(slow, "   110000 ns/op", "   400000 ns/op")
+	slow = strings.ReplaceAll(slow, "   120000 ns/op", "   400000 ns/op")
+	slowIn := filepath.Join(dir, "slow.txt")
+	if err := os.WriteFile(slowIn, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-in", slowIn, "-baseline", baseline}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkFig4ExpectedSlots") {
+		t.Fatalf("regression not caught: %v", err)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(in, []byte("PASS\nok x 1s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-in", in}, &sb); err == nil {
+		t.Fatal("empty benchmark output should fail")
+	}
+}

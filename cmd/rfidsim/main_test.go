@@ -153,6 +153,38 @@ func TestRunTraceGolden(t *testing.T) {
 	}
 }
 
+// TestRunTraceWorkersIdentical checks the CLI end to end: the same campaign
+// traced with one worker and with four must write byte-identical JSONL and
+// metrics files.
+func TestRunTraceWorkersIdentical(t *testing.T) {
+	dir := t.TempDir()
+	files := func(workers string) (string, string) {
+		trace := filepath.Join(dir, "trace-"+workers+".jsonl")
+		metrics := filepath.Join(dir, "metrics-"+workers+".txt")
+		if err := run([]string{"-protocol", "FCAT-2", "-tags", "120", "-runs", "6",
+			"-seed", "5", "-ackloss", "0.1", "-workers", workers,
+			"-trace", trace, "-metrics", metrics}); err != nil {
+			t.Fatal(err)
+		}
+		return trace, metrics
+	}
+	t1, m1 := files("1")
+	t4, m4 := files("4")
+	for _, pair := range [][2]string{{t1, t4}, {m1, m4}} {
+		a, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) == 0 || !bytes.Equal(a, b) {
+			t.Errorf("%s and %s differ (%d vs %d bytes)", pair[0], pair[1], len(a), len(b))
+		}
+	}
+}
+
 func TestRunMetricsOutput(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "metrics.txt")
 	if err := run([]string{"-protocol", "SCAT-2", "-tags", "120", "-runs", "2",

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -38,13 +39,14 @@ func run(args []string) error {
 		format  = fs.String("format", "text", "output format: text, csv, or plot (figures only)")
 		txmodel = fs.String("txmodel", "binomial", "transmission model: binomial or hash")
 		sizes   = fs.String("sizes", "", "comma-separated population grid override for table1")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for data points and campaigns (output is identical for any value)")
 		quiet   = fs.Bool("q", false, "suppress progress output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := experiments.Options{Runs: *runs, Seed: *seed}
+	opts := experiments.Options{Runs: *runs, Seed: *seed, Workers: *workers}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/ancrfid/ancrfid/internal/plot"
 	"github.com/ancrfid/ancrfid/internal/protocol"
@@ -30,10 +31,18 @@ type Options struct {
 	// TxModel selects the transmission model (0 = binomial fast model).
 	TxModel protocol.TxModel
 	// Progress, when non-nil, receives one line per completed data point.
+	// Writes are serialized; under Workers > 1 lines may arrive out of
+	// data-point order.
 	Progress io.Writer
 	// Sizes overrides the population grid of table1 (nil = the paper's
 	// 1000..20000 step 1000).
 	Sizes []int
+	// Workers bounds the concurrency of an experiment: data points run on
+	// up to Workers goroutines and every campaign inherits it as
+	// sim.Config.Workers. 0 or 1 = fully sequential. Tables and figures
+	// are deterministic for any worker count — each data point owns its
+	// output slot, and the campaigns themselves merge deterministically.
+	Workers int
 }
 
 func (o Options) withDefaults(defaultRuns int) Options {
@@ -49,10 +58,68 @@ func (o Options) withDefaults(defaultRuns int) Options {
 	return o
 }
 
+// progressMu serializes progress lines: data points of a parallel
+// experiment report completion from their worker goroutines.
+var progressMu sync.Mutex
+
 func (o Options) progressf(format string, args ...any) {
 	if o.Progress != nil {
+		progressMu.Lock()
+		defer progressMu.Unlock()
 		fmt.Fprintf(o.Progress, format, args...)
 	}
+}
+
+// points runs fn(0), ..., fn(n-1) on up to o.Workers goroutines; each fn
+// must write its result into the per-index slot it owns. Indices are
+// dispatched in ascending order, so the error returned — the failure with
+// the lowest index among the runs executed — is the same error a
+// sequential pass would hit first, for any worker count.
+func (o Options) points(n int, fn func(i int) error) error {
+	workers := o.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		mu       sync.Mutex
+		next     int
+		errIdx   = -1
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if errIdx >= 0 || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // Rendered is an experiment's output in displayable form.

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -71,6 +73,51 @@ func TestEverySimulatedExperimentSmall(t *testing.T) {
 			t.Fatalf("%s: %v", id, err)
 		}
 		checkRendered(t, r)
+	}
+}
+
+// TestWorkersDoNotChangeOutput: every experiment must render identically
+// whatever Options.Workers is — data points own their output slots and the
+// campaigns merge deterministically.
+func TestWorkersDoNotChangeOutput(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table4", "fig5", "noise"} {
+		seq, err := Run(id, Options{Runs: 2, Seed: 3, Sizes: []int{250}})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		par, err := Run(id, Options{Runs: 2, Seed: 3, Sizes: []int{250}, Workers: 8})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: Workers=8 output differs from sequential", id)
+		}
+	}
+}
+
+// TestPointsErrorIsLowestIndex: the parallel point dispatcher must report
+// the same error a sequential pass would hit first.
+func TestPointsErrorIsLowestIndex(t *testing.T) {
+	boom := func(i int) error {
+		if i == 3 || i == 7 {
+			return fmt.Errorf("point %d failed", i)
+		}
+		return nil
+	}
+	seqErr := Options{Workers: 1}.points(10, boom)
+	parErr := Options{Workers: 4}.points(10, boom)
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("expected errors, got %v / %v", seqErr, parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Fatalf("parallel error %q differs from sequential %q", parErr, seqErr)
+	}
+	if err := (Options{Workers: 4}).points(10, func(int) error { return nil }); err != nil {
+		t.Fatalf("clean pass errored: %v", err)
+	}
+	var sentinel = errors.New("x")
+	if err := (Options{Workers: 16}).points(1, func(int) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("single-point pool lost the error: %v", err)
 	}
 }
 

@@ -48,6 +48,9 @@ func Fig3(opts Options) (Rendered, error) {
 			fmt.Sprintf("w=%.3f analytic", w),
 			fmt.Sprintf("w=%.3f measured", w))
 	}
+	// Fig3 threads one RNG stream through every data point, so its points
+	// stay sequential regardless of Options.Workers: splitting the stream
+	// would change the measured-bias numbers.
 	r := rng.New(opts.Seed)
 	series := make([]plot.Series, 2*len(fig3Omegas))
 	for i, w := range fig3Omegas {
@@ -153,20 +156,37 @@ func Fig5(opts Options) (Rendered, error) {
 			"optima expected near 1.414 / 1.817 / 2.213",
 		},
 	}
-	series := []plot.Series{{Name: "FCAT-2"}, {Name: "FCAT-3"}, {Name: "FCAT-4"}}
+	var omegas []float64
 	for w := 0.2; w <= 3.001; w += 0.1 {
+		omegas = append(omegas, w)
+	}
+	rows := make([][]string, len(omegas))
+	tputs := make([][3]float64, len(omegas))
+	err := opts.points(len(omegas), func(j int) error {
+		w := omegas[j]
 		row := []string{f2(w)}
 		for i, lambda := range []int{2, 3, 4} {
 			tput, err := fcatThroughput(opts, n, lambda, w, 0)
 			if err != nil {
-				return out, err
+				return err
 			}
 			row = append(row, f1(tput))
-			series[i].X = append(series[i].X, w)
-			series[i].Y = append(series[i].Y, tput)
+			tputs[j][i] = tput
 		}
-		out.Rows = append(out.Rows, row)
+		rows[j] = row
 		opts.progressf("fig5: omega=%.2f done\n", w)
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Rows = rows
+	series := []plot.Series{{Name: "FCAT-2"}, {Name: "FCAT-3"}, {Name: "FCAT-4"}}
+	for j, w := range omegas {
+		for i := range series {
+			series[i].X = append(series[i].X, w)
+			series[i].Y = append(series[i].Y, tputs[j][i])
+		}
 	}
 	out.Series = series
 	return out, nil
@@ -186,20 +206,34 @@ func Fig6(opts Options) (Rendered, error) {
 			"the paper reports throughput stabilises for f >= 10",
 		},
 	}
-	series := []plot.Series{{Name: "FCAT-2"}, {Name: "FCAT-3"}, {Name: "FCAT-4"}}
-	for _, f := range []int{2, 5, 10, 15, 20, 30, 40, 60, 80, 100, 125, 150, 175, 200} {
+	fs := []int{2, 5, 10, 15, 20, 30, 40, 60, 80, 100, 125, 150, 175, 200}
+	rows := make([][]string, len(fs))
+	tputs := make([][3]float64, len(fs))
+	err := opts.points(len(fs), func(j int) error {
+		f := fs[j]
 		row := []string{strconv.Itoa(f)}
 		for i, lambda := range []int{2, 3, 4} {
 			tput, err := fcatThroughput(opts, n, lambda, 0, f)
 			if err != nil {
-				return out, err
+				return err
 			}
 			row = append(row, f1(tput))
-			series[i].X = append(series[i].X, float64(f))
-			series[i].Y = append(series[i].Y, tput)
+			tputs[j][i] = tput
 		}
-		out.Rows = append(out.Rows, row)
+		rows[j] = row
 		opts.progressf("fig6: f=%d done\n", f)
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Rows = rows
+	series := []plot.Series{{Name: "FCAT-2"}, {Name: "FCAT-3"}, {Name: "FCAT-4"}}
+	for j, f := range fs {
+		for i := range series {
+			series[i].X = append(series[i].X, float64(f))
+			series[i].Y = append(series[i].Y, tputs[j][i])
+		}
 	}
 	out.Series = series
 	return out, nil

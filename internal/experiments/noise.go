@@ -35,28 +35,39 @@ func Noise(opts Options) (Rendered, error) {
 		return out, err
 	}
 
-	series := []plot.Series{{Name: "FCAT-2"}, {Name: "DFSA"}}
-	for _, pBad := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+	pBads := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	rows := make([][]string, len(pBads))
+	fTputs := make([]float64, len(pBads))
+	err = opts.points(len(pBads), func(i int) error {
+		pBad := pBads[i]
 		cfg := campaign(opts, n, 2)
-		pBad := pBad
 		cfg.NewChannel = func(r *rng.Source) channel.Channel {
 			return channel.NewAbstract(channel.AbstractConfig{Lambda: 2, PUnresolvable: pBad}, r)
 		}
 		fres, err := sim.Run(fcat.New(fcat.Config{Lambda: 2}), cfg)
 		if err != nil {
-			return out, err
+			return err
 		}
-		out.Rows = append(out.Rows, []string{
+		rows[i] = []string{
 			f2(pBad),
 			f1(fres.Throughput.Mean),
 			d0(fres.ResolvedIDs.Mean),
 			f1(dres.Throughput.Mean),
-		})
+		}
+		fTputs[i] = fres.Throughput.Mean
+		opts.progressf("noise: p=%.1f done\n", pBad)
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Rows = rows
+	series := []plot.Series{{Name: "FCAT-2"}, {Name: "DFSA"}}
+	for i, pBad := range pBads {
 		series[0].X = append(series[0].X, pBad)
-		series[0].Y = append(series[0].Y, fres.Throughput.Mean)
+		series[0].Y = append(series[0].Y, fTputs[i])
 		series[1].X = append(series[1].X, pBad)
 		series[1].Y = append(series[1].Y, dres.Throughput.Mean)
-		opts.progressf("noise: p=%.1f done\n", pBad)
 	}
 	out.Series = series
 	return out, nil

@@ -41,6 +41,7 @@ func campaign(opts Options, tags, lambda int) sim.Config {
 		Seed:    opts.Seed,
 		Lambda:  lambda,
 		TxModel: opts.TxModel,
+		Workers: opts.Workers,
 	}
 }
 
@@ -69,18 +70,25 @@ func Table1(opts Options) (Rendered, error) {
 	for _, np := range protos {
 		out.Header = append(out.Header, np.p.Name())
 	}
-	for _, n := range sizes {
+	rows := make([][]string, len(sizes))
+	err := opts.points(len(sizes), func(i int) error {
+		n := sizes[i]
 		row := []string{strconv.Itoa(n)}
 		for _, np := range protos {
 			res, err := sim.Run(np.p, campaign(opts, n, np.lambda))
 			if err != nil {
-				return out, err
+				return err
 			}
 			row = append(row, f1(res.Throughput.Mean))
 		}
-		out.Rows = append(out.Rows, row)
+		rows[i] = row
 		opts.progressf("table1: N=%d done\n", n)
+		return nil
+	})
+	if err != nil {
+		return out, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -101,17 +109,27 @@ func Table2(opts Options) (Rendered, error) {
 	for i := range cells {
 		cells[i] = []string{kinds[i]}
 	}
-	for _, np := range protos {
-		out.Header = append(out.Header, np.p.Name())
+	results := make([]sim.Result, len(protos))
+	err := opts.points(len(protos), func(i int) error {
+		np := protos[i]
 		res, err := sim.Run(np.p, campaign(opts, n, np.lambda))
 		if err != nil {
-			return out, err
+			return err
 		}
+		results[i] = res
+		opts.progressf("table2: %s done\n", np.p.Name())
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	for i, np := range protos {
+		out.Header = append(out.Header, np.p.Name())
+		res := results[i]
 		cells[0] = append(cells[0], d0(res.EmptySlots.Mean))
 		cells[1] = append(cells[1], d0(res.SingletonSlots.Mean))
 		cells[2] = append(cells[2], d0(res.CollisionSlots.Mean))
 		cells[3] = append(cells[3], d0(res.TotalSlots.Mean))
-		opts.progressf("table2: %s done\n", np.p.Name())
 	}
 	out.Rows = cells
 	return out, nil
@@ -131,19 +149,26 @@ func Table3(opts Options) (Rendered, error) {
 		Header: []string{"N", "FCAT-2", "FCAT-3", "FCAT-4"},
 		Notes:  []string{fmt.Sprintf("mean of %d runs per cell; seed %d", opts.Runs, opts.Seed)},
 	}
-	for _, n := range sizes {
+	rows := make([][]string, len(sizes))
+	err := opts.points(len(sizes), func(i int) error {
+		n := sizes[i]
 		row := []string{strconv.Itoa(n)}
 		for _, lambda := range []int{2, 3, 4} {
 			p := fcat.New(fcat.Config{Lambda: lambda})
 			res, err := sim.Run(p, campaign(opts, n, lambda))
 			if err != nil {
-				return out, err
+				return err
 			}
 			row = append(row, d0(res.ResolvedIDs.Mean))
 		}
-		out.Rows = append(out.Rows, row)
+		rows[i] = row
 		opts.progressf("table3: N=%d done\n", n)
+		return nil
+	})
+	if err != nil {
+		return out, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -163,15 +188,26 @@ func Table4(opts Options) (Rendered, error) {
 			fmt.Sprintf("sweep step 0.05 over [0.7, 3.2]; %d runs per point; seed %d", opts.Runs, opts.Seed),
 		},
 	}
+	var sweep []float64
+	for w := 0.70; w <= 3.201; w += 0.05 {
+		sweep = append(sweep, w)
+	}
 	for _, lambda := range []int{2, 3, 4} {
+		// Measure the whole sweep (parallel across omegas), then scan it in
+		// order so ties resolve exactly as the sequential sweep did.
+		tputs := make([]float64, len(sweep))
+		err := opts.points(len(sweep), func(i int) error {
+			tput, err := fcatThroughput(opts, n, lambda, sweep[i], 0)
+			tputs[i] = tput
+			return err
+		})
+		if err != nil {
+			return out, err
+		}
 		bestOmega, bestTput := 0.0, -1.0
-		for w := 0.70; w <= 3.201; w += 0.05 {
-			tput, err := fcatThroughput(opts, n, lambda, w, 0)
-			if err != nil {
-				return out, err
-			}
-			if tput > bestTput {
-				bestTput, bestOmega = tput, w
+		for i, w := range sweep {
+			if tputs[i] > bestTput {
+				bestTput, bestOmega = tputs[i], w
 			}
 		}
 		computed := analysis.OptimalOmega(lambda)

@@ -1,0 +1,157 @@
+package obs
+
+// eventKind indexes the event types a Buffer can hold, in the order the
+// Tracer interface declares them.
+type eventKind uint8
+
+const (
+	kindRunStart eventKind = iota
+	kindRunEnd
+	kindFrameStart
+	kindAdvertisement
+	kindSlotDone
+	kindTagIdentified
+	kindAckSent
+	kindRecordCreated
+	kindCascadeStep
+	kindRecordResolved
+	kindEstimatorUpdate
+)
+
+// Buffer is a Tracer that records a run's event stream in memory and plays
+// it back later, in the exact order it was recorded. The sim harness uses
+// one Buffer per concurrent run so that a parallel campaign can replay the
+// runs' streams back-to-back in run-index order, making the merged trace
+// byte-identical to a sequential campaign's.
+//
+// Events are stored in per-type slices (no interface boxing, one
+// allocation per slice growth); the order slice remembers the interleaving.
+// A Buffer is not safe for concurrent use — it records exactly one run.
+type Buffer struct {
+	order []eventKind
+
+	runStarts  []RunStartEvent
+	runEnds    []RunEndEvent
+	frames     []FrameEvent
+	adverts    []AdvertEvent
+	slots      []SlotEvent
+	identifies []IdentifyEvent
+	acks       []AckEvent
+	records    []RecordEvent
+	cascades   []CascadeEvent
+	resolves   []ResolveEvent
+	estimates  []EstimateEvent
+}
+
+var _ Tracer = (*Buffer)(nil)
+
+// Len returns the number of buffered events.
+func (b *Buffer) Len() int { return len(b.order) }
+
+// Reset empties the buffer, retaining capacity.
+func (b *Buffer) Reset() {
+	b.order = b.order[:0]
+	b.runStarts = b.runStarts[:0]
+	b.runEnds = b.runEnds[:0]
+	b.frames = b.frames[:0]
+	b.adverts = b.adverts[:0]
+	b.slots = b.slots[:0]
+	b.identifies = b.identifies[:0]
+	b.acks = b.acks[:0]
+	b.records = b.records[:0]
+	b.cascades = b.cascades[:0]
+	b.resolves = b.resolves[:0]
+	b.estimates = b.estimates[:0]
+}
+
+// Replay delivers every buffered event to t in recorded order. A nil t is
+// a no-op. The buffer is left intact; call Reset to reuse it.
+func (b *Buffer) Replay(t Tracer) {
+	if t == nil {
+		return
+	}
+	var cursor [kindEstimatorUpdate + 1]int
+	for _, k := range b.order {
+		i := cursor[k]
+		cursor[k]++
+		switch k {
+		case kindRunStart:
+			t.RunStart(b.runStarts[i])
+		case kindRunEnd:
+			t.RunEnd(b.runEnds[i])
+		case kindFrameStart:
+			t.FrameStart(b.frames[i])
+		case kindAdvertisement:
+			t.Advertisement(b.adverts[i])
+		case kindSlotDone:
+			t.SlotDone(b.slots[i])
+		case kindTagIdentified:
+			t.TagIdentified(b.identifies[i])
+		case kindAckSent:
+			t.AckSent(b.acks[i])
+		case kindRecordCreated:
+			t.RecordCreated(b.records[i])
+		case kindCascadeStep:
+			t.CascadeStep(b.cascades[i])
+		case kindRecordResolved:
+			t.RecordResolved(b.resolves[i])
+		case kindEstimatorUpdate:
+			t.EstimatorUpdate(b.estimates[i])
+		}
+	}
+}
+
+func (b *Buffer) RunStart(ev RunStartEvent) {
+	b.order = append(b.order, kindRunStart)
+	b.runStarts = append(b.runStarts, ev)
+}
+
+func (b *Buffer) RunEnd(ev RunEndEvent) {
+	b.order = append(b.order, kindRunEnd)
+	b.runEnds = append(b.runEnds, ev)
+}
+
+func (b *Buffer) FrameStart(ev FrameEvent) {
+	b.order = append(b.order, kindFrameStart)
+	b.frames = append(b.frames, ev)
+}
+
+func (b *Buffer) Advertisement(ev AdvertEvent) {
+	b.order = append(b.order, kindAdvertisement)
+	b.adverts = append(b.adverts, ev)
+}
+
+func (b *Buffer) SlotDone(ev SlotEvent) {
+	b.order = append(b.order, kindSlotDone)
+	b.slots = append(b.slots, ev)
+}
+
+func (b *Buffer) TagIdentified(ev IdentifyEvent) {
+	b.order = append(b.order, kindTagIdentified)
+	b.identifies = append(b.identifies, ev)
+}
+
+func (b *Buffer) AckSent(ev AckEvent) {
+	b.order = append(b.order, kindAckSent)
+	b.acks = append(b.acks, ev)
+}
+
+func (b *Buffer) RecordCreated(ev RecordEvent) {
+	b.order = append(b.order, kindRecordCreated)
+	b.records = append(b.records, ev)
+}
+
+func (b *Buffer) CascadeStep(ev CascadeEvent) {
+	b.order = append(b.order, kindCascadeStep)
+	b.cascades = append(b.cascades, ev)
+}
+
+func (b *Buffer) RecordResolved(ev ResolveEvent) {
+	b.order = append(b.order, kindRecordResolved)
+	b.resolves = append(b.resolves, ev)
+}
+
+func (b *Buffer) EstimatorUpdate(ev EstimateEvent) {
+	b.order = append(b.order, kindEstimatorUpdate)
+	b.estimates = append(b.estimates, ev)
+}

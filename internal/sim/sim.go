@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/ancrfid/ancrfid/internal/air"
 	"github.com/ancrfid/ancrfid/internal/channel"
@@ -29,6 +30,15 @@ type Config struct {
 	// Seed makes the whole campaign reproducible. Run i derives its own
 	// generator from (Seed, i), so runs are independent and reorderable.
 	Seed uint64
+	// Workers bounds the number of runs executed concurrently. 0 or 1
+	// executes runs sequentially on the calling goroutine (the library
+	// default); larger values fan the runs across a worker pool. The
+	// campaign's Result, trace stream and metrics registry are
+	// bit-identical for every worker count: results are merged by run
+	// index, each run's tracer events are buffered and replayed in run
+	// order, and registry counters are commutative atomics. See
+	// docs/parallelism.md for the full determinism contract.
+	Workers int
 	// NewChannel builds the channel model for a run; nil selects the
 	// paper's abstract model with Lambda.
 	NewChannel func(r *rng.Source) channel.Channel
@@ -90,9 +100,16 @@ type Result struct {
 	ResolvedIDs    stats.Summary
 }
 
-// Run executes the campaign for one protocol.
+// Run executes the campaign for one protocol. With cfg.Workers > 1 the
+// runs execute on a bounded worker pool; the outcome is bit-identical to
+// the sequential campaign (see Config.Workers). On error Run returns the
+// zero Result together with the error of the lowest-indexed failing run —
+// callers never see a half-populated summary.
 func Run(p protocol.Protocol, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Workers > 1 && cfg.Runs > 1 {
+		return runParallel(p, cfg)
+	}
 	res := Result{Protocol: p.Name(), Tags: cfg.Tags, Runs: make([]protocol.Metrics, 0, cfg.Runs)}
 
 	for i := 0; i < cfg.Runs; i++ {
@@ -101,9 +118,131 @@ func Run(p protocol.Protocol, cfg Config) (Result, error) {
 			cfg.Progress(i, m, err)
 		}
 		if err != nil {
-			return res, fmt.Errorf("%s run %d (N=%d): %w", p.Name(), i, cfg.Tags, err)
+			return Result{}, runError(p, cfg, i, err)
 		}
 		res.Runs = append(res.Runs, m)
+	}
+	res.summarize()
+	return res, nil
+}
+
+// runError wraps a run's error with its campaign context, identically for
+// the sequential and parallel paths.
+func runError(p protocol.Protocol, cfg Config, run int, err error) error {
+	return fmt.Errorf("%s run %d (N=%d): %w", p.Name(), run, cfg.Tags, err)
+}
+
+// runParallel executes the campaign's runs across min(Workers, Runs)
+// goroutines and merges the outcomes deterministically:
+//
+//   - Workers claim run indices from an ascending dispatch cursor, so
+//     whenever run i executes, every run j < i has been dispatched too.
+//   - Each run's metrics land in the slot its index names; summaries are
+//     computed from the index-ordered slice exactly as the sequential path
+//     does.
+//   - cfg.Metrics is fed live through per-run MetricsTracers — its atomic
+//     counters commute, so the final dump is order-independent.
+//   - cfg.Tracer is never called concurrently: each run records its events
+//     into an obs.Buffer, and the merge loop below replays the buffers in
+//     run order as the completed prefix grows, so the trace is a
+//     deterministic sequence of RunStart/RunEnd-delimited streams.
+//   - cfg.Progress is invoked under the pool lock (serialized), but in
+//     completion order, not run order.
+//   - The first error (always the lowest failing index, because dispatch
+//     is ascending and lower runs are deterministic) cancels dispatch of
+//     the remaining runs; in-flight runs drain before Run returns.
+func runParallel(p protocol.Protocol, cfg Config) (Result, error) {
+	workers := cfg.Workers
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+
+	type outcome struct {
+		m   protocol.Metrics
+		err error
+		buf *obs.Buffer
+	}
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		outcomes = make([]*outcome, cfg.Runs)
+		next     int // next run index to dispatch
+		inflight int // dispatched but not yet deposited
+		failed   bool
+		wg       sync.WaitGroup
+	)
+
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			if failed || next >= cfg.Runs {
+				mu.Unlock()
+				return
+			}
+			i := next
+			next++
+			inflight++
+			mu.Unlock()
+
+			runCfg := cfg
+			runCfg.Tracer = nil // untraced runs keep the zero-cost fast path
+			var buf *obs.Buffer
+			if cfg.Tracer != nil {
+				buf = &obs.Buffer{}
+				runCfg.Tracer = buf
+			}
+			m, err := RunOnce(p, runCfg, i)
+
+			mu.Lock()
+			outcomes[i] = &outcome{m: m, err: err, buf: buf}
+			inflight--
+			if err != nil {
+				failed = true
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(i, m, err)
+			}
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go worker()
+	}
+
+	res := Result{Protocol: p.Name(), Tags: cfg.Tags, Runs: make([]protocol.Metrics, 0, cfg.Runs)}
+	var firstErr error
+	mu.Lock()
+merge:
+	for i := 0; i < cfg.Runs; i++ {
+		for outcomes[i] == nil {
+			if failed && i >= next && inflight == 0 {
+				// Run i was cancelled before dispatch; nothing more to merge.
+				break merge
+			}
+			cond.Wait()
+		}
+		o := outcomes[i]
+		outcomes[i] = nil // release the buffer as the prefix is consumed
+		mu.Unlock()
+		if o.buf != nil {
+			o.buf.Replay(cfg.Tracer)
+		}
+		if o.err != nil {
+			firstErr = runError(p, cfg, i, o.err)
+			mu.Lock()
+			break
+		}
+		res.Runs = append(res.Runs, o.m)
+		mu.Lock()
+	}
+	mu.Unlock()
+	wg.Wait()
+
+	if firstErr != nil {
+		return Result{}, firstErr
 	}
 	res.summarize()
 	return res, nil

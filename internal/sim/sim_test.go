@@ -1,7 +1,13 @@
 package sim
 
 import (
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/ancrfid/ancrfid/internal/channel"
 	"github.com/ancrfid/ancrfid/internal/fcat"
@@ -112,15 +118,132 @@ func TestDefaults(t *testing.T) {
 	}
 }
 
-func TestErrorPropagatesWithContext(t *testing.T) {
-	cfg := Config{
-		Tags: 30, Runs: 2, Seed: 1, MaxSlots: 100,
+// hopelessConfig builds a campaign whose every run exhausts its slot
+// budget: a channel that corrupts every singleton makes identification
+// impossible.
+func hopelessConfig(runs, workers int) Config {
+	return Config{
+		Tags: 30, Runs: runs, Seed: 1, MaxSlots: 100, Workers: workers,
 		NewChannel: func(r *rng.Source) channel.Channel {
 			return channel.NewAbstract(channel.AbstractConfig{Lambda: 2, PCorruptSingleton: 1}, r)
 		},
 	}
-	_, err := Run(fcat.New(fcat.Config{Lambda: 2}), cfg)
+}
+
+func TestErrorPropagatesWithContext(t *testing.T) {
+	res, err := Run(fcat.New(fcat.Config{Lambda: 2}), hopelessConfig(2, 1))
 	if err == nil {
 		t.Fatal("expected an error from a hopeless channel")
+	}
+	if !strings.Contains(err.Error(), "FCAT-2 run 0 (N=30)") {
+		t.Fatalf("error lacks campaign context: %v", err)
+	}
+	// The error path must return the zero Result, never a half-populated
+	// summary.
+	if !reflect.DeepEqual(res, Result{}) {
+		t.Fatalf("error path returned a non-zero Result: %+v", res)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	p := fcat.New(fcat.Config{Lambda: 2})
+	for _, workers := range []int{2, 3, 8, 64} {
+		seq, err := Run(p, Config{Tags: 300, Runs: 6, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Run(p, Config{Tags: 300, Runs: 6, Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("Workers=%d result differs from sequential", workers)
+		}
+	}
+}
+
+// TestParallelErrorIsLowestRun checks the parallel pool reports the same
+// error as the sequential path — the lowest-indexed failing run — and
+// returns the zero Result.
+func TestParallelErrorIsLowestRun(t *testing.T) {
+	p := fcat.New(fcat.Config{Lambda: 2})
+	seqRes, seqErr := Run(p, hopelessConfig(16, 1))
+	parRes, parErr := Run(p, hopelessConfig(16, 8))
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("expected errors, got %v / %v", seqErr, parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Fatalf("parallel error %q differs from sequential %q", parErr, seqErr)
+	}
+	if !reflect.DeepEqual(parRes, Result{}) || !reflect.DeepEqual(seqRes, Result{}) {
+		t.Fatal("error paths returned non-zero Results")
+	}
+}
+
+// TestParallelErrorStopsPool checks an injected run error drains the pool
+// promptly and leaks no goroutines.
+func TestParallelErrorStopsPool(t *testing.T) {
+	before := runtime.NumGoroutine()
+	if _, err := Run(fcat.New(fcat.Config{Lambda: 2}), hopelessConfig(64, 8)); err == nil {
+		t.Fatal("expected an error")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestParallelProgressSerialized checks the Progress callback is invoked
+// exactly once per run with no concurrent invocations.
+func TestParallelProgressSerialized(t *testing.T) {
+	var (
+		active  atomic.Int32
+		overlap atomic.Bool
+		seen    = make(map[int]bool)
+		mu      sync.Mutex
+	)
+	cfg := Config{
+		Tags: 200, Runs: 12, Seed: 3, Workers: 4,
+		Progress: func(run int, m protocol.Metrics, err error) {
+			if active.Add(1) > 1 {
+				overlap.Store(true)
+			}
+			mu.Lock()
+			seen[run] = true
+			mu.Unlock()
+			active.Add(-1)
+		},
+	}
+	if _, err := Run(fcat.New(fcat.Config{Lambda: 2}), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if overlap.Load() {
+		t.Fatal("Progress callbacks overlapped")
+	}
+	if len(seen) != 12 {
+		t.Fatalf("Progress saw %d distinct runs, want 12", len(seen))
+	}
+}
+
+// TestWorkersCappedAtRuns: more workers than runs must still work (the
+// pool clamps) and stay deterministic.
+func TestWorkersCappedAtRuns(t *testing.T) {
+	p := fcat.New(fcat.Config{Lambda: 2})
+	seq, err := Run(p, Config{Tags: 100, Runs: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(p, Config{Tags: 100, Runs: 2, Seed: 4, Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("clamped pool diverged from sequential")
 	}
 }

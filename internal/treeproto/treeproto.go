@@ -140,37 +140,46 @@ func (*AQS) Name() string { return "AQS" }
 
 // Run implements protocol.Protocol: one independent reading round started
 // from the root queries. Monte-Carlo campaigns reuse a protocol instance
-// across unrelated populations, so Run deliberately discards any retained
+// across unrelated populations — possibly from concurrent runs of a
+// parallel campaign — so Run neither reads nor writes the retained leaf
 // state; use RunRound for AQS's adaptive periodic re-reads.
 func (a *AQS) Run(env *protocol.Env) (protocol.Metrics, error) {
-	a.leaves = nil
-	return a.RunRound(env)
+	m, _, err := aqsRound(env, nil)
+	env.TraceRunEnd(a.Name(), m, err)
+	return m, err
 }
 
 // RunRound executes one reading round, starting from the leaf queries
 // retained by the previous round if any — AQS's adaptive feature:
 // re-reading an unchanged population costs about one slot per retained
 // query and resolves no collisions, while arrivals collide inside their
-// covering leaf and are split out as usual.
+// covering leaf and are split out as usual. Unlike Run, RunRound is
+// stateful and must not be called concurrently on one reader.
 func (a *AQS) RunRound(env *protocol.Env) (protocol.Metrics, error) {
-	m, err := a.runRound(env)
+	m, leaves, err := aqsRound(env, a.leaves)
+	if err == nil {
+		a.leaves = leaves
+	}
 	env.TraceRunEnd(a.Name(), m, err)
 	return m, err
 }
 
-func (a *AQS) runRound(env *protocol.Env) (protocol.Metrics, error) {
+// aqsRound runs one reading round from the given retained leaves (nil =
+// the root queries) and returns the merged leaf set a follow-up round
+// would start from. It touches no reader state.
+func aqsRound(env *protocol.Env, start []leaf) (protocol.Metrics, []leaf, error) {
 	var (
 		m     = protocol.Metrics{Tags: len(env.Tags)}
 		clock air.Clock
 	)
-	env.TraceRunStart(a.Name())
+	env.TraceRunStart("AQS")
 	budget := env.SlotBudget()
 
 	// Build the initial query queue: retained leaves if a previous round
 	// ran, else the root queries 0 and 1.
 	var queue []query
-	if len(a.leaves) > 0 {
-		queue = replayLeaves(a.leaves, env.Tags)
+	if len(start) > 0 {
+		queue = replayLeaves(start, env.Tags)
 	} else {
 		var zero, one []tagid.ID
 		for _, id := range env.Tags {
@@ -192,7 +201,7 @@ func (a *AQS) runRound(env *protocol.Env) (protocol.Metrics, error) {
 	for head := 0; head < len(queue); head++ {
 		if slots >= budget {
 			m.OnAir = clock.Elapsed()
-			return m, protocol.ErrNoProgress
+			return m, nil, protocol.ErrNoProgress
 		}
 		q := queue[head]
 		slots++
@@ -216,7 +225,7 @@ func (a *AQS) runRound(env *protocol.Env) (protocol.Metrics, error) {
 				// Identical 96-bit IDs cannot be split further; with the
 				// distinct populations used here this cannot happen.
 				m.OnAir = clock.Elapsed()
-				return m, protocol.ErrNoProgress
+				return m, nil, protocol.ErrNoProgress
 			}
 			var zero, one []tagid.ID
 			for _, id := range q.tags {
@@ -238,9 +247,8 @@ func (a *AQS) runRound(env *protocol.Env) (protocol.Metrics, error) {
 			Identified:   m.Identified(),
 		})
 	}
-	a.leaves = mergeEmptySiblings(nextLeaves)
 	m.OnAir = clock.Elapsed()
-	return m, nil
+	return m, mergeEmptySiblings(nextLeaves), nil
 }
 
 // replayLeaves distributes the population over the retained leaves. The
