@@ -21,6 +21,9 @@
 // Campaigns run on a worker pool sized by -workers (default: all CPUs);
 // every output — metrics, traces, timelines — is bit-identical to a
 // sequential run (see docs/parallelism.md).
+//
+// Profiling: -cpuprofile and -memprofile write pprof profiles of the
+// campaign for `go tool pprof` (see docs/performance.md).
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"github.com/ancrfid/ancrfid"
 	"github.com/ancrfid/ancrfid/internal/obs"
@@ -61,9 +65,35 @@ func run(args []string) error {
 		timeline  = fs.String("timeline", "", "write a human-readable slot timeline to this file (\"-\" = stdout)")
 		metrics   = fs.String("metrics", "", "write the aggregated metrics registry to this file (\"-\" = stdout)")
 		progress  = fs.Bool("progress", false, "report per-run completion on stderr")
+		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memprof   = fs.String("memprofile", "", "write a heap profile (after the campaign) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rfidsim: writing heap profile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	p, err := ancrfid.ByName(*protoName)

@@ -26,12 +26,40 @@ type AbstractConfig struct {
 }
 
 // Abstract is the slot-level channel used by the paper's evaluation.
+//
+// Collision records are block-allocated: record headers come from a chunked
+// arena owned by the channel and member lists are carved out of shared
+// backing arrays, so a collision slot costs amortised fractions of an
+// allocation instead of a map plus header each. Records stay alive until
+// the run ends (the record store may revisit them at any time); the arena
+// simply stops handing out their storage for reuse.
 type Abstract struct {
 	cfg AbstractConfig
 	rng *rng.Source
+
+	// recs is the current record-header chunk. Chunks are never grown in
+	// place (only replaced when full), so *abstractMixed pointers handed to
+	// the reader stay valid for the whole run.
+	recs []abstractMixed
+	// memberPool is the current backing chunk for small member lists.
+	memberPool []tagid.ID
 }
 
 var _ Channel = (*Abstract)(nil)
+
+// recChunk and memberChunk size the arena blocks: large enough to amortise
+// the chunk allocation across many slots, small enough that a short run
+// does not hold tens of kilobytes hostage.
+const (
+	recChunk    = 128
+	memberChunk = 1024
+)
+
+// bigRecord is the member count above which a record carries a positional
+// index map: linear member scans are faster below it, and the giant records
+// (p=1 probe slots colliding hundreds of tags) that sit above it would turn
+// cascade subtraction quadratic without one.
+const bigRecord = 16
 
 // NewAbstract returns the paper's channel model. The rng drives the noise
 // processes; it may be shared with the protocol simulation.
@@ -61,41 +89,102 @@ func (a *Abstract) Observe(transmitters []tagid.ID) Observation {
 }
 
 func (a *Abstract) newMixed(transmitters []tagid.ID, resolvable bool) *abstractMixed {
-	m := &abstractMixed{
-		members:    make(map[tagid.ID]bool, len(transmitters)),
+	if len(a.recs) == cap(a.recs) {
+		a.recs = make([]abstractMixed, 0, recChunk)
+	}
+	a.recs = append(a.recs, abstractMixed{
+		members:    a.copyMembers(transmitters),
 		unknown:    len(transmitters),
 		resolvable: resolvable,
-	}
-	for _, id := range transmitters {
-		m.members[id] = false
+	})
+	m := &a.recs[len(a.recs)-1]
+	if len(m.members) > bigRecord {
+		m.index = make(map[tagid.ID]int32, len(m.members))
+		for i, id := range m.members {
+			m.index[id] = int32(i)
+		}
+		m.subBig = make([]uint64, (len(m.members)+63)/64)
 	}
 	return m
+}
+
+// copyMembers snapshots the transmitter set (the caller reuses its buffer
+// next slot) into the member pool. The full slice expression pins the
+// capacity so the record's list can never alias a later record's.
+func (a *Abstract) copyMembers(transmitters []tagid.ID) []tagid.ID {
+	n := len(transmitters)
+	if n > memberChunk/2 {
+		// Giant record (a p=1 probe slot): give it dedicated storage rather
+		// than churning pool chunks.
+		out := make([]tagid.ID, n)
+		copy(out, transmitters)
+		return out
+	}
+	if len(a.memberPool)+n > cap(a.memberPool) {
+		a.memberPool = make([]tagid.ID, 0, memberChunk)
+	}
+	base := len(a.memberPool)
+	a.memberPool = append(a.memberPool, transmitters...)
+	return a.memberPool[base : base+n : base+n]
 }
 
 // abstractMixed tracks which constituents of a recorded collision have been
 // subtracted. Decoding succeeds once a single constituent remains, provided
 // the record was resolvable in the first place.
+//
+// Small records (the steady-state case: multiplicity a handful) keep their
+// members in an arena-backed slice with a bitmask of subtracted positions —
+// no per-record map, no per-record allocation. Records above bigRecord
+// members add a positional index map and a wider bitset.
 type abstractMixed struct {
-	// members maps each transmitter to whether its signal has been
-	// subtracted from the mix.
-	members    map[tagid.ID]bool
+	members    []tagid.ID
+	sub        uint64             // subtracted-position bitmask, len(members) <= bigRecord
+	subBig     []uint64           // bitset when len(members) > bigRecord
+	index      map[tagid.ID]int32 // positional index, only for big records
 	unknown    int
 	resolvable bool
 }
 
 var _ Mixed = (*abstractMixed)(nil)
 
+// find returns the member's position, or -1.
+func (m *abstractMixed) find(id tagid.ID) int {
+	if m.index != nil {
+		if i, ok := m.index[id]; ok {
+			return int(i)
+		}
+		return -1
+	}
+	for i := range m.members {
+		if m.members[i] == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// subtracted reports whether position i has been cancelled.
+func (m *abstractMixed) subtracted(i int) bool {
+	if m.subBig != nil {
+		return m.subBig[i/64]&(1<<(i%64)) != 0
+	}
+	return m.sub&(1<<i) != 0
+}
+
 func (m *abstractMixed) Contains(id tagid.ID) bool {
-	_, ok := m.members[id]
-	return ok
+	return m.find(id) >= 0
 }
 
 func (m *abstractMixed) Subtract(id tagid.ID) {
-	subtracted, ok := m.members[id]
-	if !ok || subtracted {
+	i := m.find(id)
+	if i < 0 || m.subtracted(i) {
 		return
 	}
-	m.members[id] = true
+	if m.subBig != nil {
+		m.subBig[i/64] |= 1 << (i % 64)
+	} else {
+		m.sub |= 1 << i
+	}
 	m.unknown--
 }
 
@@ -103,9 +192,11 @@ func (m *abstractMixed) Decode() (tagid.ID, bool) {
 	if !m.resolvable || m.unknown != 1 {
 		return tagid.ID{}, false
 	}
-	for id, subtracted := range m.members {
-		if !subtracted {
-			return id, true
+	// Resolvable records have at most lambda members, so this scan is a
+	// handful of bitmask tests.
+	for i := range m.members {
+		if !m.subtracted(i) {
+			return m.members[i], true
 		}
 	}
 	return tagid.ID{}, false

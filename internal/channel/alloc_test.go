@@ -1,0 +1,48 @@
+package channel
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// TestAbstractObserveZeroAlloc requires the abstract channel's empty and
+// singleton observations — the steady state of a well-tuned protocol — to
+// be allocation-free. (Collision observations allocate, amortised through
+// the channel's record arena; they are exercised by the arena tests.)
+func TestAbstractObserveZeroAlloc(t *testing.T) {
+	r := rng.New(3)
+	a := NewAbstract(AbstractConfig{Lambda: 2}, r)
+	ids := tagid.Population(r, 2)
+	empty := []tagid.ID{}
+	single := ids[:1]
+	allocs := testing.AllocsPerRun(500, func() {
+		if o := a.Observe(empty); o.Kind != Empty {
+			t.Fatal("want empty")
+		}
+		if o := a.Observe(single); o.Kind != Singleton {
+			t.Fatal("want singleton")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("empty+singleton Observe allocates %v times, want 0", allocs)
+	}
+}
+
+// TestAbstractCollisionAmortisedAlloc checks the arena does its job: a long
+// run of collision observations must average well under one heap object
+// per member (the pre-arena cost was a map + header + buckets each).
+func TestAbstractCollisionAmortisedAlloc(t *testing.T) {
+	r := rng.New(4)
+	a := NewAbstract(AbstractConfig{Lambda: 2}, r)
+	ids := tagid.Population(r, 2)
+	allocs := testing.AllocsPerRun(2000, func() {
+		if o := a.Observe(ids); o.Kind != Collision {
+			t.Fatal("want collision")
+		}
+	})
+	if allocs > 0.5 {
+		t.Errorf("collision Observe allocates %v times per slot, want amortised < 0.5", allocs)
+	}
+}

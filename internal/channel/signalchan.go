@@ -59,12 +59,25 @@ func DefaultSignalConfig() SignalConfig {
 // Signal is the physical-layer channel: transmissions are MSK waveforms,
 // collisions are sums, and collision resolution is genuine interference
 // cancellation with CRC verification.
+//
+// The channel owns the scratch buffers of its hot paths: the received
+// waveform is synthesised directly into a reusable accumulator (handed off
+// to the collision record when a slot must be kept, lazily replaced), and
+// the decoder's reference list, least-squares system and residual buffer
+// are reused across cancellation attempts. A Signal is single-goroutine,
+// like the rng.Source it wraps.
 type Signal struct {
 	cfg     SignalConfig
 	rng     *rng.Source
 	gains   map[tagid.ID]complex128
 	offsets map[tagid.ID]float64
 	refs    map[tagid.ID]signal.Waveform
+
+	rxBuf    signal.Waveform // slot accumulator; nil after a collision keeps it
+	refsBuf  []signal.Waveform
+	gainsBuf []complex128
+	ls       signal.GainScratch
+	resBuf   signal.Waveform // decoder residual
 }
 
 var _ Channel = (*Signal)(nil)
@@ -134,24 +147,40 @@ func (c *Signal) reference(id tagid.ID) signal.Waveform {
 
 // Observe implements Channel: it synthesises the received waveform for the
 // slot and lets the reader's decoder classify it.
+//
+// Each transmitter's contribution (ref * e^(i*dw*n), then * gain) is
+// accumulated straight into the slot buffer in transmitter order — the
+// same per-sample operations, in the same order, as building the parts
+// individually and summing them, so the synthesised waveform is
+// bit-identical to the unfused form.
 func (c *Signal) Observe(transmitters []tagid.ID) Observation {
 	if len(transmitters) == 0 {
 		return Observation{Kind: Empty}
 	}
-	parts := make([]signal.Waveform, len(transmitters))
-	for i, id := range transmitters {
+	n := 1 + tagid.Bits*c.cfg.SamplesPerBit
+	if cap(c.rxBuf) < n {
+		c.rxBuf = make(signal.Waveform, n)
+	}
+	rx := c.rxBuf[:n]
+	clear(rx)
+	for _, id := range transmitters {
 		g := c.gain(id)
 		if c.cfg.PhaseJitter > 0 {
 			j := (2*c.rng.Float64() - 1) * c.cfg.PhaseJitter
 			g *= cmplx.Exp(complex(0, j))
 		}
-		wave := c.reference(id)
+		ref := c.reference(id)
 		if dw := c.offset(id); dw != 0 {
-			wave = signal.ApplyFrequencyOffset(wave, dw)
+			for i, s := range ref {
+				rx[i] += s * cmplx.Exp(complex(0, dw*float64(i))) * g
+			}
+		} else {
+			for i, s := range ref {
+				rx[i] += s * g
+			}
 		}
-		parts[i] = signal.Scale(wave, g)
 	}
-	received := signal.AddNoise(signal.Mix(parts...), c.cfg.NoiseSigma, c.rng)
+	received := signal.AddNoise(rx, c.cfg.NoiseSigma, c.rng)
 
 	// The reader first attempts a plain single-ID decode; the CRC tells it
 	// whether the slot was a clean singleton (Section III-B).
@@ -167,31 +196,38 @@ func (c *Signal) Observe(transmitters []tagid.ID) Observation {
 		signal.EnvelopeFlat(received, c.cfg.NoiseSigma) {
 		return Observation{Kind: Singleton, ID: id}
 	}
+	// The record keeps the received waveform, so the accumulator is handed
+	// off: the next Observe allocates a fresh one.
+	c.rxBuf = nil
 	m := &signalMixed{
 		chan_:   c,
 		wave:    received,
-		members: make(map[tagid.ID]struct{}, len(transmitters)),
-	}
-	for _, id := range transmitters {
-		m.members[id] = struct{}{}
+		members: append(make([]tagid.ID, 0, len(transmitters)), transmitters...),
 	}
 	return Observation{Kind: Collision, Mix: m}
 }
 
 // signalMixed is a recorded collision waveform plus the set of identified
-// constituents the reader has marked for cancellation.
+// constituents the reader has marked for cancellation. Membership is a
+// linear scan: record multiplicities are small in steady state, and even a
+// deep bootstrap collision's scan is noise next to the least-squares fits
+// Decode runs.
 type signalMixed struct {
 	chan_   *Signal
 	wave    signal.Waveform
-	members map[tagid.ID]struct{}
+	members []tagid.ID
 	known   []tagid.ID
 }
 
 var _ Mixed = (*signalMixed)(nil)
 
 func (m *signalMixed) Contains(id tagid.ID) bool {
-	_, ok := m.members[id]
-	return ok
+	for _, v := range m.members {
+		if v == id {
+			return true
+		}
+	}
+	return false
 }
 
 func (m *signalMixed) Subtract(id tagid.ID) {
@@ -216,32 +252,36 @@ func (m *signalMixed) Decode() (tagid.ID, bool) {
 		// lambda-1 cancellations plus the residual.
 		return tagid.ID{}, false
 	}
+	c := m.chan_
 	var residual signal.Waveform
-	if m.chan_.cfg.FrequencyOffsetMax > 0 {
+	if c.cfg.FrequencyOffsetMax > 0 {
 		// Free-running oscillators: peel the known constituents one at a
-		// time with the joint gain-and-offset estimator.
+		// time with the joint gain-and-offset estimator, cancelling in place
+		// in the channel's residual buffer after the first peel.
 		residual = m.wave
 		for _, known := range m.known {
-			ref := m.chan_.reference(known)
-			gain, dw := signal.EstimateGainAndOffset(residual, ref, m.chan_.cfg.SamplesPerBit)
-			residual = signal.CancelWithOffset(residual, ref, gain, dw)
+			ref := c.reference(known)
+			gain, dw := signal.EstimateGainAndOffset(residual, ref, c.cfg.SamplesPerBit)
+			c.resBuf = signal.CancelWithOffsetInto(c.resBuf[:0], residual, ref, gain, dw)
+			residual = c.resBuf
 		}
 	} else {
-		refs := make([]signal.Waveform, len(m.known))
-		for i, id := range m.known {
-			refs[i] = m.chan_.reference(id)
+		c.refsBuf = c.refsBuf[:0]
+		for _, id := range m.known {
+			c.refsBuf = append(c.refsBuf, c.reference(id))
 		}
-		gains := signal.EstimateGains(m.wave, refs)
-		if gains == nil {
+		c.gainsBuf = c.ls.EstimateGains(c.gainsBuf[:0], m.wave, c.refsBuf)
+		if c.gainsBuf == nil {
 			return tagid.ID{}, false
 		}
-		residual = signal.Cancel(m.wave, refs, gains)
+		c.resBuf = signal.CancelInto(c.resBuf[:0], m.wave, c.refsBuf, c.gainsBuf)
+		residual = c.resBuf
 	}
-	id, ok := signal.DecodeID(residual, m.chan_.cfg.SamplesPerBit)
+	id, ok := signal.DecodeID(residual, c.cfg.SamplesPerBit)
 	if !ok {
 		return tagid.ID{}, false
 	}
-	if _, member := m.members[id]; !member {
+	if !m.Contains(id) {
 		// A decode that passes CRC but names a tag that never transmitted in
 		// this slot is a false positive (probability ~2^-16); discard it.
 		return tagid.ID{}, false

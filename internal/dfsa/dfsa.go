@@ -77,6 +77,7 @@ func (p *Protocol) run(env *protocol.Env) (protocol.Metrics, error) {
 		frameSize = len(env.Tags)
 	}
 	slots := 0
+	var scratch FrameScratch
 
 	for {
 		if slots >= budget {
@@ -94,7 +95,7 @@ func (p *Protocol) run(env *protocol.Env) (protocol.Metrics, error) {
 		env.TraceFrame(obsev.FrameEvent{Seq: slots, Frame: m.Frames, Size: frameSize, P: 1})
 
 		var collisions, transmissions int
-		unread, collisions, transmissions = runFrame(env, frameSize, unread, seen, &m)
+		unread, collisions, transmissions = runFrame(env, &scratch, frameSize, unread, seen, &m)
 		slots += frameSize
 		clock.AddSlots(env.Timing, frameSize)
 
@@ -111,19 +112,51 @@ func (p *Protocol) run(env *protocol.Env) (protocol.Metrics, error) {
 	}
 }
 
+// FrameScratch holds the per-frame bucketing state of a framed-ALOHA slot
+// loop — the slot-occupancy buckets and the read-this-frame set — reused
+// across frames so the steady state does not reallocate them. EDFSA's
+// per-group frames share the same scratch. The zero value is ready to use.
+type FrameScratch struct {
+	occupants [][]tagid.ID
+	read      map[tagid.ID]struct{}
+}
+
+// Buckets returns frameSize empty occupancy buckets, each keeping the
+// capacity it grew in earlier frames.
+func (sc *FrameScratch) Buckets(frameSize int) [][]tagid.ID {
+	for cap(sc.occupants) < frameSize {
+		sc.occupants = append(sc.occupants[:cap(sc.occupants)], nil)
+	}
+	occ := sc.occupants[:frameSize]
+	for i := range occ {
+		occ[i] = occ[i][:0]
+	}
+	return occ
+}
+
+// Read returns the emptied read-this-frame set.
+func (sc *FrameScratch) Read() map[tagid.ID]struct{} {
+	if sc.read == nil {
+		sc.read = make(map[tagid.ID]struct{})
+		return sc.read
+	}
+	clear(sc.read)
+	return sc.read
+}
+
 // runFrame simulates one frame: every unread tag picks one slot; the reader
 // observes each slot through the channel. It updates metrics and returns
 // the still-unread tags, the collision count, and the number of tags that
 // transmitted. seen holds the IDs counted in earlier frames so that a tag
 // retransmitting after a lost acknowledgement is not double-counted.
-func runFrame(env *protocol.Env, frameSize int, unread []tagid.ID, seen map[tagid.ID]struct{}, m *protocol.Metrics) (remaining []tagid.ID, collisions, transmissions int) {
+func runFrame(env *protocol.Env, scratch *FrameScratch, frameSize int, unread []tagid.ID, seen map[tagid.ID]struct{}, m *protocol.Metrics) (remaining []tagid.ID, collisions, transmissions int) {
 	// Bucket the tags by their chosen slot.
-	occupants := make([][]tagid.ID, frameSize)
+	occupants := scratch.Buckets(frameSize)
 	for _, id := range unread {
 		s := env.RNG.Intn(frameSize)
 		occupants[s] = append(occupants[s], id)
 	}
-	read := make(map[tagid.ID]struct{})
+	read := scratch.Read()
 	for _, tx := range occupants {
 		transmissions += len(tx)
 		obs := env.Channel.Observe(tx)

@@ -101,6 +101,8 @@ func (p *Protocol) run(env *protocol.Env) (protocol.Metrics, error) {
 	}
 	slots := 0
 	round := uint64(0)
+	var scratch dfsa.FrameScratch
+	var membersBuf []tagid.ID
 
 	for {
 		frame, groups := frameSizeFor(estimated)
@@ -111,13 +113,16 @@ func (p *Protocol) run(env *protocol.Env) (protocol.Metrics, error) {
 				m.OnAir = clock.Elapsed()
 				return m, protocol.ErrNoProgress
 			}
-			members := groupMembers(unread, round, groups, g)
+			members := groupMembers(membersBuf[:0], unread, round, groups, g)
+			if groups > 1 {
+				membersBuf = members
+			}
 			clock.Add(env.Timing.FrameAnnouncement())
 			m.Frames++
 			env.TraceFrame(obsev.FrameEvent{
 				Seq: slots, Frame: m.Frames, Size: frame, P: 1 / float64(groups),
 			})
-			collisions, transmissions, read := runGroupFrame(env, frame, members, seen, &m)
+			collisions, transmissions, read := runGroupFrame(env, &scratch, frame, members, seen, &m)
 			roundCollisions += collisions
 			roundTransmissions += transmissions
 			slots += frame
@@ -148,30 +153,32 @@ func (p *Protocol) run(env *protocol.Env) (protocol.Metrics, error) {
 }
 
 // groupMembers selects the unread tags whose hash (salted by the round so
-// group boundaries reshuffle between rounds) falls in modulo group g.
-func groupMembers(unread []tagid.ID, round uint64, groups, g int) []tagid.ID {
+// group boundaries reshuffle between rounds) falls in modulo group g,
+// appending them to buf (reused across groups; ignored when groups == 1,
+// where the unread slice itself is the single group).
+func groupMembers(buf, unread []tagid.ID, round uint64, groups, g int) []tagid.ID {
 	if groups == 1 {
 		return unread
 	}
-	var members []tagid.ID
 	for _, id := range unread {
 		if int(id.ReportHash(round))%groups == g {
-			members = append(members, id)
+			buf = append(buf, id)
 		}
 	}
-	return members
+	return buf
 }
 
 // runGroupFrame runs one frame over the given group members. seen holds
 // the IDs counted in earlier frames so retransmissions after a lost
-// acknowledgement are not double-counted.
-func runGroupFrame(env *protocol.Env, frameSize int, members []tagid.ID, seen map[tagid.ID]struct{}, m *protocol.Metrics) (collisions, transmissions int, read map[tagid.ID]struct{}) {
-	occupants := make([][]tagid.ID, frameSize)
+// acknowledgement are not double-counted. The returned read set is owned by
+// scratch and only valid until the next runGroupFrame call.
+func runGroupFrame(env *protocol.Env, scratch *dfsa.FrameScratch, frameSize int, members []tagid.ID, seen map[tagid.ID]struct{}, m *protocol.Metrics) (collisions, transmissions int, read map[tagid.ID]struct{}) {
+	occupants := scratch.Buckets(frameSize)
 	for _, id := range members {
 		s := env.RNG.Intn(frameSize)
 		occupants[s] = append(occupants[s], id)
 	}
-	read = make(map[tagid.ID]struct{})
+	read = scratch.Read()
 	for _, tx := range occupants {
 		transmissions += len(tx)
 		obs := env.Channel.Observe(tx)

@@ -67,7 +67,7 @@ func TestGroupMembersPartition(t *testing.T) {
 	seen := make(map[tagid.ID]int)
 	total := 0
 	for g := 0; g < groups; g++ {
-		for _, id := range groupMembers(tags, 3, groups, g) {
+		for _, id := range groupMembers(nil, tags, 3, groups, g) {
 			seen[id]++
 			total++
 		}
@@ -85,8 +85,8 @@ func TestGroupMembersPartition(t *testing.T) {
 func TestGroupMembersReshuffleAcrossRounds(t *testing.T) {
 	r := rng.New(2)
 	tags := tagid.Population(r, 500)
-	a := groupMembers(tags, 1, 4, 0)
-	b := groupMembers(tags, 2, 4, 0)
+	a := groupMembers(nil, tags, 1, 4, 0)
+	b := groupMembers(nil, tags, 2, 4, 0)
 	if len(a) == len(b) {
 		same := true
 		for i := range a {
@@ -104,7 +104,7 @@ func TestGroupMembersReshuffleAcrossRounds(t *testing.T) {
 func TestSingleGroupFastPath(t *testing.T) {
 	r := rng.New(3)
 	tags := tagid.Population(r, 10)
-	got := groupMembers(tags, 0, 1, 0)
+	got := groupMembers(nil, tags, 0, 1, 0)
 	if len(got) != 10 {
 		t.Fatal("single group must contain everyone")
 	}

@@ -8,19 +8,32 @@ import (
 // ActiveSet tracks the tags still participating in a probabilistic protocol
 // (those that have not yet received a positive acknowledgement) and draws
 // per-slot transmitter sets under either transmission model.
+//
+// The set keeps a struct-of-arrays layout: the IDs and their precomputed
+// report-hash prefixes (tagid.HashPrefix) live in parallel slices, so the
+// per-slot TxHash scan folds only the 8 slot bytes per tag instead of
+// re-hashing the full 20-byte (ID, slot) input — the dominant cost of the
+// exact transmission model at large N.
 type ActiveSet struct {
-	ids []tagid.ID
-	pos map[tagid.ID]int
+	ids      []tagid.ID
+	prefixes []tagid.HashPrefix
+	pos      map[tagid.ID]int
+
+	// idx is the reusable scratch for TxBinomial's distinct-index draws; it
+	// keeps steady-state slots allocation-free.
+	idx []int
 }
 
 // NewActiveSet returns a set containing all given tags.
 func NewActiveSet(tags []tagid.ID) *ActiveSet {
 	s := &ActiveSet{
-		ids: make([]tagid.ID, len(tags)),
-		pos: make(map[tagid.ID]int, len(tags)),
+		ids:      make([]tagid.ID, len(tags)),
+		prefixes: make([]tagid.HashPrefix, len(tags)),
+		pos:      make(map[tagid.ID]int, len(tags)),
 	}
 	copy(s.ids, tags)
 	for i, id := range s.ids {
+		s.prefixes[i] = id.HashPrefix()
 		s.pos[id] = i
 	}
 	return s
@@ -39,24 +52,27 @@ func (s *ActiveSet) Remove(id tagid.ID) bool {
 	last := len(s.ids) - 1
 	moved := s.ids[last]
 	s.ids[i] = moved
+	s.prefixes[i] = s.prefixes[last]
 	s.pos[moved] = i
 	s.ids = s.ids[:last]
+	s.prefixes = s.prefixes[:last]
 	delete(s.pos, id)
 	return true
 }
 
 // Transmitters returns the tags that report in the given slot at report
 // probability p, appended to buf (which is reused across slots to avoid
-// allocation). The hash model evaluates H(ID|slot) per tag; the binomial
-// model draws the count and samples distinct tags.
+// allocation). The hash model evaluates H(ID|slot) per tag from the
+// precomputed prefixes; the binomial model draws the count and samples
+// distinct tags.
 func (s *ActiveSet) Transmitters(r *rng.Source, model TxModel, slot uint64, p float64, buf []tagid.ID) []tagid.ID {
 	buf = buf[:0]
 	switch model {
 	case TxHash:
 		threshold := tagid.Threshold(p)
-		for _, id := range s.ids {
-			if id.Reports(slot, threshold) {
-				buf = append(buf, id)
+		for i, pre := range s.prefixes {
+			if pre.Reports(slot, threshold) {
+				buf = append(buf, s.ids[i])
 			}
 		}
 	default: // TxBinomial
@@ -67,7 +83,8 @@ func (s *ActiveSet) Transmitters(r *rng.Source, model TxModel, slot uint64, p fl
 		if k >= len(s.ids) {
 			return append(buf, s.ids...)
 		}
-		for _, i := range r.SampleDistinct(k, len(s.ids)) {
+		s.idx = r.SampleDistinctAppend(s.idx[:0], k, len(s.ids))
+		for _, i := range s.idx {
 			buf = append(buf, s.ids[i])
 		}
 	}

@@ -1,0 +1,38 @@
+package protocol
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// TestTransmittersZeroAlloc requires the per-slot transmitter draw to be
+// allocation-free once its scratch buffers are warm, under both
+// transmission models and across the binomial sampler's sparse and dense
+// regimes.
+func TestTransmittersZeroAlloc(t *testing.T) {
+	r := rng.New(7)
+	tags := tagid.Population(r, 300)
+	s := NewActiveSet(tags)
+	buf := make([]tagid.ID, 0, len(tags))
+	slot := uint64(0)
+	for _, p := range []float64{0.02, 0.5, 0.95} { // warm sparse and dense paths
+		for i := 0; i < 50; i++ {
+			buf = s.Transmitters(r, TxBinomial, slot, p, buf)
+			buf = s.Transmitters(r, TxHash, slot, p, buf)
+			slot++
+		}
+	}
+	for _, tx := range []TxModel{TxBinomial, TxHash} {
+		for _, p := range []float64{0.02, 0.5, 0.95} {
+			allocs := testing.AllocsPerRun(300, func() {
+				buf = s.Transmitters(r, tx, slot, p, buf)
+				slot++
+			})
+			if allocs != 0 {
+				t.Errorf("tx=%v p=%v: Transmitters allocates %v times, want 0", tx, p, allocs)
+			}
+		}
+	}
+}

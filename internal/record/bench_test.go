@@ -1,0 +1,34 @@
+package record
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// BenchmarkCascadeResolve measures the store's hot path end to end: filing
+// a chain of two-collision records {t0,t1}@1, {t1,t2}@2, ... and then
+// learning t0, which cascades through the whole chain. One op = building
+// and fully resolving a 256-record chain.
+func BenchmarkCascadeResolve(b *testing.B) {
+	const chain = 256
+	r := rng.New(42)
+	tags := tagid.Population(r, chain+1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ch := channel.NewAbstract(channel.AbstractConfig{Lambda: 2}, r)
+		s := NewStore()
+		for j := 0; j < chain; j++ {
+			obs := ch.Observe(tags[j : j+2])
+			if obs.Kind != channel.Collision {
+				b.Fatal("expected collision")
+			}
+			s.Add(uint64(j), obs.Mix, tags[j:j+2])
+		}
+		if got := len(s.OnIdentified(tags[0])); got != chain {
+			b.Fatalf("cascade resolved %d records, want %d", got, chain)
+		}
+	}
+}

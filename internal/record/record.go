@@ -30,6 +30,55 @@ type entry struct {
 	resolved bool
 }
 
+// member is one node of the member index: the outstanding records an
+// unidentified tag participates in. Nodes are keyed by the tag's 64-bit
+// report-hash prefix (tagid.HashPrefix), which gives the index map a
+// word-sized key; the exact ID is kept on the node and the next pointer
+// chains the astronomically unlikely prefix collision, so behaviour is
+// exact regardless. The first two records are stored inline because in
+// steady state a tag is outstanding in at most a couple of records; only
+// deeper histories (heavy acknowledgement loss) spill to a slice.
+type member struct {
+	id     tagid.ID
+	e0, e1 *entry
+	more   []*entry
+	n      int
+	next   *member
+}
+
+func (m *member) add(e *entry) {
+	switch m.n {
+	case 0:
+		m.e0 = e
+	case 1:
+		m.e1 = e
+	default:
+		m.more = append(m.more, e)
+	}
+	m.n++
+}
+
+// record returns the i'th record in insertion order.
+func (m *member) record(i int) *entry {
+	switch i {
+	case 0:
+		return m.e0
+	case 1:
+		return m.e1
+	default:
+		return m.more[i-2]
+	}
+}
+
+// entryChunk and memberNodeChunk size the store's arena blocks. Entries and
+// member nodes live until the run ends, so they are carved out of fixed-cap
+// chunks (never grown in place — handed-out pointers must stay valid) and
+// the per-collision allocation cost amortises to a fraction of a make.
+const (
+	entryChunk      = 256
+	memberNodeChunk = 256
+)
+
 // Store holds the reader's outstanding collision records, indexed by
 // participant so the resolution cascade touches only relevant records.
 //
@@ -44,22 +93,113 @@ type Store struct {
 	// Protocols point it at their run's Env.Tracer.
 	Tracer obs.Tracer
 
-	byMember map[tagid.ID][]*entry
-	// known records every ID the reader has learned. A tag whose
-	// acknowledgement was lost keeps transmitting (Section IV-E) and lands
-	// in new collision records; its signal is already known, so it is
-	// subtracted on arrival.
-	known  map[tagid.ID]struct{}
+	byMember map[tagid.HashPrefix]*member
+	// known records every ID the reader has learned, keyed by hash prefix
+	// with the exact ID as the value. A tag whose acknowledgement was lost
+	// keeps transmitting (Section IV-E) and lands in new collision records;
+	// its signal is already known, so it is subtracted on arrival.
+	known map[tagid.HashPrefix]tagid.ID
+	// knownOverflow holds further IDs sharing a prefix already in known.
+	// It stays nil until the first 64-bit prefix collision among learned
+	// IDs, i.e. in practice forever.
+	knownOverflow map[tagid.ID]struct{}
+
 	active int
 	total  int
+
+	// Arena chunks and reusable cascade buffers. The queue and out slices
+	// back every cascade, so the slice returned by Add/OnIdentified is only
+	// valid until the next call on the store.
+	entries []entry
+	nodes   []member
+	queue   []cascadeItem
+	out     []Resolved
 }
 
 // NewStore returns an empty record store.
 func NewStore() *Store {
 	return &Store{
-		byMember: make(map[tagid.ID][]*entry),
-		known:    make(map[tagid.ID]struct{}),
+		byMember: make(map[tagid.HashPrefix]*member),
+		known:    make(map[tagid.HashPrefix]tagid.ID),
 	}
+}
+
+func (s *Store) newEntry(slot uint64, mix channel.Mixed) *entry {
+	if len(s.entries) == cap(s.entries) {
+		s.entries = make([]entry, 0, entryChunk)
+	}
+	s.entries = append(s.entries, entry{slot: slot, mix: mix})
+	return &s.entries[len(s.entries)-1]
+}
+
+func (s *Store) isKnown(pre tagid.HashPrefix, id tagid.ID) bool {
+	v, ok := s.known[pre]
+	if !ok {
+		return false
+	}
+	if v == id {
+		return true
+	}
+	if s.knownOverflow == nil {
+		return false
+	}
+	_, ok = s.knownOverflow[id]
+	return ok
+}
+
+func (s *Store) markKnown(pre tagid.HashPrefix, id tagid.ID) {
+	v, ok := s.known[pre]
+	if !ok {
+		s.known[pre] = id
+		return
+	}
+	if v == id {
+		return
+	}
+	if s.knownOverflow == nil {
+		s.knownOverflow = make(map[tagid.ID]struct{})
+	}
+	s.knownOverflow[id] = struct{}{}
+}
+
+// memberFor returns the index node for id, creating it if absent.
+func (s *Store) memberFor(pre tagid.HashPrefix, id tagid.ID) *member {
+	for m := s.byMember[pre]; m != nil; m = m.next {
+		if m.id == id {
+			return m
+		}
+	}
+	if len(s.nodes) == cap(s.nodes) {
+		s.nodes = make([]member, 0, memberNodeChunk)
+	}
+	s.nodes = append(s.nodes, member{id: id, next: s.byMember[pre]})
+	m := &s.nodes[len(s.nodes)-1]
+	s.byMember[pre] = m
+	return m
+}
+
+// takeMember unlinks and returns the index node for id, or nil.
+func (s *Store) takeMember(pre tagid.HashPrefix, id tagid.ID) *member {
+	m := s.byMember[pre]
+	if m == nil {
+		return nil
+	}
+	if m.id == id {
+		if m.next == nil {
+			delete(s.byMember, pre)
+		} else {
+			s.byMember[pre] = m.next
+		}
+		return m
+	}
+	for prev := m; prev.next != nil; prev = prev.next {
+		if prev.next.id == id {
+			m = prev.next
+			prev.next = m.next
+			return m
+		}
+	}
+	return nil
 }
 
 // Add stores the mixed signal of a collision slot. members lists the tags
@@ -67,15 +207,18 @@ func NewStore() *Store {
 // reconstructs for the reader). Signals of members the reader has already
 // identified are subtracted immediately, which can resolve the record on
 // the spot; any IDs recovered this way are returned (including cascades).
+// The returned slice is reused: it is valid until the next Add or
+// OnIdentified call on this store.
 func (s *Store) Add(slot uint64, mix channel.Mixed, members []tagid.ID) []Resolved {
-	e := &entry{slot: slot, mix: mix}
+	e := s.newEntry(slot, mix)
 	unknown := 0
 	for _, id := range members {
-		if _, ok := s.known[id]; ok {
+		pre := id.HashPrefix()
+		if s.isKnown(pre, id) {
 			e.mix.Subtract(id)
 			continue
 		}
-		s.byMember[id] = append(s.byMember[id], e)
+		s.memberFor(pre, id).add(e)
 		unknown++
 	}
 	s.total++
@@ -89,8 +232,10 @@ func (s *Store) Add(slot uint64, mix channel.Mixed, members []tagid.ID) []Resolv
 		if s.Tracer != nil {
 			s.Tracer.RecordResolved(obs.ResolveEvent{Slot: slot, ID: y})
 		}
-		out := []Resolved{{ID: y, Slot: slot}}
-		return append(out, s.OnIdentified(y)...)
+		s.out = append(s.out[:0], Resolved{ID: y, Slot: slot})
+		s.queue = append(s.queue[:0], cascadeItem{id: y, pre: y.HashPrefix()})
+		s.cascade()
+		return s.out
 	}
 	if unknown == 0 {
 		// Every member was a retransmitting known tag; nothing new here.
@@ -105,7 +250,7 @@ func (s *Store) Add(slot uint64, mix channel.Mixed, members []tagid.ID) []Resolv
 // retransmitter from an earlier frame whose acknowledgement was lost), so
 // its signal is subtracted from any record it joins.
 func (s *Store) MarkKnown(id tagid.ID) {
-	s.known[id] = struct{}{}
+	s.markKnown(id.HashPrefix(), id)
 }
 
 // Active returns the number of unresolved records currently held.
@@ -118,20 +263,30 @@ func (s *Store) Total() int { return s.total }
 // resolution cascade: the tag's signal is subtracted from every record it
 // participated in, fully-determined records are decoded, and each recovered
 // ID is processed the same way. It returns the recovered IDs with the slots
-// whose records yielded them, in recovery order.
+// whose records yielded them, in recovery order. The returned slice is
+// reused: it is valid until the next Add or OnIdentified call on this
+// store.
 func (s *Store) OnIdentified(id tagid.ID) []Resolved {
-	var out []Resolved
-	queue := []cascadeItem{{id: id}}
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
-		s.known[x.id] = struct{}{}
-		entries := s.byMember[x.id]
-		delete(s.byMember, x.id)
-		if s.Tracer != nil && len(entries) > 0 {
-			s.Tracer.CascadeStep(obs.CascadeEvent{ID: x.id, Records: len(entries), Depth: x.depth})
+	s.out = s.out[:0]
+	s.queue = append(s.queue[:0], cascadeItem{id: id, pre: id.HashPrefix()})
+	s.cascade()
+	return s.out
+}
+
+// cascade drains s.queue breadth-first, appending recoveries to s.out.
+func (s *Store) cascade() {
+	for head := 0; head < len(s.queue); head++ {
+		x := s.queue[head]
+		s.markKnown(x.pre, x.id)
+		node := s.takeMember(x.pre, x.id)
+		if node == nil {
+			continue
 		}
-		for _, e := range entries {
+		if s.Tracer != nil {
+			s.Tracer.CascadeStep(obs.CascadeEvent{ID: x.id, Records: node.n, Depth: x.depth})
+		}
+		for i := 0; i < node.n; i++ {
+			e := node.record(i)
 			if e.resolved {
 				continue
 			}
@@ -142,7 +297,8 @@ func (s *Store) OnIdentified(id tagid.ID) []Resolved {
 			}
 			e.resolved = true
 			s.active--
-			if _, dup := s.known[y]; dup {
+			ypre := y.HashPrefix()
+			if s.isKnown(ypre, y) {
 				// The residual is a signal the reader already knows: two
 				// records in one cascade can strip down to the same tag
 				// (e.g. {A,B}@i and {A,B}@j when A is learned). The second
@@ -154,22 +310,26 @@ func (s *Store) OnIdentified(id tagid.ID) []Resolved {
 				}
 				continue
 			}
-			s.known[y] = struct{}{}
+			s.markKnown(ypre, y)
 			if s.Tracer != nil {
 				s.Tracer.RecordResolved(obs.ResolveEvent{
 					Slot: e.slot, ID: y, Trigger: x.id, Depth: x.depth + 1,
 				})
 			}
-			out = append(out, Resolved{ID: y, Slot: e.slot})
-			queue = append(queue, cascadeItem{id: y, depth: x.depth + 1})
+			s.out = append(s.out, Resolved{ID: y, Slot: e.slot})
+			s.queue = append(s.queue, cascadeItem{id: y, pre: ypre, depth: x.depth + 1})
 		}
+		// The node is spent; drop its record references so resolved mixes
+		// are not pinned by the arena.
+		node.e0, node.e1, node.more = nil, nil, nil
 	}
-	return out
 }
 
 // cascadeItem is one pending step of the resolution cascade: a
-// newly-learned ID and the cascade depth it was learned at.
+// newly-learned ID (with its precomputed hash prefix) and the cascade depth
+// it was learned at.
 type cascadeItem struct {
 	id    tagid.ID
+	pre   tagid.HashPrefix
 	depth int
 }

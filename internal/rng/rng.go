@@ -24,6 +24,16 @@ type Source struct {
 	// Spare normal deviate from the last Box-Muller pair.
 	normSpare    float64
 	hasNormSpare bool
+
+	// Memo of the last math.Pow(q, n) evaluated by binomialInversion. The
+	// protocols draw Binomial(n, p) once per slot with p fixed for a whole
+	// frame and n changing only when a tag is silenced, so consecutive slots
+	// usually repeat the same (q, n) pair; caching the transcendental makes
+	// the common draw a table walk. A memo hit returns the bit-identical
+	// value a fresh math.Pow call would, so the sampled stream is unchanged.
+	powQ   float64
+	powN   int
+	powVal float64
 }
 
 // New returns a Source seeded from seed. Distinct seeds yield streams that
@@ -190,7 +200,10 @@ func (r *Source) Binomial(n int, p float64) int {
 func (r *Source) binomialInversion(n int, p float64) int {
 	q := 1 - p
 	s := p / q
-	pdf := math.Pow(q, float64(n))
+	if r.powQ != q || r.powN != n || r.powVal == 0 {
+		r.powQ, r.powN, r.powVal = q, n, math.Pow(q, float64(n))
+	}
+	pdf := r.powVal
 	cdf := pdf
 	u := r.Float64()
 	k := 0
@@ -205,36 +218,59 @@ func (r *Source) binomialInversion(n int, p float64) int {
 // SampleDistinct returns k distinct integers drawn uniformly from [0, n),
 // in no particular order. It panics if k > n or k < 0.
 func (r *Source) SampleDistinct(k, n int) []int {
+	if k == 0 {
+		return nil
+	}
+	out := r.SampleDistinctAppend(nil, k, n)
+	return out[:k:k]
+}
+
+// SampleDistinctAppend draws k distinct integers uniformly from [0, n) and
+// appends them to buf, which callers reuse across draws to keep the per-slot
+// sampling allocation-free. It panics if k > n or k < 0. The generator
+// stream it consumes is identical to SampleDistinct's for every (k, n): the
+// same variates are drawn and the same acceptance decisions are made, so
+// simulations keep their published outputs bit-for-bit.
+func (r *Source) SampleDistinctAppend(buf []int, k, n int) []int {
 	if k < 0 || k > n {
 		panic("rng: SampleDistinct with k out of range")
 	}
 	if k == 0 {
-		return nil
+		return buf
 	}
-	out := make([]int, 0, k)
+	base := len(buf)
 	if k*8 >= n {
-		// Dense case: partial Fisher-Yates over an index array.
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = i
+		// Dense case: partial Fisher-Yates over an index array, materialised
+		// in buf's spare capacity and truncated to the k chosen values.
+		for i := 0; i < n; i++ {
+			buf = append(buf, i)
 		}
+		idx := buf[base:]
 		for i := 0; i < k; i++ {
 			j := i + r.Intn(n-i)
 			idx[i], idx[j] = idx[j], idx[i]
 		}
-		return append(out, idx[:k]...)
+		return buf[:base+k]
 	}
-	// Sparse case: rejection sampling against a small set.
-	seen := make(map[int]struct{}, k)
-	for len(out) < k {
+	// Sparse case: rejection sampling against the values already chosen.
+	// k < n/8 here, and the protocols' per-slot draws keep k near the design
+	// constant omega (single digits), so the linear duplicate scan beats a
+	// map; the accept/reject decisions match the map-based original exactly.
+	for len(buf)-base < k {
 		v := r.Intn(n)
-		if _, dup := seen[v]; dup {
+		dup := false
+		for _, u := range buf[base:] {
+			if u == v {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[v] = struct{}{}
-		out = append(out, v)
+		buf = append(buf, v)
 	}
-	return out
+	return buf
 }
 
 // Shuffle permutes the first n elements using the provided swap function.

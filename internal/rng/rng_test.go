@@ -276,3 +276,110 @@ func TestShuffleIsPermutation(t *testing.T) {
 		t.Fatalf("shuffle lost elements: %v", xs)
 	}
 }
+
+// legacySampleDistinct is the original allocating implementation (dense
+// partial Fisher-Yates, sparse map-based rejection). SampleDistinctAppend
+// must consume the identical generator stream and produce the identical
+// output order so simulations keep their published results bit-for-bit.
+func legacySampleDistinct(r *Source, k, n int) []int {
+	if k == 0 {
+		return nil
+	}
+	out := make([]int, 0, k)
+	if k*8 >= n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		for i := 0; i < k; i++ {
+			j := i + r.Intn(n-i)
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+		return append(out, idx[:k]...)
+	}
+	seen := make(map[int]struct{}, k)
+	for len(out) < k {
+		v := r.Intn(n)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestSampleDistinctAppendStreamEquivalence(t *testing.T) {
+	var buf []int
+	for trial := 0; trial < 500; trial++ {
+		ra := New(uint64(trial))
+		rb := New(uint64(trial))
+		n := 1 + ra.Intn(300)
+		rb.Intn(300) // keep the streams aligned
+		k := ra.Intn(n + 1)
+		rb.Intn(n + 1)
+		want := legacySampleDistinct(ra, k, n)
+		buf = rb.SampleDistinctAppend(buf[:0], k, n)
+		if len(buf) != len(want) {
+			t.Fatalf("trial %d (k=%d n=%d): len %d, want %d", trial, k, n, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("trial %d (k=%d n=%d): out[%d] = %d, want %d", trial, k, n, i, buf[i], want[i])
+			}
+		}
+		// Both sources must have consumed the same number of variates.
+		if ra.Uint64() != rb.Uint64() {
+			t.Fatalf("trial %d (k=%d n=%d): generator streams diverged", trial, k, n)
+		}
+	}
+}
+
+func TestSampleDistinctAppendPreservesPrefix(t *testing.T) {
+	r := New(3)
+	buf := []int{7, 8, 9}
+	buf = r.SampleDistinctAppend(buf, 4, 50)
+	if len(buf) != 7 || buf[0] != 7 || buf[1] != 8 || buf[2] != 9 {
+		t.Fatalf("prefix clobbered: %v", buf)
+	}
+	seen := map[int]bool{}
+	for _, v := range buf[3:] {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad sample: %v", buf)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBinomialPowMemo(t *testing.T) {
+	// The memoised math.Pow in binomialInversion must not change the sampled
+	// stream: interleave draws over varying (n, p) and compare against a
+	// fresh Source driven through a memo-less reference.
+	ra, rb := New(77), New(77)
+	ref := func(r *Source, n int, p float64) int {
+		// Reference inversion sampler without the memo.
+		q := 1 - p
+		s := p / q
+		pdf := math.Pow(q, float64(n))
+		cdf := pdf
+		u := r.Float64()
+		k := 0
+		for u > cdf && k < n {
+			k++
+			pdf *= s * float64(n-k+1) / float64(k)
+			cdf += pdf
+		}
+		return k
+	}
+	cases := []struct {
+		n int
+		p float64
+	}{{100, 0.02}, {100, 0.02}, {99, 0.02}, {100, 0.05}, {100, 0.02}, {500, 0.01}, {100, 0.02}}
+	for i, c := range cases {
+		got := ra.binomialInversion(c.n, c.p)
+		want := ref(rb, c.n, c.p)
+		if got != want {
+			t.Fatalf("case %d (n=%d p=%v): got %d want %d", i, c.n, c.p, got, want)
+		}
+	}
+}

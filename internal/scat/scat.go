@@ -92,166 +92,193 @@ func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
 	return m, err
 }
 
+// run carries one identification round's state; doSlot advances it by one
+// slot. The struct form (rather than loop-local closures) lets the steady
+// state be driven slot-by-slot, which the allocation-regression tests use.
+type run struct {
+	p      *Protocol
+	env    *protocol.Env
+	m      protocol.Metrics
+	clock  air.Clock
+	active *protocol.ActiveSet
+	store  *record.Store
+	buf    []tagid.ID
+	seen   map[tagid.ID]struct{}
+
+	// n is the reader's current belief of the population size.
+	n                     int
+	consecutiveEmpty      int
+	consecutiveCollisions int
+}
+
 func (p *Protocol) run(env *protocol.Env) (protocol.Metrics, error) {
-	var (
-		m      = protocol.Metrics{Tags: len(env.Tags)}
-		clock  air.Clock
-		active = protocol.NewActiveSet(env.Tags)
-		store  = record.NewStore()
-		buf    = make([]tagid.ID, 0, 64)
-	)
-	store.Tracer = env.Tracer
+	r := &run{
+		p:      p,
+		env:    env,
+		m:      protocol.Metrics{Tags: len(env.Tags)},
+		active: protocol.NewActiveSet(env.Tags),
+		store:  record.NewStore(),
+		buf:    make([]tagid.ID, 0, 64),
+		seen:   make(map[tagid.ID]struct{}, len(env.Tags)),
+	}
+	r.store.Tracer = env.Tracer
 	env.TraceRunStart(p.Name())
-	n := p.cfg.KnownN
-	if n <= 0 {
-		n = len(env.Tags)
+	r.n = p.cfg.KnownN
+	if r.n <= 0 {
+		r.n = len(env.Tags)
 	}
 	if p.cfg.PreEstimate {
 		pre, err := prestep.Estimate(env, p.cfg.PreEstimateConfig)
 		if err != nil {
-			m.OnAir = pre.OnAir
-			return m, fmt.Errorf("pre-estimation: %w", err)
+			r.m.OnAir = pre.OnAir
+			return r.m, fmt.Errorf("pre-estimation: %w", err)
 		}
-		n = int(math.Round(pre.Estimate))
-		m.EmptySlots += pre.EmptySlots
-		m.SingletonSlots += pre.SingletonSlots
-		m.CollisionSlots += pre.CollisionSlots
-		clock.Add(pre.OnAir)
-		env.TraceEstimate(obsev.EstimateEvent{Estimate: float64(n)})
+		r.n = int(math.Round(pre.Estimate))
+		r.m.EmptySlots += pre.EmptySlots
+		r.m.SingletonSlots += pre.SingletonSlots
+		r.m.CollisionSlots += pre.CollisionSlots
+		r.clock.Add(pre.OnAir)
+		env.TraceEstimate(obsev.EstimateEvent{Estimate: float64(r.n)})
 	}
 	budget := env.SlotBudget()
-	consecutiveEmpty := 0
-	consecutiveCollisions := 0
-	seen := make(map[tagid.ID]struct{}, len(env.Tags))
-
-	// countDirect and countResolved record a first-time identification;
-	// duplicates (retransmissions after a lost acknowledgement) are
-	// discarded, as Section IV-E prescribes.
-	countDirect := func(id tagid.ID) {
-		if _, dup := seen[id]; dup {
-			return
-		}
-		seen[id] = struct{}{}
-		m.DirectIDs++
-		env.NotifyIdentified(id, false)
-	}
-	countResolved := func(res record.Resolved) {
-		if _, dup := seen[res.ID]; dup {
-			return
-		}
-		seen[res.ID] = struct{}{}
-		m.ResolvedIDs++
-		env.NotifyIdentified(res.ID, true)
-		// SCAT broadcasts each recovered ID in full so the tag stops
-		// participating (Section IV-A).
-		clock.Add(env.Timing.ResolvedIDAck())
-	}
-
 	for slot := uint64(0); ; slot++ {
 		if int(slot) >= budget {
-			m.OnAir = clock.Elapsed()
-			return m, protocol.ErrNoProgress
+			r.m.OnAir = r.clock.Elapsed()
+			return r.m, protocol.ErrNoProgress
 		}
-
-		remaining := n - m.Identified()
-		// Termination: after enough consecutive empty slots (or once the
-		// reader believes no tag is left) probe with p = 1; a further empty
-		// slot proves the population is exhausted.
-		probe := remaining <= 0 || consecutiveEmpty >= p.cfg.EmptyProbeAfter
-		reportProb := 1.0
-		if !probe {
-			reportProb = p.cfg.Omega / float64(remaining)
-			if reportProb > 1 {
-				reportProb = 1
-			}
+		if r.doSlot(slot) {
+			return r.m, nil
 		}
+	}
+}
 
-		clock.Add(env.Timing.SlotAdvertisement() + env.Timing.Slot())
-		env.TraceAdvert(obsev.AdvertEvent{Seq: int(slot), P: reportProb})
-		buf = active.Transmitters(env.RNG, env.TxModel, slot, reportProb, buf)
-		obs := env.Channel.Observe(buf)
+// countDirect and countResolved record a first-time identification;
+// duplicates (retransmissions after a lost acknowledgement) are discarded,
+// as Section IV-E prescribes.
+func (r *run) countDirect(id tagid.ID) {
+	if _, dup := r.seen[id]; dup {
+		return
+	}
+	r.seen[id] = struct{}{}
+	r.m.DirectIDs++
+	r.env.NotifyIdentified(id, false)
+}
 
-		switch obs.Kind {
-		case channel.Empty:
-			m.EmptySlots++
-			if probe {
-				m.OnAir = clock.Elapsed()
-				// The terminating probe is a counted slot like any other;
-				// report it so observers see exactly TotalSlots() events.
-				env.NotifySlot(protocol.SlotEvent{
-					Seq:        m.TotalSlots() - 1,
-					Kind:       obs.Kind,
-					Identified: m.Identified(),
-				})
-				return m, nil
-			}
-			consecutiveEmpty++
-			consecutiveCollisions = 0
-		case channel.Singleton:
-			m.SingletonSlots++
-			consecutiveEmpty = 0
-			consecutiveCollisions = 0
-			countDirect(obs.ID)
+func (r *run) countResolved(res record.Resolved) {
+	if _, dup := r.seen[res.ID]; dup {
+		return
+	}
+	r.seen[res.ID] = struct{}{}
+	r.m.ResolvedIDs++
+	r.env.NotifyIdentified(res.ID, true)
+	// SCAT broadcasts each recovered ID in full so the tag stops
+	// participating (Section IV-A).
+	r.clock.Add(r.env.Timing.ResolvedIDAck())
+}
+
+// doSlot runs one advertisement + slot and reports whether the round
+// terminated (the final probe proved the population exhausted).
+func (r *run) doSlot(slot uint64) (done bool) {
+	p, env := r.p, r.env
+	remaining := r.n - r.m.Identified()
+	// Termination: after enough consecutive empty slots (or once the
+	// reader believes no tag is left) probe with p = 1; a further empty
+	// slot proves the population is exhausted.
+	probe := remaining <= 0 || r.consecutiveEmpty >= p.cfg.EmptyProbeAfter
+	reportProb := 1.0
+	if !probe {
+		reportProb = p.cfg.Omega / float64(remaining)
+		if reportProb > 1 {
+			reportProb = 1
+		}
+	}
+
+	r.clock.Add(env.Timing.SlotAdvertisement() + env.Timing.Slot())
+	env.TraceAdvert(obsev.AdvertEvent{Seq: int(slot), P: reportProb})
+	r.buf = r.active.Transmitters(env.RNG, env.TxModel, slot, reportProb, r.buf)
+	obs := env.Channel.Observe(r.buf)
+
+	switch obs.Kind {
+	case channel.Empty:
+		r.m.EmptySlots++
+		if probe {
+			r.m.OnAir = r.clock.Elapsed()
+			// The terminating probe is a counted slot like any other;
+			// report it so observers see exactly TotalSlots() events.
+			env.NotifySlot(protocol.SlotEvent{
+				Seq:        r.m.TotalSlots() - 1,
+				Kind:       obs.Kind,
+				Identified: r.m.Identified(),
+			})
+			return true
+		}
+		r.consecutiveEmpty++
+		r.consecutiveCollisions = 0
+	case channel.Singleton:
+		r.m.SingletonSlots++
+		r.consecutiveEmpty = 0
+		r.consecutiveCollisions = 0
+		r.countDirect(obs.ID)
+		delivered := env.AckDelivered()
+		env.TraceAck(obsev.AckEvent{
+			Seq: int(slot), ID: obs.ID, Kind: obsev.AckDirect, Delivered: delivered,
+		})
+		if delivered {
+			r.active.Remove(obs.ID)
+		}
+		for _, res := range r.store.OnIdentified(obs.ID) {
+			r.countResolved(res)
 			delivered := env.AckDelivered()
 			env.TraceAck(obsev.AckEvent{
-				Seq: int(slot), ID: obs.ID, Kind: obsev.AckDirect, Delivered: delivered,
+				Seq: int(slot), ID: res.ID, Kind: obsev.AckResolvedID, Delivered: delivered,
 			})
 			if delivered {
-				active.Remove(obs.ID)
-			}
-			for _, res := range store.OnIdentified(obs.ID) {
-				countResolved(res)
-				delivered := env.AckDelivered()
-				env.TraceAck(obsev.AckEvent{
-					Seq: int(slot), ID: res.ID, Kind: obsev.AckResolvedID, Delivered: delivered,
-				})
-				if delivered {
-					active.Remove(res.ID)
-				}
-			}
-		case channel.Collision:
-			m.CollisionSlots++
-			consecutiveEmpty = 0
-			consecutiveCollisions++
-			// Storing the record can resolve it immediately when all but
-			// one member are known retransmitters.
-			for _, res := range store.Add(slot, obs.Mix, buf) {
-				countResolved(res)
-				delivered := env.AckDelivered()
-				env.TraceAck(obsev.AckEvent{
-					Seq: int(slot), ID: res.ID, Kind: obsev.AckResolvedID, Delivered: delivered,
-				})
-				if delivered {
-					active.Remove(res.ID)
-				}
-			}
-			if probe && remaining <= 0 {
-				// The pre-estimate undershot: a p=1 probe collided, so tags
-				// remain. Raise the reader's belief past the identified
-				// count to resume normal operation.
-				n = m.Identified() + 2
-				env.TraceEstimate(obsev.EstimateEvent{Estimate: float64(n), Identified: m.Identified()})
-			}
-			if consecutiveCollisions >= 25 {
-				// At the design load a collision happens with probability
-				// ~0.41, so 25 in a row (~2e-10) only occur when the
-				// pre-estimate undershoots badly and p is far too high.
-				// Double the believed deficit to recover.
-				deficit := n - m.Identified()
-				if deficit < 1 {
-					deficit = 1
-				}
-				n = m.Identified() + 2*deficit
-				consecutiveCollisions = 0
-				env.TraceEstimate(obsev.EstimateEvent{Estimate: float64(n), Identified: m.Identified()})
+				r.active.Remove(res.ID)
 			}
 		}
-		m.TagTransmissions += len(buf)
-		env.NotifySlot(protocol.SlotEvent{
-			Seq:          m.TotalSlots() - 1,
-			Kind:         obs.Kind,
-			Transmitters: len(buf),
-			Identified:   m.Identified(),
-		})
+	case channel.Collision:
+		r.m.CollisionSlots++
+		r.consecutiveEmpty = 0
+		r.consecutiveCollisions++
+		// Storing the record can resolve it immediately when all but
+		// one member are known retransmitters.
+		for _, res := range r.store.Add(slot, obs.Mix, r.buf) {
+			r.countResolved(res)
+			delivered := env.AckDelivered()
+			env.TraceAck(obsev.AckEvent{
+				Seq: int(slot), ID: res.ID, Kind: obsev.AckResolvedID, Delivered: delivered,
+			})
+			if delivered {
+				r.active.Remove(res.ID)
+			}
+		}
+		if probe && remaining <= 0 {
+			// The pre-estimate undershot: a p=1 probe collided, so tags
+			// remain. Raise the reader's belief past the identified
+			// count to resume normal operation.
+			r.n = r.m.Identified() + 2
+			env.TraceEstimate(obsev.EstimateEvent{Estimate: float64(r.n), Identified: r.m.Identified()})
+		}
+		if r.consecutiveCollisions >= 25 {
+			// At the design load a collision happens with probability
+			// ~0.41, so 25 in a row (~2e-10) only occur when the
+			// pre-estimate undershoots badly and p is far too high.
+			// Double the believed deficit to recover.
+			deficit := r.n - r.m.Identified()
+			if deficit < 1 {
+				deficit = 1
+			}
+			r.n = r.m.Identified() + 2*deficit
+			r.consecutiveCollisions = 0
+			env.TraceEstimate(obsev.EstimateEvent{Estimate: float64(r.n), Identified: r.m.Identified()})
+		}
 	}
+	r.m.TagTransmissions += len(r.buf)
+	env.NotifySlot(protocol.SlotEvent{
+		Seq:          r.m.TotalSlots() - 1,
+		Kind:         obs.Kind,
+		Transmitters: len(r.buf),
+		Identified:   r.m.Identified(),
+	})
+	return false
 }

@@ -95,12 +95,23 @@ func lsGainAtOffset(mixed, ref Waveform, dw float64) complex128 {
 // CancelWithOffset subtracts gain * e^(i*offset*n) * ref from mixed and
 // returns the residual.
 func CancelWithOffset(mixed, ref Waveform, gain complex128, offset float64) Waveform {
-	out := mixed.Clone()
+	return CancelWithOffsetInto(nil, mixed, ref, gain, offset)
+}
+
+// CancelWithOffsetInto is CancelWithOffset with a caller-provided
+// destination buffer. dst may be nil (a fresh buffer is allocated) or alias
+// mixed (iterative peeling cancels in place); it must not alias ref.
+func CancelWithOffsetInto(dst, mixed, ref Waveform, gain complex128, offset float64) Waveform {
+	if cap(dst) < len(mixed) {
+		dst = make(Waveform, len(mixed))
+	}
+	dst = dst[:len(mixed)]
+	copy(dst, mixed)
 	rot := cmplx.Exp(complex(0, offset))
 	phase := complex(1, 0)
 	for n := range ref {
-		out[n] -= gain * phase * ref[n]
+		dst[n] -= gain * phase * ref[n]
 		phase *= rot
 	}
-	return out
+	return dst
 }

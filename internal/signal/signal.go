@@ -145,6 +145,13 @@ func AddNoise(w Waveform, sigma float64, r *rng.Source) Waveform {
 // interval. It is gain- and phase-offset invariant.
 func Demodulate(w Waveform, nbits, spb int) []byte {
 	out := make([]byte, (nbits+7)/8)
+	demodulateInto(out, w, nbits, spb)
+	return out
+}
+
+// demodulateInto sets the demodulated bits in out, which must be zeroed and
+// at least ceil(nbits/8) long.
+func demodulateInto(out []byte, w Waveform, nbits, spb int) {
 	for i := 0; i < nbits; i++ {
 		var acc complex128
 		base := 1 + i*spb
@@ -155,7 +162,6 @@ func Demodulate(w Waveform, nbits, spb int) []byte {
 			out[i/8] |= 1 << (7 - i%8)
 		}
 	}
-	return out
 }
 
 // DecodeID demodulates a 96-bit waveform and reports whether the embedded
@@ -165,9 +171,8 @@ func DecodeID(w Waveform, spb int) (tagid.ID, bool) {
 	if len(w) != 1+tagid.Bits*spb {
 		return tagid.ID{}, false
 	}
-	bits := Demodulate(w, tagid.Bits, spb)
 	var id tagid.ID
-	copy(id[:], bits)
+	demodulateInto(id[:], w, tagid.Bits, spb)
 	return id, id.Valid()
 }
 
@@ -181,20 +186,25 @@ func EnvelopeFlat(w Waveform, noiseSigma float64) bool {
 	if len(w) == 0 {
 		return true
 	}
-	var mean float64
-	mags := make([]float64, len(w))
-	for i, s := range w {
-		m := cmplx.Abs(s)
-		mags[i] = m
-		mean += m
+	// Single pass over the samples: accumulate the first two magnitude
+	// moments and form the variance as E[m^2] - E[m]^2. The subtraction can
+	// lose relative precision when the envelope really is flat, but the
+	// absolute error (~machine-epsilon * mean^2) is ten orders of magnitude
+	// below the 2% relative guard in the decision threshold.
+	var sum, sumsq float64
+	for _, s := range w {
+		re, im := real(s), imag(s)
+		msq := re*re + im*im
+		sum += math.Sqrt(msq)
+		sumsq += msq
 	}
-	mean /= float64(len(w))
-	var varsum float64
-	for _, m := range mags {
-		d := m - mean
-		varsum += d * d
+	n := float64(len(w))
+	mean := sum / n
+	varsum := sumsq/n - mean*mean
+	if varsum < 0 {
+		varsum = 0
 	}
-	sd := math.Sqrt(varsum / float64(len(w)))
+	sd := math.Sqrt(varsum)
 	return sd <= 3*noiseSigma+0.02*mean
 }
 
@@ -204,21 +214,42 @@ func EnvelopeFlat(w Waveform, noiseSigma float64) bool {
 // matched-filter estimate; with several it is the joint successive
 // interference cancellation step used to peel multi-tag collisions.
 func EstimateGains(mixed Waveform, refs []Waveform) []complex128 {
+	var s GainScratch
+	return s.EstimateGains(nil, mixed, refs)
+}
+
+// GainScratch holds the normal-equation buffers for repeated least-squares
+// gain fits, so a decoder running one fit per cancellation attempt stays
+// allocation-free. The zero value is ready to use; a GainScratch must not
+// be shared between goroutines.
+type GainScratch struct {
+	buf []complex128 // m*m matrix followed by the m-vector, one backing array
+}
+
+// EstimateGains is EstimateGains with caller-provided result storage: the
+// gains are appended to dst[:0]'s backing array (grown as needed) and the
+// normal equations are built in the scratch buffer. It performs the exact
+// same floating-point operations as the package-level EstimateGains, in the
+// same order, so the two are bit-identical. Returns nil when the system is
+// singular (e.g. two identical references).
+func (s *GainScratch) EstimateGains(dst []complex128, mixed Waveform, refs []Waveform) []complex128 {
 	m := len(refs)
 	if m == 0 {
 		return nil
 	}
+	if cap(s.buf) < m*m+m {
+		s.buf = make([]complex128, m*m+m)
+	}
 	// Normal equations: (R^H R) g = R^H y, an m x m complex system.
-	a := make([][]complex128, m)
-	b := make([]complex128, m)
+	a := s.buf[:m*m]
+	b := s.buf[m*m : m*m+m]
 	for i := 0; i < m; i++ {
-		a[i] = make([]complex128, m)
 		for j := 0; j < m; j++ {
 			var dot complex128
 			for n := range mixed {
 				dot += cmplx.Conj(refs[i][n]) * refs[j][n]
 			}
-			a[i][j] = dot
+			a[i*m+j] = dot
 		}
 		var dot complex128
 		for n := range mixed {
@@ -226,58 +257,79 @@ func EstimateGains(mixed Waveform, refs []Waveform) []complex128 {
 		}
 		b[i] = dot
 	}
-	return solveComplex(a, b)
+	if cap(dst) < m {
+		dst = make([]complex128, m)
+	}
+	dst = dst[:m]
+	if !solveComplex(a, b, dst, m) {
+		return nil
+	}
+	return dst
 }
 
 // Cancel subtracts gain-weighted references from mixed and returns the
 // residual waveform.
 func Cancel(mixed Waveform, refs []Waveform, gains []complex128) Waveform {
-	out := mixed.Clone()
+	return CancelInto(nil, mixed, refs, gains)
+}
+
+// CancelInto is Cancel with a caller-provided destination buffer, reused
+// across calls to keep the decoder's steady state allocation-free. dst may
+// be nil (a fresh buffer is allocated) but must not alias any of the refs.
+func CancelInto(dst, mixed Waveform, refs []Waveform, gains []complex128) Waveform {
+	if cap(dst) < len(mixed) {
+		dst = make(Waveform, len(mixed))
+	}
+	dst = dst[:len(mixed)]
+	copy(dst, mixed)
 	for k, ref := range refs {
 		g := gains[k]
-		for i := range out {
-			out[i] -= g * ref[i]
+		for i := range dst {
+			dst[i] -= g * ref[i]
 		}
 	}
-	return out
+	return dst
 }
 
 // solveComplex solves the small dense complex system a*x = b by Gaussian
-// elimination with partial pivoting. It returns nil when the system is
-// singular (e.g. two identical references).
-func solveComplex(a [][]complex128, b []complex128) []complex128 {
-	n := len(a)
+// elimination with partial pivoting, a stored row-major n x n. It mutates a
+// and b, writes the solution into x (length n), and reports false when the
+// system is singular (e.g. two identical references).
+func solveComplex(a, b, x []complex128, n int) bool {
 	for col := 0; col < n; col++ {
 		// Pivot.
 		pivot := col
-		best := cmplx.Abs(a[col][col])
+		best := cmplx.Abs(a[col*n+col])
 		for r := col + 1; r < n; r++ {
-			if v := cmplx.Abs(a[r][col]); v > best {
+			if v := cmplx.Abs(a[r*n+col]); v > best {
 				best, pivot = v, r
 			}
 		}
 		if best < 1e-12 {
-			return nil
+			return false
 		}
-		a[col], a[pivot] = a[pivot], a[col]
-		b[col], b[pivot] = b[pivot], b[col]
+		if pivot != col {
+			for c := 0; c < n; c++ {
+				a[col*n+c], a[pivot*n+c] = a[pivot*n+c], a[col*n+c]
+			}
+			b[col], b[pivot] = b[pivot], b[col]
+		}
 		for r := col + 1; r < n; r++ {
-			f := a[r][col] / a[col][col]
+			f := a[r*n+col] / a[col*n+col]
 			for c := col; c < n; c++ {
-				a[r][c] -= f * a[col][c]
+				a[r*n+c] -= f * a[col*n+c]
 			}
 			b[r] -= f * b[col]
 		}
 	}
-	x := make([]complex128, n)
 	for r := n - 1; r >= 0; r-- {
 		v := b[r]
 		for c := r + 1; c < n; c++ {
-			v -= a[r][c] * x[c]
+			v -= a[r*n+c] * x[c]
 		}
-		x[r] = v / a[r][r]
+		x[r] = v / a[r*n+r]
 	}
-	return x
+	return true
 }
 
 // EstimateTwoAmplitudes recovers the two constituent amplitudes A >= B of a

@@ -1,0 +1,132 @@
+package tagid
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/rng"
+)
+
+// legacyReportHash is the original single-pass H(ID|slot): one FNV-1a sweep
+// over the 12 ID bytes followed by the 8 slot bytes. It is kept here as the
+// reference the split prefix/suffix implementation is differentially tested
+// against.
+func legacyReportHash(id ID, slot uint64) uint32 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range id {
+		h = (h ^ uint64(b)) * prime
+	}
+	for i := 0; i < 8; i++ {
+		h = (h ^ (slot >> (8 * i) & 0xff)) * prime
+	}
+	return uint32(h^h>>16^h>>32^h>>48) & (1<<HashBits - 1)
+}
+
+// FuzzReportHashSplit asserts that the precomputed-prefix hash equals the
+// legacy full-pass hash for arbitrary (ID, slot) pairs. FNV-1a is strictly
+// sequential, so the state after the ID bytes is a pure function of the ID;
+// this fuzz target is the safety net under that argument.
+func FuzzReportHashSplit(f *testing.F) {
+	f.Add(uint16(0), uint64(0), uint64(0))
+	f.Add(uint16(0xffff), uint64(math.MaxUint64), uint64(math.MaxUint64))
+	f.Add(uint16(7), uint64(42), uint64(1<<23))
+	f.Fuzz(func(t *testing.T, hi uint16, lo, slot uint64) {
+		id := New(hi, lo)
+		want := legacyReportHash(id, slot)
+		if got := id.ReportHash(slot); got != want {
+			t.Fatalf("ReportHash(%v, %d) = %d, legacy = %d", id, slot, got, want)
+		}
+		if got := id.HashPrefix().ReportHash(slot); got != want {
+			t.Fatalf("HashPrefix().ReportHash(%v, %d) = %d, legacy = %d", id, slot, got, want)
+		}
+	})
+}
+
+func TestReportHashSplitRandomPairs(t *testing.T) {
+	// Deterministic differential sweep (the always-on companion of the fuzz
+	// target): random IDs, random and structured slot values.
+	r := rng.New(99)
+	for i := 0; i < 20000; i++ {
+		id := Random(r)
+		slot := r.Uint64()
+		if i%4 == 0 {
+			slot = uint64(i) // small sequential slots, the protocol's common case
+		}
+		want := legacyReportHash(id, slot)
+		p := id.HashPrefix()
+		if got := p.ReportHash(slot); got != want {
+			t.Fatalf("split hash diverged at id=%v slot=%d: got %d want %d", id, slot, got, want)
+		}
+		th := Threshold(0.3)
+		if p.Reports(slot, th) != (want < th) {
+			t.Fatalf("Reports diverged at id=%v slot=%d", id, slot)
+		}
+	}
+}
+
+func TestThresholdEdgeCases(t *testing.T) {
+	denormal := math.SmallestNonzeroFloat64 // 5e-324, denormal
+	cases := []struct {
+		p    float64
+		want uint32
+	}{
+		{0, 0},
+		{-0.5, 0},
+		{math.Inf(-1), 0},
+		{1, 1 << HashBits},
+		{1.5, 1 << HashBits},
+		{math.Inf(1), 1 << HashBits},
+		{denormal, 0},                 // underflows the fixed-point grid
+		{1e-10, 0},                    // below 2^-HashBits resolution
+		{math.Nextafter(1, 0), 65535}, // largest p < 1
+	}
+	for _, tc := range cases {
+		if got := Threshold(tc.p); got != tc.want {
+			t.Errorf("Threshold(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	// NaN must not panic (comparisons with NaN are false, so it falls
+	// through to the fixed-point conversion; the converted value is
+	// platform-specific and never used by callers, which gate p upstream).
+	_ = Threshold(math.NaN())
+	// Every returned threshold is a valid comparison bound for ReportHash.
+	id := New(1, 2)
+	for _, tc := range cases {
+		th := Threshold(tc.p)
+		_ = id.Reports(0, th) // must not panic
+		if th > 1<<HashBits {
+			t.Errorf("Threshold(%v) = %d exceeds 2^HashBits", tc.p, th)
+		}
+	}
+}
+
+// BenchmarkReportHash measures the per-evaluation cost of the report hash:
+// the legacy-equivalent full evaluation from the ID, and the per-slot
+// suffix fold from a precomputed prefix (the form the per-slot transmitter
+// scan uses).
+func BenchmarkReportHash(b *testing.B) {
+	r := rng.New(1)
+	ids := Population(r, 1024)
+	prefixes := make([]HashPrefix, len(ids))
+	for i, id := range ids {
+		prefixes[i] = id.HashPrefix()
+	}
+	b.Run("full", func(b *testing.B) {
+		var sink uint32
+		for i := 0; i < b.N; i++ {
+			sink += ids[i%len(ids)].ReportHash(uint64(i))
+		}
+		_ = sink
+	})
+	b.Run("prefix", func(b *testing.B) {
+		var sink uint32
+		for i := 0; i < b.N; i++ {
+			sink += prefixes[i%len(prefixes)].ReportHash(uint64(i))
+		}
+		_ = sink
+	})
+}

@@ -100,6 +100,50 @@ func (id ID) String() string {
 		hex.EncodeToString(id[10:12]))
 }
 
+// FNV-1a parameters of the report hash.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// HashPrefix is the FNV-1a state after absorbing the 12 ID bytes of the
+// report hash H(ID|slot). FNV-1a folds its input strictly left to right, so
+// the state after the ID bytes is a pure function of the ID and can be
+// computed once per tag; evaluating the hash for a slot then only folds the
+// 8 slot bytes. Protocol structures that evaluate the hash for many slots
+// (the per-slot transmitter scan, the collision-record member index) store
+// the prefix alongside the ID and skip re-hashing the ID's 12 bytes — 60%
+// of the hash input — on every evaluation.
+type HashPrefix uint64
+
+// HashPrefix returns the precomputable ID part of the report hash.
+func (id ID) HashPrefix() HashPrefix {
+	h := uint64(fnvOffset)
+	for _, b := range id {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	return HashPrefix(h)
+}
+
+// ReportHash completes H(ID|slot) from the precomputed ID prefix by folding
+// the slot index. Equal to ID.ReportHash by FNV-1a's sequential structure
+// (differentially fuzzed in the package tests).
+func (p HashPrefix) ReportHash(slot uint64) uint32 {
+	h := uint64(p)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (slot >> (8 * i) & 0xff)) * fnvPrime
+	}
+	// Fold to HashBits so the threshold comparison matches the advertised
+	// fixed-point probability.
+	return uint32(h^h>>16^h>>32^h>>48) & (1<<HashBits - 1)
+}
+
+// Reports reports whether a tag with this hash prefix transmits in slot
+// given the advertised threshold.
+func (p HashPrefix) Reports(slot uint64, threshold uint32) bool {
+	return p.ReportHash(slot) < threshold
+}
+
 // ReportHash computes H(ID|slot) in [0, 2^HashBits): the pseudo-random but
 // deterministic value a tag compares against the advertised threshold to
 // decide whether to report in the slot. Both the tag (to transmit) and the
@@ -107,20 +151,7 @@ func (id ID) String() string {
 // evaluate this function, so it must depend only on (ID, slot).
 func (id ID) ReportHash(slot uint64) uint32 {
 	// FNV-1a over the 12 ID bytes followed by the slot index.
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for _, b := range id {
-		h = (h ^ uint64(b)) * prime
-	}
-	for i := 0; i < 8; i++ {
-		h = (h ^ (slot >> (8 * i) & 0xff)) * prime
-	}
-	// Fold to HashBits so the threshold comparison matches the advertised
-	// fixed-point probability.
-	return uint32(h^h>>16^h>>32^h>>48) & (1<<HashBits - 1)
+	return id.HashPrefix().ReportHash(slot)
 }
 
 // Threshold converts a report probability into the fixed-point threshold the

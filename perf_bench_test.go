@@ -1,0 +1,47 @@
+// Hot-path benchmarks: the per-run cost the CI bench gate tracks (see
+// cmd/benchgate and docs/performance.md). BenchmarkCampaign is the
+// headline end-to-end number; BenchmarkSlotLoop isolates the steady-state
+// slot loop it is built from.
+package ancrfid_test
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid"
+)
+
+// BenchmarkCampaign measures a single-worker FCAT-2 campaign over 5000
+// tags — the per-run hot path (transmitter draws, channel observations,
+// record cascades) with no parallelism masking it.
+func BenchmarkCampaign(b *testing.B) {
+	p := ancrfid.NewFCAT(2)
+	cfg := ancrfid.SimConfig{Tags: 5000, Runs: 4, Seed: 1, Workers: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ancrfid.Run(p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	simulated := float64(cfg.Tags*cfg.Runs) * float64(b.N)
+	b.ReportMetric(simulated/b.Elapsed().Seconds(), "tags/sec")
+}
+
+// BenchmarkSlotLoop measures one deterministic FCAT-2 run and reports the
+// amortised cost per slot, the unit the zero-allocation guards are written
+// against.
+func BenchmarkSlotLoop(b *testing.B) {
+	p := ancrfid.NewFCAT(2)
+	cfg := ancrfid.SimConfig{Tags: 2000, Runs: 1, Seed: 1, Workers: 1}
+	b.ReportAllocs()
+	slots := 0
+	for i := 0; i < b.N; i++ {
+		m, err := ancrfid.RunOnce(p, cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slots = m.TotalSlots()
+	}
+	if slots > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(slots), "ns/slot")
+	}
+}
