@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"github.com/ancrfid/ancrfid/internal/air"
 	"github.com/ancrfid/ancrfid/internal/analysis"
@@ -53,6 +54,7 @@ import (
 	"github.com/ancrfid/ancrfid/internal/sim"
 	"github.com/ancrfid/ancrfid/internal/tagid"
 	"github.com/ancrfid/ancrfid/internal/treeproto"
+	"github.com/ancrfid/ancrfid/internal/workload"
 )
 
 // Core protocol and simulation types, re-exported for public use.
@@ -278,6 +280,89 @@ func Run(p Protocol, cfg SimConfig) (SimResult, error) { return sim.Run(p, cfg) 
 // RunOnce executes a single deterministic run of the campaign.
 func RunOnce(p Protocol, cfg SimConfig, run int) (Metrics, error) {
 	return sim.RunOnce(p, cfg, run)
+}
+
+// Resumable sessions and continuous-inventory workloads. Every protocol in
+// the module implements SessionProtocol: Begin opens a stepwise execution
+// whose population can change between steps (Admit/Revoke) and which can
+// be checkpointed and resumed (Snapshot/Restore). Driving a fresh session
+// to completion is bit-identical to Run — the differential suite proves
+// it. See docs/architecture.md.
+type (
+	// Session is a resumable protocol execution.
+	Session = protocol.Session
+	// SessionProtocol is a Protocol that can open sessions.
+	SessionProtocol = protocol.SessionProtocol
+	// SessionCheckpoint is an opaque deep copy of a session's state.
+	SessionCheckpoint = protocol.Checkpoint
+	// WorkloadConfig is a dynamic-population schedule: Poisson or burst
+	// arrivals, fixed or exponential dwell, optional periodic checkpoints.
+	WorkloadConfig = workload.Config
+	// WorkloadReport is the outcome of one dynamic run, with per-tag
+	// lifecycle records and total population accounting.
+	WorkloadReport = workload.Report
+	// TagRecord is the lifecycle of one tag through a dynamic run.
+	TagRecord = workload.TagRecord
+	// DynamicSimConfig describes a dynamic-population Monte-Carlo campaign.
+	DynamicSimConfig = sim.DynamicConfig
+	// DynamicSimResult aggregates a dynamic campaign.
+	DynamicSimResult = sim.DynamicResult
+
+	// TraceArrivalEvent reports a tag entering the field (dynamic runs).
+	TraceArrivalEvent = obs.ArrivalEvent
+	// TraceDepartureEvent reports a tag leaving the field (dynamic runs).
+	TraceDepartureEvent = obs.DepartureEvent
+	// TraceCheckpointEvent reports a session snapshot being taken.
+	TraceCheckpointEvent = obs.CheckpointEvent
+)
+
+// ErrCheckpointMismatch is returned by Session.Restore when the checkpoint
+// came from a different protocol.
+var ErrCheckpointMismatch = protocol.ErrCheckpointMismatch
+
+// AsSession reports whether p supports stepwise execution and returns it
+// as a SessionProtocol. All protocols built by this package do.
+func AsSession(p Protocol) (SessionProtocol, bool) {
+	sp, ok := p.(SessionProtocol)
+	return sp, ok
+}
+
+// RunDynamic executes a dynamic-population Monte-Carlo campaign: each run
+// drives a session of p under cfg.Workload's arrival/departure schedule.
+// Workers > 1 parallelises with the same ordered-merge determinism as Run.
+func RunDynamic(p SessionProtocol, cfg DynamicSimConfig) (DynamicSimResult, error) {
+	return sim.RunDynamic(p, cfg)
+}
+
+// RunDynamicOnce executes a single deterministic dynamic run.
+func RunDynamicOnce(p SessionProtocol, cfg DynamicSimConfig, run int) (WorkloadReport, error) {
+	return sim.RunDynamicOnce(p, cfg, run)
+}
+
+// RunWorkload drives one session of p over env's initial population with
+// the dynamic schedule cfg; wl supplies the workload's own random stream
+// (arrival times, burst IDs, dwell draws), independent of env.RNG.
+func RunWorkload(p SessionProtocol, env *Env, wl *RNG, cfg WorkloadConfig) (WorkloadReport, error) {
+	return workload.Run(p, env, wl, cfg)
+}
+
+// ConveyorWorkload is a single-item belt: tags arrive at rate tags/s and
+// stay in the field for dwell.
+func ConveyorWorkload(rate float64, dwell, duration time.Duration) WorkloadConfig {
+	return workload.Conveyor(rate, dwell, duration)
+}
+
+// PortalWorkload is a dock-door scenario: pallets of burst tags at
+// epochRate pallets/s, each tag dwelling an exponential time with the
+// given mean.
+func PortalWorkload(burst int, epochRate float64, meanDwell, duration time.Duration) WorkloadConfig {
+	return workload.Portal(burst, epochRate, meanDwell, duration)
+}
+
+// LatencyPercentile returns the nearest-rank p-th percentile of the given
+// identification latencies.
+func LatencyPercentile(lat []time.Duration, p float64) time.Duration {
+	return workload.Percentile(lat, p)
 }
 
 // NewRNG returns a deterministic random source.

@@ -33,6 +33,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"github.com/ancrfid/ancrfid"
 	"github.com/ancrfid/ancrfid/internal/obs"
@@ -67,6 +68,10 @@ func run(args []string) error {
 		progress  = fs.Bool("progress", false, "report per-run completion on stderr")
 		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memprof   = fs.String("memprofile", "", "write a heap profile (after the campaign) to this file")
+
+		arrivalRate   = fs.Float64("arrival-rate", 0, "continuous inventory: Poisson tag arrivals per second (enables the dynamic workload)")
+		departureRate = fs.Float64("departure-rate", 0, "continuous inventory: per-tag departure hazard in 1/s")
+		duration      = fs.Duration("duration", 0, "continuous inventory: simulated horizon (default 10s when a dynamic rate is set)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -199,6 +204,36 @@ func run(args []string) error {
 		return fmt.Errorf("unknown channel %q", *chanKind)
 	}
 
+	if *arrivalRate > 0 || *departureRate > 0 || *duration > 0 {
+		horizon := *duration
+		if horizon <= 0 {
+			horizon = 10 * time.Second
+		}
+		wl := ancrfid.WorkloadConfig{
+			Duration:      horizon,
+			ArrivalRate:   *arrivalRate,
+			DepartureRate: *departureRate,
+		}
+		if err := runDynamic(p, cfg, wl, *chanKind); err != nil {
+			return err
+		}
+		if jsonl != nil {
+			if err := jsonl.Err(); err != nil {
+				return fmt.Errorf("writing trace: %w", err)
+			}
+		}
+		if reg != nil {
+			w, err := openOut(*metrics)
+			if err != nil {
+				return err
+			}
+			if _, err := reg.WriteTo(w); err != nil {
+				return fmt.Errorf("writing metrics: %w", err)
+			}
+		}
+		return nil
+	}
+
 	res, err := ancrfid.Run(p, cfg)
 	if err != nil {
 		return err
@@ -231,4 +266,69 @@ func run(args []string) error {
 	fmt.Printf("reference       ALOHA bound %.1f tags/s, ANC bound (lambda=%d) %.1f tags/s\n",
 		ancrfid.AlohaBound(tm), lam, ancrfid.ANCBound(tm, lam))
 	return nil
+}
+
+// runDynamic executes the continuous-inventory mode: each run drives a
+// protocol session under the dynamic workload. Runs execute sequentially
+// so a failing run (e.g. ErrNoProgress) can still print its partial
+// report instead of discarding the metrics.
+func runDynamic(p ancrfid.Protocol, cfg ancrfid.SimConfig, wl ancrfid.WorkloadConfig, chanKind string) error {
+	sp, ok := ancrfid.AsSession(p)
+	if !ok {
+		return fmt.Errorf("protocol %s does not support continuous inventory", p.Name())
+	}
+	dcfg := ancrfid.DynamicSimConfig{Config: cfg, Workload: wl}
+
+	fmt.Printf("protocol        %s (continuous inventory)\n", p.Name())
+	fmt.Printf("workload        arrivals %.1f/s, departure hazard %.2f/s, horizon %v\n",
+		wl.ArrivalRate, wl.DepartureRate, wl.Duration)
+	fmt.Printf("population      %d initial tags, %d runs, seed %d, channel %s\n",
+		cfg.Tags, cfg.Runs, cfg.Seed, chanKind)
+
+	var (
+		reports  []ancrfid.WorkloadReport
+		firstErr error
+	)
+	for i := 0; i < cfg.Runs; i++ {
+		rep, err := ancrfid.RunDynamicOnce(sp, dcfg, i)
+		if cfg.Progress != nil {
+			cfg.Progress(i, rep.Metrics, err)
+		}
+		reports = append(reports, rep)
+		if err != nil {
+			// Print the partial report alongside the error rather than
+			// discarding the run's metrics.
+			fmt.Printf("run %d FAILED after %v: %v\n", i, rep.Duration.Round(time.Millisecond), err)
+			firstErr = fmt.Errorf("%s dynamic run %d: %w", p.Name(), i, err)
+			break
+		}
+	}
+
+	if len(reports) == 0 {
+		return firstErr
+	}
+	var adm, idf, missed, active, tp float64
+	var lat []time.Duration
+	for i := range reports {
+		rep := &reports[i]
+		adm += float64(rep.Admitted)
+		idf += float64(rep.Identified)
+		missed += float64(rep.DepartedUnread)
+		active += float64(rep.ActiveUnread)
+		if rep.Duration > 0 {
+			tp += float64(rep.Identified) / rep.Duration.Seconds()
+		}
+		lat = append(lat, rep.Latencies()...)
+	}
+	n := float64(len(reports))
+	fmt.Printf("accounting      admitted %.1f = identified %.1f + missed %.1f + still-active %.1f (run means)\n",
+		adm/n, idf/n, missed/n, active/n)
+	fmt.Printf("throughput      %.1f tags/s identified\n", tp/n)
+	if len(lat) > 0 {
+		fmt.Printf("latency         p50 %v, p90 %v, p99 %v (arrival to identification)\n",
+			ancrfid.LatencyPercentile(lat, 50).Round(time.Millisecond),
+			ancrfid.LatencyPercentile(lat, 90).Round(time.Millisecond),
+			ancrfid.LatencyPercentile(lat, 99).Round(time.Millisecond))
+	}
+	return firstErr
 }

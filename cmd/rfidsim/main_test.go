@@ -67,6 +67,7 @@ var knownEvents = map[string]bool{
 	"run_start": true, "run_end": true, "frame": true, "advert": true,
 	"slot": true, "identify": true, "ack": true, "record": true,
 	"cascade": true, "resolve": true, "estimate": true,
+	"arrival": true, "departure": true, "checkpoint": true,
 }
 
 func TestRunTraceJSONL(t *testing.T) {

@@ -203,3 +203,15 @@ func (m *abstractMixed) Decode() (tagid.ID, bool) {
 }
 
 func (m *abstractMixed) Multiplicity() int { return len(m.members) }
+
+// CloneMixed implements Cloner. The member list and positional index are
+// immutable after construction and stay shared; the subtraction state is
+// copied. The clone lives outside the channel's arena.
+func (m *abstractMixed) CloneMixed() Mixed {
+	c := *m
+	if m.subBig != nil {
+		c.subBig = make([]uint64, len(m.subBig))
+		copy(c.subBig, m.subBig)
+	}
+	return &c
+}

@@ -76,6 +76,44 @@ type Mixed interface {
 	Multiplicity() int
 }
 
+// Cloner is implemented by Mixed recordings that support deep copying.
+// Session checkpoints (protocol.Session.Snapshot) clone every unresolved
+// recording in the reader's store so that continuing the live session does
+// not mutate the checkpointed state. Both in-tree channels implement it.
+type Cloner interface {
+	// CloneMixed returns an independent copy of the recording: subtracting
+	// signals from the copy leaves the original untouched.
+	CloneMixed() Mixed
+}
+
+// CloneMixed deep-copies a recording via its Cloner implementation. It
+// reports false when the recording does not support cloning.
+func CloneMixed(m Mixed) (Mixed, bool) {
+	c, ok := m.(Cloner)
+	if !ok {
+		return nil, false
+	}
+	return c.CloneMixed(), true
+}
+
+// Stateful is implemented by channels that keep persistent state drawn from
+// the RNG across Observe calls (the signal channel's lazily drawn per-tag
+// gains and oscillator offsets). Session checkpoints capture that state so
+// that restoring the RNG actually replays the same noise stream: without it,
+// a gain memoised after the snapshot would survive the restore and skip its
+// re-draw, desynchronising the replay.
+//
+// Channels whose only RNG use is memoryless per-observation draws (the
+// abstract channel) need not implement Stateful.
+type Stateful interface {
+	// SnapshotState returns an opaque deep copy of the channel's persistent
+	// state.
+	SnapshotState() any
+	// RestoreState reinstalls a state previously returned by SnapshotState.
+	// The argument is copied, so one snapshot can be restored many times.
+	RestoreState(state any)
+}
+
 // Observation is the outcome of one report segment.
 type Observation struct {
 	Kind Kind

@@ -207,6 +207,47 @@ func (c *Signal) Observe(transmitters []tagid.ID) Observation {
 	return Observation{Kind: Collision, Mix: m}
 }
 
+// signalState is the persistent channel state captured by SnapshotState: the
+// per-tag gains and oscillator offsets drawn so far. The reference-waveform
+// cache is pure (no RNG involvement) and is deliberately not captured.
+type signalState struct {
+	gains   map[tagid.ID]complex128
+	offsets map[tagid.ID]float64
+}
+
+var _ Stateful = (*Signal)(nil)
+
+// SnapshotState implements Stateful.
+func (c *Signal) SnapshotState() any {
+	st := &signalState{
+		gains:   make(map[tagid.ID]complex128, len(c.gains)),
+		offsets: make(map[tagid.ID]float64, len(c.offsets)),
+	}
+	for id, g := range c.gains {
+		st.gains[id] = g
+	}
+	for id, dw := range c.offsets {
+		st.offsets[id] = dw
+	}
+	return st
+}
+
+// RestoreState implements Stateful.
+func (c *Signal) RestoreState(state any) {
+	st, ok := state.(*signalState)
+	if !ok {
+		return
+	}
+	c.gains = make(map[tagid.ID]complex128, len(st.gains))
+	c.offsets = make(map[tagid.ID]float64, len(st.offsets))
+	for id, g := range st.gains {
+		c.gains[id] = g
+	}
+	for id, dw := range st.offsets {
+		c.offsets[id] = dw
+	}
+}
+
 // signalMixed is a recorded collision waveform plus the set of identified
 // constituents the reader has marked for cancellation. Membership is a
 // linear scan: record multiplicities are small in steady state, and even a
@@ -290,3 +331,13 @@ func (m *signalMixed) Decode() (tagid.ID, bool) {
 }
 
 func (m *signalMixed) Multiplicity() int { return len(m.members) }
+
+// CloneMixed implements Cloner. The waveform and member list are immutable
+// after construction and stay shared; the cancellation set is copied.
+func (m *signalMixed) CloneMixed() Mixed {
+	c := *m
+	if m.known != nil {
+		c.known = append(make([]tagid.ID, 0, len(m.known)), m.known...)
+	}
+	return &c
+}

@@ -10,12 +10,15 @@
 package dfsa
 
 import (
+	"maps"
 	"math"
+	"time"
 
 	"github.com/ancrfid/ancrfid/internal/air"
 	"github.com/ancrfid/ancrfid/internal/channel"
 	obsev "github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/rng"
 	"github.com/ancrfid/ancrfid/internal/tagid"
 )
 
@@ -55,61 +58,330 @@ func New(cfg Config) *Protocol {
 // Name implements protocol.Protocol.
 func (p *Protocol) Name() string { return "DFSA" }
 
-// Run implements protocol.Protocol.
+var _ protocol.SessionProtocol = (*Protocol)(nil)
+
+// Run implements protocol.Protocol by driving a fresh session to
+// completion.
 func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
-	m, err := p.run(env)
-	env.TraceRunEnd(p.Name(), m, err)
-	return m, err
+	return protocol.RunSession(p, env)
 }
 
-func (p *Protocol) run(env *protocol.Env) (protocol.Metrics, error) {
-	var (
-		m     = protocol.Metrics{Tags: len(env.Tags)}
-		clock air.Clock
-	)
+// session carries one DFSA execution. A step is one report slot; the frame
+// boundaries (announcement and bucketing at the front, the unread filter
+// and Schoute re-estimate at the back) fold into the steps that run the
+// frame's first and last slots.
+type session struct {
+	p       *Protocol
+	env     *protocol.Env
+	m       protocol.Metrics
+	clock   air.Clock
+	unread  []tagid.ID
+	seen    map[tagid.ID]struct{}
+	scratch FrameScratch
+
+	slots, budget int
+	frameSize     int
+
+	// Current-frame state, meaningful while inFrame.
+	inFrame                   bool
+	frameLen                  int
+	slotJ                     int
+	collisions, transmissions int
+	occ                       [][]tagid.ID
+	read                      map[tagid.ID]struct{}
+
+	err error
+}
+
+var _ protocol.Session = (*session)(nil)
+
+// Begin implements protocol.SessionProtocol.
+func (p *Protocol) Begin(env *protocol.Env) protocol.Session {
+	s := &session{
+		p:      p,
+		env:    env,
+		m:      protocol.Metrics{Tags: len(env.Tags)},
+		unread: make([]tagid.ID, len(env.Tags)),
+		seen:   make(map[tagid.ID]struct{}, len(env.Tags)),
+		budget: env.SlotBudget(),
+	}
 	env.TraceRunStart(p.Name())
-	unread := make([]tagid.ID, len(env.Tags))
-	copy(unread, env.Tags)
-	seen := make(map[tagid.ID]struct{}, len(env.Tags))
-	budget := env.SlotBudget()
-	frameSize := p.cfg.InitialFrame
-	if frameSize <= 0 {
-		frameSize = len(env.Tags)
+	copy(s.unread, env.Tags)
+	s.frameSize = p.cfg.InitialFrame
+	if s.frameSize <= 0 {
+		s.frameSize = len(env.Tags)
 	}
-	slots := 0
-	var scratch FrameScratch
+	return s
+}
 
-	for {
-		if slots >= budget {
-			m.OnAir = clock.Elapsed()
-			return m, protocol.ErrNoProgress
-		}
-		if frameSize < 1 {
-			frameSize = 1
-		}
-		if p.cfg.MaxFrame > 0 && frameSize > p.cfg.MaxFrame {
-			frameSize = p.cfg.MaxFrame
-		}
-		clock.Add(env.Timing.FrameAnnouncement())
-		m.Frames++
-		env.TraceFrame(obsev.FrameEvent{Seq: slots, Frame: m.Frames, Size: frameSize, P: 1})
+// Protocol implements protocol.Session.
+func (s *session) Protocol() string { return s.p.Name() }
 
-		var collisions, transmissions int
-		unread, collisions, transmissions = runFrame(env, &scratch, frameSize, unread, seen, &m)
-		slots += frameSize
-		clock.AddSlots(env.Timing, frameSize)
-
-		if transmissions == 0 {
-			// An entirely empty frame proves every tag has been read.
-			m.OnAir = clock.Elapsed()
-			return m, nil
+// Step implements protocol.Session. A done session keeps stepping: the
+// empty-field steady state is a one-slot frame per step (Schoute's estimate
+// of an empty frame, clamped to one slot), so newly admitted tags are
+// observed on the next frame.
+func (s *session) Step() (bool, error) {
+	if s.err != nil {
+		return false, s.err
+	}
+	if !s.inFrame {
+		if s.slots >= s.budget {
+			s.err = protocol.ErrNoProgress
+			return false, s.err
 		}
-		// Schoute's estimate: each colliding slot hides ~2.39 tags.
-		frameSize = int(math.Round(SchouteFactor * float64(collisions)))
-		env.TraceEstimate(obsev.EstimateEvent{
-			Frame: m.Frames, Estimate: float64(frameSize), Identified: m.Identified(),
+		f := s.frameSize
+		if f < 1 {
+			f = 1
+		}
+		if s.p.cfg.MaxFrame > 0 && f > s.p.cfg.MaxFrame {
+			f = s.p.cfg.MaxFrame
+		}
+		s.clock.Add(s.env.Timing.FrameAnnouncement())
+		s.m.Frames++
+		s.env.TraceFrame(obsev.FrameEvent{Seq: s.slots, Frame: s.m.Frames, Size: f, P: 1})
+		// Bucket the tags by their chosen slot.
+		s.occ = s.scratch.Buckets(f)
+		for _, id := range s.unread {
+			j := s.env.RNG.Intn(f)
+			s.occ[j] = append(s.occ[j], id)
+		}
+		s.read = s.scratch.Read()
+		s.frameLen = f
+		s.slotJ, s.collisions, s.transmissions = 0, 0, 0
+		s.inFrame = true
+	}
+
+	tx := s.occ[s.slotJ]
+	s.transmissions += len(tx)
+	obs := s.env.Channel.Observe(tx)
+	switch obs.Kind {
+	case channel.Empty:
+		s.m.EmptySlots++
+	case channel.Singleton:
+		s.m.SingletonSlots++
+		if _, dup := s.seen[obs.ID]; !dup {
+			s.seen[obs.ID] = struct{}{}
+			s.m.DirectIDs++
+			s.env.NotifyIdentified(obs.ID, false)
+		}
+		delivered := s.env.AckDelivered()
+		s.env.TraceAck(obsev.AckEvent{
+			Seq: s.m.TotalSlots() - 1, ID: obs.ID, Kind: obsev.AckDirect, Delivered: delivered,
 		})
+		if delivered {
+			s.read[obs.ID] = struct{}{}
+		}
+	case channel.Collision:
+		// DFSA discards the mixed signal; a corrupted singleton also lands
+		// here and retries next frame.
+		s.m.CollisionSlots++
+		s.collisions++
 	}
+	s.m.TagTransmissions += len(tx)
+	s.env.NotifySlot(protocol.SlotEvent{
+		Seq:          s.m.TotalSlots() - 1,
+		Kind:         obs.Kind,
+		Transmitters: len(tx),
+		Identified:   s.m.Identified(),
+	})
+	s.slotJ++
+	s.slots++
+	s.clock.Add(s.env.Timing.Slot())
+	if s.slotJ < s.frameLen {
+		return false, nil
+	}
+
+	// Frame end: silence the tags read this frame.
+	s.inFrame = false
+	if len(s.read) > 0 {
+		remaining := s.unread[:0]
+		for _, id := range s.unread {
+			if _, ok := s.read[id]; !ok {
+				remaining = append(remaining, id)
+			}
+		}
+		s.unread = remaining
+	}
+	if s.transmissions == 0 {
+		// An entirely empty frame proves every tag has been read.
+		return true, nil
+	}
+	// Schoute's estimate: each colliding slot hides ~2.39 tags.
+	s.frameSize = int(math.Round(SchouteFactor * float64(s.collisions)))
+	s.env.TraceEstimate(obsev.EstimateEvent{
+		Frame: s.m.Frames, Estimate: float64(s.frameSize), Identified: s.m.Identified(),
+	})
+	return false, nil
+}
+
+// Admit implements protocol.Session: the tags join the unread backlog and
+// first transmit in the next frame's bucketing.
+func (s *session) Admit(ids []tagid.ID) {
+	for _, id := range ids {
+		if _, identified := s.seen[id]; identified {
+			continue
+		}
+		if containsID(s.unread, id) {
+			continue
+		}
+		s.unread = append(s.unread, id)
+		s.m.Tags++
+	}
+}
+
+// Revoke implements protocol.Session: the tags leave the backlog and stop
+// transmitting immediately — they are stripped from the current frame's
+// remaining slot buckets.
+func (s *session) Revoke(ids []tagid.ID) {
+	for _, id := range ids {
+		if !removeID(&s.unread, id) {
+			continue
+		}
+		if s.inFrame {
+			for j := s.slotJ; j < s.frameLen; j++ {
+				bucket := s.occ[j]
+				if removeID(&bucket, id) {
+					s.occ[j] = bucket
+					break
+				}
+			}
+		}
+	}
+}
+
+// containsID reports whether ids contains id.
+func containsID(ids []tagid.ID, id tagid.ID) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// removeID deletes id from *ids preserving order; it reports whether the
+// id was present.
+func removeID(ids *[]tagid.ID, id tagid.ID) bool {
+	for i, v := range *ids {
+		if v == id {
+			*ids = append((*ids)[:i], (*ids)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Metrics implements protocol.Session.
+func (s *session) Metrics() protocol.Metrics {
+	m := s.m
+	m.OnAir = s.clock.Elapsed()
+	return m
+}
+
+// Elapsed implements protocol.Session.
+func (s *session) Elapsed() time.Duration { return s.clock.Elapsed() }
+
+// Outstanding implements protocol.Session.
+func (s *session) Outstanding() int { return len(s.unread) }
+
+// checkpoint is a deep copy of a DFSA session's state.
+type checkpoint struct {
+	name   string
+	m      protocol.Metrics
+	clock  air.Clock
+	unread []tagid.ID
+	seen   map[tagid.ID]struct{}
+
+	slots, budget int
+	frameSize     int
+
+	inFrame                   bool
+	frameLen                  int
+	slotJ                     int
+	collisions, transmissions int
+	occ                       [][]tagid.ID
+	read                      map[tagid.ID]struct{}
+
+	err error
+
+	rng       rng.Source
+	chanState any
+}
+
+// Protocol implements protocol.Checkpoint.
+func (c *checkpoint) Protocol() string { return c.name }
+
+// Snapshot implements protocol.Session.
+func (s *session) Snapshot() (protocol.Checkpoint, error) {
+	cp := &checkpoint{
+		name:          s.p.Name(),
+		m:             s.m,
+		clock:         s.clock,
+		unread:        append([]tagid.ID(nil), s.unread...),
+		seen:          maps.Clone(s.seen),
+		slots:         s.slots,
+		budget:        s.budget,
+		frameSize:     s.frameSize,
+		inFrame:       s.inFrame,
+		frameLen:      s.frameLen,
+		slotJ:         s.slotJ,
+		collisions:    s.collisions,
+		transmissions: s.transmissions,
+		err:           s.err,
+		rng:           *s.env.RNG,
+	}
+	if s.inFrame {
+		cp.occ = cloneBuckets(s.occ)
+		cp.read = maps.Clone(s.read)
+	}
+	if st, ok := s.env.Channel.(channel.Stateful); ok {
+		cp.chanState = st.SnapshotState()
+	}
+	return cp, nil
+}
+
+// Restore implements protocol.Session.
+func (s *session) Restore(c protocol.Checkpoint) error {
+	cp, ok := c.(*checkpoint)
+	if !ok || cp.name != s.p.Name() {
+		return protocol.ErrCheckpointMismatch
+	}
+	s.m = cp.m
+	s.clock = cp.clock
+	s.unread = append(s.unread[:0:0], cp.unread...)
+	s.seen = maps.Clone(cp.seen)
+	s.slots = cp.slots
+	s.budget = cp.budget
+	s.frameSize = cp.frameSize
+	s.inFrame = cp.inFrame
+	s.frameLen = cp.frameLen
+	s.slotJ = cp.slotJ
+	s.collisions = cp.collisions
+	s.transmissions = cp.transmissions
+	s.occ = nil
+	s.read = nil
+	if cp.inFrame {
+		s.occ = cloneBuckets(cp.occ)
+		s.read = maps.Clone(cp.read)
+	}
+	s.err = cp.err
+	*s.env.RNG = cp.rng
+	if cp.chanState != nil {
+		s.env.Channel.(channel.Stateful).RestoreState(cp.chanState)
+	}
+	return nil
+}
+
+// cloneBuckets deep-copies a frame's slot-occupancy buckets.
+func cloneBuckets(occ [][]tagid.ID) [][]tagid.ID {
+	out := make([][]tagid.ID, len(occ))
+	for i, b := range occ {
+		if len(b) > 0 {
+			out[i] = append([]tagid.ID(nil), b...)
+		}
+	}
+	return out
 }
 
 // FrameScratch holds the per-frame bucketing state of a framed-ALOHA slot
@@ -144,61 +416,3 @@ func (sc *FrameScratch) Read() map[tagid.ID]struct{} {
 	return sc.read
 }
 
-// runFrame simulates one frame: every unread tag picks one slot; the reader
-// observes each slot through the channel. It updates metrics and returns
-// the still-unread tags, the collision count, and the number of tags that
-// transmitted. seen holds the IDs counted in earlier frames so that a tag
-// retransmitting after a lost acknowledgement is not double-counted.
-func runFrame(env *protocol.Env, scratch *FrameScratch, frameSize int, unread []tagid.ID, seen map[tagid.ID]struct{}, m *protocol.Metrics) (remaining []tagid.ID, collisions, transmissions int) {
-	// Bucket the tags by their chosen slot.
-	occupants := scratch.Buckets(frameSize)
-	for _, id := range unread {
-		s := env.RNG.Intn(frameSize)
-		occupants[s] = append(occupants[s], id)
-	}
-	read := scratch.Read()
-	for _, tx := range occupants {
-		transmissions += len(tx)
-		obs := env.Channel.Observe(tx)
-		switch obs.Kind {
-		case channel.Empty:
-			m.EmptySlots++
-		case channel.Singleton:
-			m.SingletonSlots++
-			if _, dup := seen[obs.ID]; !dup {
-				seen[obs.ID] = struct{}{}
-				m.DirectIDs++
-				env.NotifyIdentified(obs.ID, false)
-			}
-			delivered := env.AckDelivered()
-			env.TraceAck(obsev.AckEvent{
-				Seq: m.TotalSlots() - 1, ID: obs.ID, Kind: obsev.AckDirect, Delivered: delivered,
-			})
-			if delivered {
-				read[obs.ID] = struct{}{}
-			}
-		case channel.Collision:
-			// DFSA discards the mixed signal; a corrupted singleton also
-			// lands here and retries next frame.
-			m.CollisionSlots++
-			collisions++
-		}
-		m.TagTransmissions += len(tx)
-		env.NotifySlot(protocol.SlotEvent{
-			Seq:          m.TotalSlots() - 1,
-			Kind:         obs.Kind,
-			Transmitters: len(tx),
-			Identified:   m.Identified(),
-		})
-	}
-	remaining = unread
-	if len(read) > 0 {
-		remaining = unread[:0]
-		for _, id := range unread {
-			if _, ok := read[id]; !ok {
-				remaining = append(remaining, id)
-			}
-		}
-	}
-	return remaining, collisions, transmissions
-}

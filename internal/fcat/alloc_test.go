@@ -9,9 +9,9 @@ import (
 	"github.com/ancrfid/ancrfid/internal/tagid"
 )
 
-// newAllocRun builds a run in the state Run would, against the given env.
-func newAllocRun(e *protocol.Env) *run {
-	return &run{
+// newAllocRun builds a session in the state Begin would, against the given env.
+func newAllocRun(e *protocol.Env) *session {
+	return &session{
 		cfg:    New(Config{}).cfg,
 		env:    e,
 		m:      protocol.Metrics{Tags: len(e.Tags)},

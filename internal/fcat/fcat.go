@@ -23,6 +23,8 @@ package fcat
 import (
 	"fmt"
 	"io"
+	"maps"
+	"time"
 
 	"github.com/ancrfid/ancrfid/internal/air"
 	"github.com/ancrfid/ancrfid/internal/analysis"
@@ -31,6 +33,7 @@ import (
 	obsev "github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/protocol"
 	"github.com/ancrfid/ancrfid/internal/record"
+	"github.com/ancrfid/ancrfid/internal/rng"
 	"github.com/ancrfid/ancrfid/internal/tagid"
 )
 
@@ -131,8 +134,62 @@ func New(cfg Config) *Protocol {
 // Name implements protocol.Protocol.
 func (p *Protocol) Name() string { return fmt.Sprintf("FCAT-%d", p.cfg.Lambda) }
 
-// run carries the mutable state of one FCAT execution.
-type run struct {
+var _ protocol.SessionProtocol = (*Protocol)(nil)
+
+// Run implements protocol.Protocol by driving a fresh session to
+// completion.
+func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
+	return protocol.RunSession(p, env)
+}
+
+// phase is the session's position in FCAT's control flow. The batch
+// execute loop of earlier revisions is unrolled into these states so the
+// run can be advanced one slot at a time (protocol.Session): every state
+// either performs exactly one report segment or is a slot-free transition
+// folded into the step that performs the next one.
+type phase int
+
+const (
+	// phInit dispatches on the config: oracle mode, a seeded estimate, or
+	// the geometric bootstrap.
+	phInit phase = iota
+	// phBootSlot runs one bootstrap slot at the next halved probability.
+	phBootSlot
+	// phBootConfirm runs the p=1 probe that distinguishes a sparse field
+	// from an empty one after an empty slot at p=1/2.
+	phBootConfirm
+	// phFrameDecide computes the report probability from the current
+	// estimate and opens the next frame (or falls into phProbe when the
+	// reader believes the field is exhausted).
+	phFrameDecide
+	// phInFrame runs the frame's next slot.
+	phInFrame
+	// phFrameEnd closes the frame: silent-frame check and estimator update.
+	phFrameEnd
+	// phProbe runs a p=1 termination probe; an empty probe proves the
+	// field exhausted. A done session stays here, so further steps keep
+	// monitoring the field for newly admitted tags.
+	phProbe
+	// phOracleDecide and phOracleFrame are the oracle-estimate analogues
+	// of phFrameDecide and phInFrame (no estimator, no silent-frame
+	// probing beyond the exhaustion probe).
+	phOracleDecide
+	phOracleFrame
+)
+
+// bootReason records why a bootstrap is running: the initial order-of-
+// magnitude location, or the relocation after an answered termination
+// probe.
+type bootReason int
+
+const (
+	bootInitial bootReason = iota
+	bootRelocate
+)
+
+// session carries the mutable state of one FCAT execution.
+type session struct {
+	p      *Protocol
 	cfg    Config
 	env    *protocol.Env
 	m      protocol.Metrics
@@ -143,195 +200,446 @@ type run struct {
 	buf    []tagid.ID
 	slot   uint64
 	budget int
+
+	phase   phase
+	bootP   float64
+	bootWhy bootReason
+
+	estimateN float64
+	tracker   estimate.Tracker
+
+	frameP           float64
+	frameJ           int
+	nc, n0           int
+	identifiedBefore int
+
+	// oracleN is the true population the oracle estimator consults; Admit
+	// and Revoke keep it current.
+	oracleN int
+
+	err error
 }
 
-// Run implements protocol.Protocol.
-func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
-	r := &run{
-		cfg:    p.cfg,
-		env:    env,
-		m:      protocol.Metrics{Tags: len(env.Tags)},
-		active: protocol.NewActiveSet(env.Tags),
-		store:  record.NewStore(),
-		seen:   make(map[tagid.ID]struct{}, len(env.Tags)),
-		buf:    make([]tagid.ID, 0, 64),
-		budget: env.SlotBudget(),
+var _ protocol.Session = (*session)(nil)
+
+// Begin implements protocol.SessionProtocol.
+func (p *Protocol) Begin(env *protocol.Env) protocol.Session {
+	s := &session{
+		p:       p,
+		cfg:     p.cfg,
+		env:     env,
+		m:       protocol.Metrics{Tags: len(env.Tags)},
+		active:  protocol.NewActiveSet(env.Tags),
+		store:   record.NewStore(),
+		seen:    make(map[tagid.ID]struct{}, len(env.Tags)),
+		buf:     make([]tagid.ID, 0, 64),
+		budget:  env.SlotBudget(),
+		oracleN: len(env.Tags),
 	}
-	r.store.Tracer = env.Tracer
+	s.store.Tracer = env.Tracer
 	env.TraceRunStart(p.Name())
-	err := r.execute()
-	r.m.OnAir = r.clock.Elapsed()
-	env.TraceRunEnd(p.Name(), r.m, err)
-	return r.m, err
+	return s
 }
 
-func (r *run) execute() error {
-	if r.cfg.OracleEstimate {
-		return r.executeOracle()
-	}
-	estimateN := r.cfg.InitialEstimate
-	if estimateN <= 0 {
-		var err error
-		estimateN, err = r.bootstrap()
-		if err != nil {
-			return err
-		}
-		if estimateN <= 0 { // bootstrap proved the field empty
-			return nil
-		}
-		r.env.TraceEstimate(obsev.EstimateEvent{Estimate: estimateN})
-	}
+// Protocol implements protocol.Session.
+func (r *session) Protocol() string { return r.p.Name() }
 
-	var tracker estimate.Tracker
-	f := r.cfg.FrameSize
+// fail records a terminal error.
+func (r *session) fail(err error) (bool, error) {
+	r.err = err
+	return false, err
+}
+
+// Step implements protocol.Session: it folds slot-free transitions until
+// one report segment has been run.
+func (r *session) Step() (bool, error) {
+	if r.err != nil {
+		return false, r.err
+	}
 	for {
-		remaining := estimateN - float64(r.m.Identified())
-		if remaining < 0.5 {
-			// The reader believes it has read everything: probe with p = 1.
-			done, err := r.probe()
-			if err != nil {
-				return err
+		switch r.phase {
+		case phInit:
+			if r.cfg.OracleEstimate {
+				r.phase = phOracleDecide
+				continue
 			}
-			if done {
-				return nil
+			if r.cfg.InitialEstimate > 0 {
+				r.estimateN = r.cfg.InitialEstimate
+				r.phase = phFrameDecide
+				continue
+			}
+			r.bootWhy = bootInitial
+			r.bootP = 1
+			r.phase = phBootSlot
+			continue
+
+		case phBootSlot:
+			r.bootP /= 2
+			kind, err := r.doSlotAdvertised(r.bootP)
+			if err != nil {
+				return r.fail(err)
+			}
+			if kind == channel.Collision {
+				if r.bootP < 1e-9 {
+					return r.fail(protocol.ErrNoProgress)
+				}
+				return false, nil // next bootstrap slot at bootP/2
+			}
+			// Around the first non-collision, N*p has dropped to order 1,
+			// so N is of order 1/p.
+			if kind == channel.Empty && r.bootP == 0.5 {
+				// Nothing at p=1/2: either very few tags or none. Confirm
+				// with a p=1 probe.
+				r.phase = phBootConfirm
+				return false, nil
+			}
+			return r.finishBootstrap(1 / r.bootP)
+
+		case phBootConfirm:
+			kind, err := r.doSlotAdvertised(1)
+			if err != nil {
+				return r.fail(err)
+			}
+			if kind == channel.Empty {
+				return r.finishBootstrap(0)
+			}
+			return r.finishBootstrap(1 / r.bootP)
+
+		case phFrameDecide:
+			remaining := r.estimateN - float64(r.m.Identified())
+			if remaining < 0.5 {
+				// The reader believes it has read everything: probe with
+				// p = 1.
+				r.phase = phProbe
+				continue
+			}
+			p := r.cfg.Omega / remaining
+			if p > 1 {
+				p = 1
+			}
+			r.frameP = p
+			r.clock.Add(r.env.Timing.FrameAdvertisement())
+			r.env.TraceFrame(obsev.FrameEvent{Seq: int(r.slot), Frame: r.m.Frames + 1, Size: r.cfg.FrameSize, P: p})
+			r.identifiedBefore = r.m.Identified()
+			r.nc, r.n0 = 0, 0
+			r.frameJ = 0
+			r.phase = phInFrame
+			continue
+
+		case phInFrame:
+			kind, err := r.doSlot(r.frameP)
+			if err != nil {
+				return r.fail(err)
+			}
+			switch kind {
+			case channel.Empty:
+				r.n0++
+			case channel.Collision:
+				r.nc++
+			}
+			r.frameJ++
+			if r.frameJ == r.cfg.FrameSize {
+				r.phase = phFrameEnd
+			}
+			return false, nil
+
+		case phFrameEnd:
+			r.m.Frames++
+			if r.n0 == r.cfg.FrameSize {
+				// A completely silent frame: either the field is exhausted
+				// or the estimate overshoots so far that nobody reports. A
+				// p=1 probe distinguishes the two immediately instead of
+				// waiting for the averaged estimate to drift down; if it is
+				// answered, the outstanding count is relocated with a fresh
+				// bootstrap.
+				r.phase = phProbe
+				continue
+			}
+			r.updateEstimate()
+			continue
+
+		case phProbe:
+			kind, err := r.doSlotAdvertised(1)
+			if err != nil {
+				return r.fail(err)
+			}
+			if kind == channel.Empty {
+				// The field is exhausted. Staying in phProbe keeps the
+				// session monitoring: further steps re-probe, and an
+				// answered probe resumes identification.
+				return true, nil
+			}
+			if r.cfg.OracleEstimate {
+				r.phase = phOracleDecide
+				return false, nil
 			}
 			// The probe was answered, so tags remain but the stale average
 			// says otherwise. Relocate the outstanding count with a short
 			// geometric probe (log2 of the deficit in slots) instead of
 			// guessing, and drop the stale average.
-			rem, err := r.bootstrap()
-			if err != nil {
-				return err
-			}
-			estimateN = float64(r.m.Identified()) + rem
-			tracker = estimate.Tracker{}
-			r.env.TraceEstimate(obsev.EstimateEvent{
-				Frame: r.m.Frames, Estimate: estimateN, Identified: r.m.Identified(),
-			})
-			continue
-		}
+			r.bootWhy = bootRelocate
+			r.bootP = 1
+			r.phase = phBootSlot
+			return false, nil
 
-		p := r.cfg.Omega / remaining
-		if p > 1 {
-			p = 1
-		}
-		r.clock.Add(r.env.Timing.FrameAdvertisement())
-		r.env.TraceFrame(obsev.FrameEvent{Seq: int(r.slot), Frame: r.m.Frames + 1, Size: f, P: p})
-		identifiedBefore := r.m.Identified()
-		nc, n0 := 0, 0
-		for j := 0; j < f; j++ {
-			kind, err := r.doSlot(p)
-			if err != nil {
-				return err
+		case phOracleDecide:
+			remaining := r.oracleN - r.m.Identified()
+			if remaining <= 0 {
+				r.phase = phProbe
+				continue
 			}
-			switch kind {
-			case channel.Empty:
-				n0++
-			case channel.Collision:
-				nc++
+			p := r.cfg.Omega / float64(remaining)
+			if p > 1 {
+				p = 1
 			}
-		}
-		r.m.Frames++
-
-		if n0 == f {
-			// A completely silent frame: either the field is exhausted or
-			// the estimate overshoots so far that nobody reports. A p=1
-			// probe distinguishes the two immediately instead of waiting
-			// for the averaged estimate to drift down; if it is answered,
-			// relocate the outstanding count as above.
-			done, err := r.probe()
-			if err != nil {
-				return err
-			}
-			if done {
-				return nil
-			}
-			rem, err := r.bootstrap()
-			if err != nil {
-				return err
-			}
-			estimateN = float64(r.m.Identified()) + rem
-			tracker = estimate.Tracker{}
-			r.env.TraceEstimate(obsev.EstimateEvent{
-				Frame: r.m.Frames, Estimate: estimateN, Identified: r.m.Identified(),
-			})
+			r.frameP = p
+			r.clock.Add(r.env.Timing.FrameAdvertisement())
+			r.env.TraceFrame(obsev.FrameEvent{Seq: int(r.slot), Frame: r.m.Frames + 1, Size: r.cfg.FrameSize, P: p})
+			r.frameJ = 0
+			r.phase = phOracleFrame
 			continue
-		}
 
-		// Per-frame estimate of the total population: the frame's estimate
-		// of participants plus the tags identified before the frame began.
-		frameEst, ok := r.estimateFrame(nc, n0, f-n0-nc, p)
-		if !ok {
-			// Every slot collided: the believed deficit is far too low.
-			// Grow the deficit geometrically (doubling the total would
-			// double-count the already-identified tags and overshoot).
-			deficit := estimateN - float64(r.m.Identified())
-			if deficit < 1 {
-				deficit = 1
+		case phOracleFrame:
+			if _, err := r.doSlot(r.frameP); err != nil {
+				return r.fail(err)
 			}
-			estimateN = float64(r.m.Identified()) + 2*deficit + 1
-			r.env.TraceEstimate(obsev.EstimateEvent{
-				Frame: r.m.Frames, Estimate: estimateN, Identified: r.m.Identified(),
-			})
-			continue
+			r.frameJ++
+			if r.frameJ == r.cfg.FrameSize {
+				r.m.Frames++
+				r.phase = phOracleDecide
+			}
+			return false, nil
+
+		default:
+			return r.fail(fmt.Errorf("fcat: corrupt session phase %d", r.phase))
 		}
-		total := frameEst + float64(identifiedBefore)
-		if r.cfg.Trace != nil {
-			fmt.Fprintf(r.cfg.Trace, "frame=%d p=%.5f nc=%d n0=%d frameEst=%.0f total=%.0f est=%.0f identified=%d\n",
-				r.m.Frames, p, nc, n0, frameEst, total, estimateN, r.m.Identified())
-		}
-		if r.cfg.LastFrameOnly {
-			estimateN = total
-		} else {
-			// Plain cross-frame average, as the paper prescribes.
-			// (Inverse-variance weighting by p^2 was evaluated and rejected:
-			// it concentrates weight on tail frames, whose small-count
-			// estimates are individually biased, and measures worse.)
-			tracker.Add(total)
-			estimateN, _ = tracker.Mean()
-		}
-		r.env.TraceEstimate(obsev.EstimateEvent{
-			Frame:      r.m.Frames,
-			Estimate:   estimateN,
-			FrameEst:   total,
-			Identified: r.m.Identified(),
-		})
 	}
 }
 
-// executeOracle runs the frame loop with perfect knowledge of the
-// outstanding tag count (the OracleEstimate mode).
-func (r *run) executeOracle() error {
+// finishBootstrap consumes the bootstrap's estimate. For the initial
+// bootstrap a zero estimate proves the field empty and terminates the run;
+// a relocation folds the estimate on top of the identified count and drops
+// the stale cross-frame average.
+func (r *session) finishBootstrap(est float64) (bool, error) {
+	if r.bootWhy == bootInitial {
+		if est <= 0 { // bootstrap proved the field empty
+			r.phase = phProbe
+			return true, nil
+		}
+		r.estimateN = est
+		r.env.TraceEstimate(obsev.EstimateEvent{Estimate: est})
+		r.phase = phFrameDecide
+		return false, nil
+	}
+	r.estimateN = float64(r.m.Identified()) + est
+	r.tracker = estimate.Tracker{}
+	r.env.TraceEstimate(obsev.EstimateEvent{
+		Frame: r.m.Frames, Estimate: r.estimateN, Identified: r.m.Identified(),
+	})
+	r.phase = phFrameDecide
+	return false, nil
+}
+
+// updateEstimate folds a completed frame's slot counts into the population
+// estimate (Section V-C) and opens the next frame decision.
+func (r *session) updateEstimate() {
 	f := r.cfg.FrameSize
-	for {
-		remaining := len(r.env.Tags) - r.m.Identified()
-		if remaining <= 0 {
-			done, err := r.probe()
-			if err != nil {
-				return err
-			}
-			if done {
-				return nil
-			}
+	frameEst, ok := r.estimateFrame(r.nc, r.n0, f-r.n0-r.nc, r.frameP)
+	if !ok {
+		// Every slot collided: the believed deficit is far too low. Grow
+		// the deficit geometrically (doubling the total would double-count
+		// the already-identified tags and overshoot).
+		deficit := r.estimateN - float64(r.m.Identified())
+		if deficit < 1 {
+			deficit = 1
+		}
+		r.estimateN = float64(r.m.Identified()) + 2*deficit + 1
+		r.env.TraceEstimate(obsev.EstimateEvent{
+			Frame: r.m.Frames, Estimate: r.estimateN, Identified: r.m.Identified(),
+		})
+		r.phase = phFrameDecide
+		return
+	}
+	// Per-frame estimate of the total population: the frame's estimate of
+	// participants plus the tags identified before the frame began.
+	total := frameEst + float64(r.identifiedBefore)
+	if r.cfg.Trace != nil {
+		fmt.Fprintf(r.cfg.Trace, "frame=%d p=%.5f nc=%d n0=%d frameEst=%.0f total=%.0f est=%.0f identified=%d\n",
+			r.m.Frames, r.frameP, r.nc, r.n0, frameEst, total, r.estimateN, r.m.Identified())
+	}
+	if r.cfg.LastFrameOnly {
+		r.estimateN = total
+	} else {
+		// Plain cross-frame average, as the paper prescribes.
+		// (Inverse-variance weighting by p^2 was evaluated and rejected:
+		// it concentrates weight on tail frames, whose small-count
+		// estimates are individually biased, and measures worse.)
+		r.tracker.Add(total)
+		r.estimateN, _ = r.tracker.Mean()
+	}
+	r.env.TraceEstimate(obsev.EstimateEvent{
+		Frame:      r.m.Frames,
+		Estimate:   r.estimateN,
+		FrameEst:   total,
+		Identified: r.m.Identified(),
+	})
+	r.phase = phFrameDecide
+}
+
+// Admit implements protocol.Session. The embedded estimator re-locates the
+// grown population on its own (all-collided frames double the believed
+// deficit; answered termination probes trigger a fresh bootstrap), so only
+// the population bookkeeping changes here.
+func (r *session) Admit(ids []tagid.ID) {
+	for _, id := range ids {
+		if _, identified := r.seen[id]; identified {
 			continue
 		}
-		p := r.cfg.Omega / float64(remaining)
-		if p > 1 {
-			p = 1
+		if r.active.Add(id) {
+			r.m.Tags++
+			r.oracleN++
+			r.store.Readmit(id)
 		}
-		r.clock.Add(r.env.Timing.FrameAdvertisement())
-		r.env.TraceFrame(obsev.FrameEvent{Seq: int(r.slot), Frame: r.m.Frames + 1, Size: f, P: p})
-		for j := 0; j < f; j++ {
-			if _, err := r.doSlot(p); err != nil {
-				return err
+	}
+}
+
+// Revoke implements protocol.Session. A departed unidentified tag lowers
+// the running estimate by one (the silent-frame probe handles bulk
+// departures) and invalidates its pending record memberships.
+func (r *session) Revoke(ids []tagid.ID) {
+	for _, id := range ids {
+		if !r.active.Remove(id) {
+			continue
+		}
+		if _, identified := r.seen[id]; !identified {
+			r.store.Revoke(id)
+			r.oracleN--
+			if r.estimateN > float64(r.m.Identified()) {
+				r.estimateN--
 			}
 		}
-		r.m.Frames++
 	}
+}
+
+// Metrics implements protocol.Session.
+func (r *session) Metrics() protocol.Metrics {
+	m := r.m
+	m.OnAir = r.clock.Elapsed()
+	return m
+}
+
+// Elapsed implements protocol.Session.
+func (r *session) Elapsed() time.Duration { return r.clock.Elapsed() }
+
+// Outstanding implements protocol.Session.
+func (r *session) Outstanding() int { return r.active.Len() }
+
+// checkpoint is a deep copy of an FCAT session's state.
+type checkpoint struct {
+	name   string
+	m      protocol.Metrics
+	clock  air.Clock
+	active *protocol.ActiveSet
+	store  *record.Store
+	seen   map[tagid.ID]struct{}
+	slot   uint64
+	budget int
+
+	phase   phase
+	bootP   float64
+	bootWhy bootReason
+
+	estimateN float64
+	tracker   estimate.Tracker
+
+	frameP           float64
+	frameJ           int
+	nc, n0           int
+	identifiedBefore int
+	oracleN          int
+
+	err error
+
+	rng       rng.Source
+	chanState any
+}
+
+// Protocol implements protocol.Checkpoint.
+func (c *checkpoint) Protocol() string { return c.name }
+
+// Snapshot implements protocol.Session.
+func (r *session) Snapshot() (protocol.Checkpoint, error) {
+	store, err := r.store.Clone()
+	if err != nil {
+		return nil, err
+	}
+	cp := &checkpoint{
+		name:             r.p.Name(),
+		m:                r.m,
+		clock:            r.clock,
+		active:           r.active.Clone(),
+		store:            store,
+		seen:             maps.Clone(r.seen),
+		slot:             r.slot,
+		budget:           r.budget,
+		phase:            r.phase,
+		bootP:            r.bootP,
+		bootWhy:          r.bootWhy,
+		estimateN:        r.estimateN,
+		tracker:          r.tracker,
+		frameP:           r.frameP,
+		frameJ:           r.frameJ,
+		nc:               r.nc,
+		n0:               r.n0,
+		identifiedBefore: r.identifiedBefore,
+		oracleN:          r.oracleN,
+		err:              r.err,
+		rng:              *r.env.RNG,
+	}
+	if st, ok := r.env.Channel.(channel.Stateful); ok {
+		cp.chanState = st.SnapshotState()
+	}
+	return cp, nil
+}
+
+// Restore implements protocol.Session.
+func (r *session) Restore(c protocol.Checkpoint) error {
+	cp, ok := c.(*checkpoint)
+	if !ok || cp.name != r.p.Name() {
+		return protocol.ErrCheckpointMismatch
+	}
+	store, err := cp.store.Clone()
+	if err != nil {
+		return err
+	}
+	r.m = cp.m
+	r.clock = cp.clock
+	r.active = cp.active.Clone()
+	r.store = store
+	r.seen = maps.Clone(cp.seen)
+	r.slot = cp.slot
+	r.budget = cp.budget
+	r.phase = cp.phase
+	r.bootP = cp.bootP
+	r.bootWhy = cp.bootWhy
+	r.estimateN = cp.estimateN
+	r.tracker = cp.tracker
+	r.frameP = cp.frameP
+	r.frameJ = cp.frameJ
+	r.nc = cp.nc
+	r.n0 = cp.n0
+	r.identifiedBefore = cp.identifiedBefore
+	r.oracleN = cp.oracleN
+	r.err = cp.err
+	*r.env.RNG = cp.rng
+	if cp.chanState != nil {
+		r.env.Channel.(channel.Stateful).RestoreState(cp.chanState)
+	}
+	return nil
 }
 
 // estimateFrame inverts the configured per-frame estimator.
-func (r *run) estimateFrame(nc, n0, n1 int, p float64) (float64, bool) {
+func (r *session) estimateFrame(nc, n0, n1 int, p float64) (float64, bool) {
 	if nc == 0 && r.cfg.Estimator != EstimatorEmpty {
 		// A collision-free frame carries no collision information; in the
 		// tail of a read this is the common case. Invert the singleton
@@ -349,59 +657,16 @@ func (r *run) estimateFrame(nc, n0, n1 int, p float64) (float64, bool) {
 	}
 }
 
-// bootstrap locates the population's order of magnitude with single slots
-// at geometrically decreasing report probability. It returns the initial
-// estimate, or 0 if the very first probes prove the field empty.
-func (r *run) bootstrap() (float64, error) {
-	p := 1.0
-	for {
-		p /= 2
-		kind, err := r.doSlotAdvertised(p)
-		if err != nil {
-			return 0, err
-		}
-		if kind != channel.Collision {
-			// Around the first non-collision, N*p has dropped to order 1,
-			// so N is of order 1/p.
-			if kind == channel.Empty && p == 0.5 {
-				// Nothing at p=1/2: either very few tags or none. Confirm
-				// with a p=1 probe.
-				probeKind, err := r.doSlotAdvertised(1)
-				if err != nil {
-					return 0, err
-				}
-				if probeKind == channel.Empty {
-					return 0, nil
-				}
-			}
-			return 1 / p, nil
-		}
-		if p < 1e-9 {
-			return 0, protocol.ErrNoProgress
-		}
-	}
-}
-
-// probe runs one p=1 slot; done reports that the slot was empty, proving
-// every tag has been identified (Section IV-A termination).
-func (r *run) probe() (done bool, err error) {
-	kind, err := r.doSlotAdvertised(1)
-	if err != nil {
-		return false, err
-	}
-	return kind == channel.Empty, nil
-}
-
 // doSlotAdvertised runs one slot preceded by its own advertisement (used
 // by bootstrap and termination probes, which change p for a single slot).
-func (r *run) doSlotAdvertised(p float64) (channel.Kind, error) {
+func (r *session) doSlotAdvertised(p float64) (channel.Kind, error) {
 	r.clock.Add(r.env.Timing.SlotAdvertisement())
 	r.env.TraceAdvert(obsev.AdvertEvent{Seq: int(r.slot), P: p})
 	return r.doSlot(p)
 }
 
 // doSlot executes one report+acknowledgement slot at report probability p.
-func (r *run) doSlot(p float64) (channel.Kind, error) {
+func (r *session) doSlot(p float64) (channel.Kind, error) {
 	if int(r.slot) >= r.budget {
 		return 0, protocol.ErrNoProgress
 	}
@@ -448,7 +713,7 @@ func (r *run) doSlot(p float64) (channel.Kind, error) {
 // countDirect records a first-time identification from a singleton slot;
 // duplicate reads of a tag whose acknowledgement was lost are discarded
 // (Section IV-E).
-func (r *run) countDirect(id tagid.ID) {
+func (r *session) countDirect(id tagid.ID) {
 	if _, dup := r.seen[id]; dup {
 		return
 	}
@@ -460,7 +725,7 @@ func (r *run) countDirect(id tagid.ID) {
 // countResolved records an ID recovered from a collision record and
 // broadcasts the resolved slot's 23-bit index so the tag stops
 // (Section V-A); the tag stays active if that acknowledgement is lost.
-func (r *run) countResolved(res record.Resolved) {
+func (r *session) countResolved(res record.Resolved) {
 	if _, dup := r.seen[res.ID]; !dup {
 		r.seen[res.ID] = struct{}{}
 		r.m.ResolvedIDs++

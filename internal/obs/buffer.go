@@ -16,6 +16,9 @@ const (
 	kindCascadeStep
 	kindRecordResolved
 	kindEstimatorUpdate
+	kindTagArrival
+	kindTagDeparture
+	kindSessionCheckpoint
 )
 
 // Buffer is a Tracer that records a run's event stream in memory and plays
@@ -41,6 +44,10 @@ type Buffer struct {
 	cascades   []CascadeEvent
 	resolves   []ResolveEvent
 	estimates  []EstimateEvent
+
+	arrivals    []ArrivalEvent
+	departures  []DepartureEvent
+	checkpoints []CheckpointEvent
 }
 
 var _ Tracer = (*Buffer)(nil)
@@ -62,6 +69,9 @@ func (b *Buffer) Reset() {
 	b.cascades = b.cascades[:0]
 	b.resolves = b.resolves[:0]
 	b.estimates = b.estimates[:0]
+	b.arrivals = b.arrivals[:0]
+	b.departures = b.departures[:0]
+	b.checkpoints = b.checkpoints[:0]
 }
 
 // Replay delivers every buffered event to t in recorded order. A nil t is
@@ -70,7 +80,7 @@ func (b *Buffer) Replay(t Tracer) {
 	if t == nil {
 		return
 	}
-	var cursor [kindEstimatorUpdate + 1]int
+	var cursor [kindSessionCheckpoint + 1]int
 	for _, k := range b.order {
 		i := cursor[k]
 		cursor[k]++
@@ -97,6 +107,12 @@ func (b *Buffer) Replay(t Tracer) {
 			t.RecordResolved(b.resolves[i])
 		case kindEstimatorUpdate:
 			t.EstimatorUpdate(b.estimates[i])
+		case kindTagArrival:
+			t.TagArrival(b.arrivals[i])
+		case kindTagDeparture:
+			t.TagDeparture(b.departures[i])
+		case kindSessionCheckpoint:
+			t.SessionCheckpoint(b.checkpoints[i])
 		}
 	}
 }
@@ -154,4 +170,19 @@ func (b *Buffer) RecordResolved(ev ResolveEvent) {
 func (b *Buffer) EstimatorUpdate(ev EstimateEvent) {
 	b.order = append(b.order, kindEstimatorUpdate)
 	b.estimates = append(b.estimates, ev)
+}
+
+func (b *Buffer) TagArrival(ev ArrivalEvent) {
+	b.order = append(b.order, kindTagArrival)
+	b.arrivals = append(b.arrivals, ev)
+}
+
+func (b *Buffer) TagDeparture(ev DepartureEvent) {
+	b.order = append(b.order, kindTagDeparture)
+	b.departures = append(b.departures, ev)
+}
+
+func (b *Buffer) SessionCheckpoint(ev CheckpointEvent) {
+	b.order = append(b.order, kindSessionCheckpoint)
+	b.checkpoints = append(b.checkpoints, ev)
 }

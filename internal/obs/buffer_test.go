@@ -14,8 +14,8 @@ func TestBufferReplayIdentical(t *testing.T) {
 
 	buf := &Buffer{}
 	emitOneOfEach(buf)
-	if buf.Len() != 15 {
-		t.Fatalf("buffered %d events, want 15", buf.Len())
+	if buf.Len() != 18 {
+		t.Fatalf("buffered %d events, want 18", buf.Len())
 	}
 	var replayed bytes.Buffer
 	buf.Replay(NewJSONL(&replayed))

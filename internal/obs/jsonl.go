@@ -224,3 +224,37 @@ func (j *JSONL) EstimatorUpdate(ev EstimateEvent) {
 	j.int("identified", int64(ev.Identified))
 	j.close()
 }
+
+func (j *JSONL) TagArrival(ev ArrivalEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("arrival")
+	j.id("id", ev.ID)
+	j.int("t_us", ev.At.Microseconds())
+	j.int("active", int64(ev.Active))
+	j.close()
+}
+
+func (j *JSONL) TagDeparture(ev DepartureEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("departure")
+	j.id("id", ev.ID)
+	j.int("t_us", ev.At.Microseconds())
+	j.bool("identified", ev.Identified)
+	j.close()
+}
+
+func (j *JSONL) SessionCheckpoint(ev CheckpointEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("checkpoint")
+	j.int("seq", int64(ev.Seq))
+	j.int("t_us", ev.At.Microseconds())
+	j.int("active", int64(ev.Active))
+	j.int("identified", int64(ev.Identified))
+	j.close()
+}

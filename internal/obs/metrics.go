@@ -34,6 +34,11 @@ const (
 
 	MetricEstimatorUpdates = "estimator.updates"
 
+	MetricTagsArrived        = "tags.arrived"
+	MetricTagsDeparted       = "tags.departed"
+	MetricTagsDepartedUnread = "tags.departed_unread"
+	MetricCheckpoints        = "checkpoints"
+
 	HistTxPerSlot    = "hist.tx_per_slot"
 	HistCascadeDepth = "hist.cascade_depth"
 	HistRecordMult   = "hist.record_multiplicity"
@@ -51,6 +56,8 @@ type MetricsTracer struct {
 	acksSent, acksLost                         *Counter
 	recCreated, recResolved, recSpent          *Counter
 	cascadeSteps, estimatorUpdates             *Counter
+	tagsArrived, tagsDeparted, departedUnread  *Counter
+	checkpoints                                *Counter
 	txPerSlot, cascadeDepth, recordMult        *Histogram
 }
 
@@ -77,6 +84,10 @@ func NewMetricsTracer(reg *Registry) *MetricsTracer {
 		recSpent:         reg.Counter(MetricRecordsSpent),
 		cascadeSteps:     reg.Counter(MetricCascadeSteps),
 		estimatorUpdates: reg.Counter(MetricEstimatorUpdates),
+		tagsArrived:      reg.Counter(MetricTagsArrived),
+		tagsDeparted:     reg.Counter(MetricTagsDeparted),
+		departedUnread:   reg.Counter(MetricTagsDepartedUnread),
+		checkpoints:      reg.Counter(MetricCheckpoints),
 		txPerSlot:        reg.Histogram(HistTxPerSlot),
 		cascadeDepth:     reg.Histogram(HistCascadeDepth),
 		recordMult:       reg.Histogram(HistRecordMult),
@@ -144,3 +155,14 @@ func (t *MetricsTracer) RecordResolved(ev ResolveEvent) {
 }
 
 func (t *MetricsTracer) EstimatorUpdate(EstimateEvent) { t.estimatorUpdates.Inc() }
+
+func (t *MetricsTracer) TagArrival(ArrivalEvent) { t.tagsArrived.Inc() }
+
+func (t *MetricsTracer) TagDeparture(ev DepartureEvent) {
+	t.tagsDeparted.Inc()
+	if !ev.Identified {
+		t.departedUnread.Inc()
+	}
+}
+
+func (t *MetricsTracer) SessionCheckpoint(CheckpointEvent) { t.checkpoints.Inc() }

@@ -17,6 +17,9 @@
 //	CascadeStep                  a known signal is subtracted from records
 //	RecordResolved               a record decoded (or was spent)
 //	EstimatorUpdate              the population estimate changed
+//	TagArrival                   a tag entered the field (dynamic workloads)
+//	TagDeparture                 a tag left the field (dynamic workloads)
+//	SessionCheckpoint            a session snapshot was taken
 //
 // Producers hold a Tracer behind a nil check (see protocol.Env.Tracer), so
 // a run without observers pays nothing: events are plain structs passed by
@@ -37,6 +40,8 @@
 package obs
 
 import (
+	"time"
+
 	"github.com/ancrfid/ancrfid/internal/channel"
 	"github.com/ancrfid/ancrfid/internal/tagid"
 )
@@ -213,6 +218,43 @@ type EstimateEvent struct {
 	Identified int
 }
 
+// ArrivalEvent reports a tag entering the reader field. Only dynamic
+// workloads (see internal/workload) emit it; batch runs over a frozen
+// population never do.
+type ArrivalEvent struct {
+	// ID is the arriving tag.
+	ID tagid.ID
+	// At is the simulated air time of the arrival.
+	At time.Duration
+	// Active is the present (admitted and not departed) population size
+	// after the admission.
+	Active int
+}
+
+// DepartureEvent reports a tag leaving the reader field.
+type DepartureEvent struct {
+	// ID is the departing tag.
+	ID tagid.ID
+	// At is the simulated air time of the departure.
+	At time.Duration
+	// Identified is true when the reader had collected the tag's ID before
+	// it left; false marks a missed read (departed unread).
+	Identified bool
+}
+
+// CheckpointEvent reports a session snapshot being taken (see
+// protocol.Session.Snapshot).
+type CheckpointEvent struct {
+	// Seq is the 0-based checkpoint counter within the session.
+	Seq int
+	// At is the simulated air time of the checkpoint.
+	At time.Duration
+	// Active is the present population size at the checkpoint.
+	Active int
+	// Identified is the unique-ID count at the checkpoint.
+	Identified int
+}
+
 // Tracer receives the typed event stream of a protocol run. Implementations
 // must tolerate events from any protocol (a DFSA run emits no record or
 // estimator events, a tree run emits only run/slot events, and so on).
@@ -231,6 +273,9 @@ type Tracer interface {
 	CascadeStep(CascadeEvent)
 	RecordResolved(ResolveEvent)
 	EstimatorUpdate(EstimateEvent)
+	TagArrival(ArrivalEvent)
+	TagDeparture(DepartureEvent)
+	SessionCheckpoint(CheckpointEvent)
 }
 
 // NopTracer implements Tracer with no-ops; embed it to build partial
@@ -248,8 +293,11 @@ func (NopTracer) TagIdentified(IdentifyEvent)   {}
 func (NopTracer) AckSent(AckEvent)              {}
 func (NopTracer) RecordCreated(RecordEvent)     {}
 func (NopTracer) CascadeStep(CascadeEvent)      {}
-func (NopTracer) RecordResolved(ResolveEvent)   {}
-func (NopTracer) EstimatorUpdate(EstimateEvent) {}
+func (NopTracer) RecordResolved(ResolveEvent)      {}
+func (NopTracer) EstimatorUpdate(EstimateEvent)    {}
+func (NopTracer) TagArrival(ArrivalEvent)          {}
+func (NopTracer) TagDeparture(DepartureEvent)      {}
+func (NopTracer) SessionCheckpoint(CheckpointEvent) {}
 
 // Hooks adapts plain functions into a Tracer; nil fields are skipped. It is
 // the quickest way to observe a run ad hoc:
@@ -269,6 +317,10 @@ type Hooks struct {
 	OnCascadeStep     func(CascadeEvent)
 	OnRecordResolved  func(ResolveEvent)
 	OnEstimatorUpdate func(EstimateEvent)
+
+	OnTagArrival        func(ArrivalEvent)
+	OnTagDeparture      func(DepartureEvent)
+	OnSessionCheckpoint func(CheckpointEvent)
 }
 
 var _ Tracer = (*Hooks)(nil)
@@ -336,6 +388,24 @@ func (h *Hooks) RecordResolved(ev ResolveEvent) {
 func (h *Hooks) EstimatorUpdate(ev EstimateEvent) {
 	if h.OnEstimatorUpdate != nil {
 		h.OnEstimatorUpdate(ev)
+	}
+}
+
+func (h *Hooks) TagArrival(ev ArrivalEvent) {
+	if h.OnTagArrival != nil {
+		h.OnTagArrival(ev)
+	}
+}
+
+func (h *Hooks) TagDeparture(ev DepartureEvent) {
+	if h.OnTagDeparture != nil {
+		h.OnTagDeparture(ev)
+	}
+}
+
+func (h *Hooks) SessionCheckpoint(ev CheckpointEvent) {
+	if h.OnSessionCheckpoint != nil {
+		h.OnSessionCheckpoint(ev)
 	}
 }
 
@@ -422,5 +492,23 @@ func (m multi) RecordResolved(ev ResolveEvent) {
 func (m multi) EstimatorUpdate(ev EstimateEvent) {
 	for _, t := range m {
 		t.EstimatorUpdate(ev)
+	}
+}
+
+func (m multi) TagArrival(ev ArrivalEvent) {
+	for _, t := range m {
+		t.TagArrival(ev)
+	}
+}
+
+func (m multi) TagDeparture(ev DepartureEvent) {
+	for _, t := range m {
+		t.TagDeparture(ev)
+	}
+}
+
+func (m multi) SessionCheckpoint(ev CheckpointEvent) {
+	for _, t := range m {
+		t.SessionCheckpoint(ev)
 	}
 }

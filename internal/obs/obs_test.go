@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/ancrfid/ancrfid/internal/channel"
 	"github.com/ancrfid/ancrfid/internal/tagid"
@@ -35,6 +36,9 @@ func emitOneOfEach(t Tracer) {
 	t.AckSent(AckEvent{Seq: 1, ID: testID(2), Kind: AckResolvedIndex, Delivered: false})
 	t.SlotDone(SlotEvent{Seq: 2, Kind: channel.Empty, Transmitters: 0, Identified: 2})
 	t.EstimatorUpdate(EstimateEvent{Frame: 1, Estimate: 8.5, FrameEst: 7.0, Identified: 2})
+	t.TagArrival(ArrivalEvent{ID: testID(3), At: 5 * time.Millisecond, Active: 2})
+	t.SessionCheckpoint(CheckpointEvent{Seq: 0, At: 6 * time.Millisecond, Active: 2, Identified: 2})
+	t.TagDeparture(DepartureEvent{ID: testID(3), At: 9 * time.Millisecond, Identified: false})
 	t.RunEnd(RunEndEvent{Protocol: "FCAT-2", Slots: 3, Frames: 1, Direct: 1, Resolved: 1})
 }
 
@@ -61,6 +65,11 @@ func TestMetricsTracerCounts(t *testing.T) {
 		MetricRecordsResolved: 1,
 		MetricRecordsSpent:    0,
 		MetricCascadeSteps:    1,
+
+		MetricTagsArrived:        1,
+		MetricTagsDeparted:       1,
+		MetricTagsDepartedUnread: 1,
+		MetricCheckpoints:        1,
 	}
 	for name, v := range want {
 		if got := reg.Value(name); got != v {
@@ -201,7 +210,8 @@ func TestJSONLValidAndVersioned(t *testing.T) {
 		evs[ev]++
 	}
 	for _, ev := range []string{"run_start", "run_end", "frame", "advert", "slot",
-		"identify", "ack", "record", "cascade", "resolve", "estimate"} {
+		"identify", "ack", "record", "cascade", "resolve", "estimate",
+		"arrival", "departure", "checkpoint"} {
 		if evs[ev] == 0 {
 			t.Errorf("no %q event emitted", ev)
 		}
@@ -249,6 +259,10 @@ func TestTimelineRenders(t *testing.T) {
 		"record @0 mult=3",
 		"resolve @0 ->",
 		"estimate 8.5",
+		"arrive",
+		"depart",
+		"UNREAD",
+		"checkpoint 0 at",
 		"run end: 3 slots",
 	} {
 		if !strings.Contains(out, want) {

@@ -122,3 +122,19 @@ func (t *Timeline) RecordResolved(ev ResolveEvent) {
 func (t *Timeline) EstimatorUpdate(ev EstimateEvent) {
 	t.printf("    estimate %.1f (frame est %.1f, identified %d)\n", ev.Estimate, ev.FrameEst, ev.Identified)
 }
+
+func (t *Timeline) TagArrival(ev ArrivalEvent) {
+	t.printf("    arrive %s at %v (active %d)\n", ev.ID, ev.At, ev.Active)
+}
+
+func (t *Timeline) TagDeparture(ev DepartureEvent) {
+	fate := "identified"
+	if !ev.Identified {
+		fate = "UNREAD"
+	}
+	t.printf("    depart %s at %v (%s)\n", ev.ID, ev.At, fate)
+}
+
+func (t *Timeline) SessionCheckpoint(ev CheckpointEvent) {
+	t.printf("    checkpoint %d at %v (active %d, identified %d)\n", ev.Seq, ev.At, ev.Active, ev.Identified)
+}

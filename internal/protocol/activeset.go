@@ -42,6 +42,44 @@ func NewActiveSet(tags []tagid.ID) *ActiveSet {
 // Len returns the number of active tags.
 func (s *ActiveSet) Len() int { return len(s.ids) }
 
+// Contains reports whether the tag is active.
+func (s *ActiveSet) Contains(id tagid.ID) bool {
+	_, ok := s.pos[id]
+	return ok
+}
+
+// IDs returns the active tags in the set's internal order. The slice is the
+// set's own storage: callers must not modify it and must not hold it across
+// mutations.
+func (s *ActiveSet) IDs() []tagid.ID { return s.ids }
+
+// Add admits a tag into the set. It reports whether the tag was added
+// (false when already present).
+func (s *ActiveSet) Add(id tagid.ID) bool {
+	if _, ok := s.pos[id]; ok {
+		return false
+	}
+	s.pos[id] = len(s.ids)
+	s.ids = append(s.ids, id)
+	s.prefixes = append(s.prefixes, id.HashPrefix())
+	return true
+}
+
+// Clone returns a deep copy of the set (scratch buffers excluded).
+func (s *ActiveSet) Clone() *ActiveSet {
+	c := &ActiveSet{
+		ids:      make([]tagid.ID, len(s.ids)),
+		prefixes: make([]tagid.HashPrefix, len(s.prefixes)),
+		pos:      make(map[tagid.ID]int, len(s.pos)),
+	}
+	copy(c.ids, s.ids)
+	copy(c.prefixes, s.prefixes)
+	for id, i := range s.pos {
+		c.pos[id] = i
+	}
+	return c
+}
+
 // Remove silences a tag (it received its acknowledgement). It reports
 // whether the tag was still active.
 func (s *ActiveSet) Remove(id tagid.ID) bool {

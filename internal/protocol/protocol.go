@@ -176,6 +176,27 @@ func (e *Env) TraceEstimate(ev obs.EstimateEvent) {
 	}
 }
 
+// TraceArrival emits a tag-arrival event (dynamic workloads only).
+func (e *Env) TraceArrival(ev obs.ArrivalEvent) {
+	if e.Tracer != nil {
+		e.Tracer.TagArrival(ev)
+	}
+}
+
+// TraceDeparture emits a tag-departure event (dynamic workloads only).
+func (e *Env) TraceDeparture(ev obs.DepartureEvent) {
+	if e.Tracer != nil {
+		e.Tracer.TagDeparture(ev)
+	}
+}
+
+// TraceCheckpoint emits a session-checkpoint event.
+func (e *Env) TraceCheckpoint(ev obs.CheckpointEvent) {
+	if e.Tracer != nil {
+		e.Tracer.SessionCheckpoint(ev)
+	}
+}
+
 // SlotBudget returns the effective slot bound for the run.
 func (e *Env) SlotBudget() int {
 	if e.MaxSlots > 0 {

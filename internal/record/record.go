@@ -10,6 +10,8 @@
 package record
 
 import (
+	"errors"
+
 	"github.com/ancrfid/ancrfid/internal/channel"
 	"github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/tagid"
@@ -103,6 +105,13 @@ type Store struct {
 	// It stays nil until the first 64-bit prefix collision among learned
 	// IDs, i.e. in practice forever.
 	knownOverflow map[tagid.ID]struct{}
+
+	// revoked records tags that left the field unidentified (dynamic
+	// workloads; see Revoke). A cascade that strips a record down to a
+	// revoked tag marks the record spent instead of yielding the ID: the
+	// tag is gone, so the read would be stale. nil until the first Revoke,
+	// so batch runs pay nothing.
+	revoked map[tagid.ID]struct{}
 
 	active int
 	total  int
@@ -246,6 +255,43 @@ func (s *Store) Add(slot uint64, mix channel.Mixed, members []tagid.ID) []Resolv
 	return nil
 }
 
+// Revoke removes a departed tag from the store's outstanding bookkeeping:
+// its member-index node is unlinked — invalidating every pending
+// collision-record membership, so no cascade will ever be started for the
+// tag — and the ID is remembered so that a record whose residual strips
+// down to the departed tag is marked spent rather than yielding a stale
+// identification. Records the tag participated in remain stored: their
+// other members can still be recovered by subtracting signals the reader
+// does know. Revoking an identified or unknown tag only marks the ID.
+func (s *Store) Revoke(id tagid.ID) {
+	if node := s.takeMember(id.HashPrefix(), id); node != nil {
+		node.e0, node.e1, node.more = nil, nil, nil
+	}
+	if s.revoked == nil {
+		s.revoked = make(map[tagid.ID]struct{})
+	}
+	s.revoked[id] = struct{}{}
+}
+
+// Readmit clears a tag's revoked mark when it re-enters the field, so its
+// future transmissions decode normally again. Memberships severed by the
+// earlier Revoke stay severed — the reader discarded that bookkeeping when
+// the tag left.
+func (s *Store) Readmit(id tagid.ID) {
+	if s.revoked != nil {
+		delete(s.revoked, id)
+	}
+}
+
+// isRevoked reports whether the tag has departed unidentified.
+func (s *Store) isRevoked(id tagid.ID) bool {
+	if s.revoked == nil {
+		return false
+	}
+	_, ok := s.revoked[id]
+	return ok
+}
+
 // MarkKnown tells a fresh store that the reader already knows this ID (a
 // retransmitter from an earlier frame whose acknowledgement was lost), so
 // its signal is subtracted from any record it joins.
@@ -298,6 +344,17 @@ func (s *Store) cascade() {
 			e.resolved = true
 			s.active--
 			ypre := y.HashPrefix()
+			if s.isRevoked(y) {
+				// The residual names a tag that left the field unidentified:
+				// the record is spent, but the stale read is discarded (the
+				// acknowledgement would go unanswered).
+				if s.Tracer != nil {
+					s.Tracer.RecordResolved(obs.ResolveEvent{
+						Slot: e.slot, ID: y, Trigger: x.id, Depth: x.depth + 1, Dup: true,
+					})
+				}
+				continue
+			}
 			if s.isKnown(ypre, y) {
 				// The residual is a signal the reader already knows: two
 				// records in one cascade can strip down to the same tag
@@ -322,6 +379,92 @@ func (s *Store) cascade() {
 		// The node is spent; drop its record references so resolved mixes
 		// are not pinned by the arena.
 		node.e0, node.e1, node.more = nil, nil, nil
+	}
+}
+
+// Clone returns a deep copy of the store for a session checkpoint:
+// continuing to use the original (or the clone) leaves the other
+// untouched. Unresolved recordings are cloned via channel.CloneMixed;
+// resolved entries' recordings are never mutated again and stay shared.
+// It fails when the channel's Mixed implementation does not support
+// cloning. The clone carries the same Tracer.
+func (s *Store) Clone() (*Store, error) {
+	c := &Store{
+		Tracer:   s.Tracer,
+		byMember: make(map[tagid.HashPrefix]*member, len(s.byMember)),
+		known:    make(map[tagid.HashPrefix]tagid.ID, len(s.known)),
+		active:   s.active,
+		total:    s.total,
+	}
+	for k, v := range s.known {
+		c.known[k] = v
+	}
+	if s.knownOverflow != nil {
+		c.knownOverflow = make(map[tagid.ID]struct{}, len(s.knownOverflow))
+		for id := range s.knownOverflow {
+			c.knownOverflow[id] = struct{}{}
+		}
+	}
+	if s.revoked != nil {
+		c.revoked = make(map[tagid.ID]struct{}, len(s.revoked))
+		for id := range s.revoked {
+			c.revoked[id] = struct{}{}
+		}
+	}
+	// Entries are reachable only through member nodes; copy each exactly
+	// once so nodes sharing a record share its clone too.
+	cloned := make(map[*entry]*entry)
+	cloneEntry := func(e *entry) (*entry, error) {
+		if ce, ok := cloned[e]; ok {
+			return ce, nil
+		}
+		ce := &entry{slot: e.slot, mix: e.mix, resolved: e.resolved}
+		if !e.resolved {
+			mix, ok := channel.CloneMixed(e.mix)
+			if !ok {
+				return nil, errors.New("record: channel recording does not support cloning")
+			}
+			ce.mix = mix
+		}
+		cloned[e] = ce
+		return ce, nil
+	}
+	for pre, head := range s.byMember {
+		var prevClone *member
+		for node := head; node != nil; node = node.next {
+			nc := &member{id: node.id, n: node.n}
+			for i := 0; i < node.n; i++ {
+				e := node.record(i)
+				if e == nil {
+					nc.n = i
+					break
+				}
+				ce, err := cloneEntry(e)
+				if err != nil {
+					return nil, err
+				}
+				nc.add2(i, ce)
+			}
+			if prevClone == nil {
+				c.byMember[pre] = nc
+			} else {
+				prevClone.next = nc
+			}
+			prevClone = nc
+		}
+	}
+	return c, nil
+}
+
+// add2 places a record clone at position i (mirrors add, but positional).
+func (m *member) add2(i int, e *entry) {
+	switch i {
+	case 0:
+		m.e0 = e
+	case 1:
+		m.e1 = e
+	default:
+		m.more = append(m.more, e)
 	}
 }
 

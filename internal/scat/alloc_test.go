@@ -9,9 +9,9 @@ import (
 	"github.com/ancrfid/ancrfid/internal/tagid"
 )
 
-// newAllocRun builds a run in the state Run would, against the given env.
-func newAllocRun(p *Protocol, e *protocol.Env, n int) *run {
-	return &run{
+// newAllocRun builds a session in the state Begin would, against the given env.
+func newAllocRun(p *Protocol, e *protocol.Env, n int) *session {
+	return &session{
 		p:      p,
 		env:    e,
 		m:      protocol.Metrics{Tags: len(e.Tags)},

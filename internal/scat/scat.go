@@ -14,7 +14,9 @@ package scat
 
 import (
 	"fmt"
+	"maps"
 	"math"
+	"time"
 
 	"github.com/ancrfid/ancrfid/internal/air"
 	"github.com/ancrfid/ancrfid/internal/analysis"
@@ -23,6 +25,7 @@ import (
 	"github.com/ancrfid/ancrfid/internal/prestep"
 	"github.com/ancrfid/ancrfid/internal/protocol"
 	"github.com/ancrfid/ancrfid/internal/record"
+	"github.com/ancrfid/ancrfid/internal/rng"
 	"github.com/ancrfid/ancrfid/internal/tagid"
 )
 
@@ -85,17 +88,19 @@ func New(cfg Config) *Protocol {
 // Name implements protocol.Protocol.
 func (p *Protocol) Name() string { return fmt.Sprintf("SCAT-%d", p.cfg.Lambda) }
 
-// Run implements protocol.Protocol.
+var _ protocol.SessionProtocol = (*Protocol)(nil)
+
+// Run implements protocol.Protocol by driving a fresh session to
+// completion.
 func (p *Protocol) Run(env *protocol.Env) (protocol.Metrics, error) {
-	m, err := p.run(env)
-	env.TraceRunEnd(p.Name(), m, err)
-	return m, err
+	return protocol.RunSession(p, env)
 }
 
-// run carries one identification round's state; doSlot advances it by one
-// slot. The struct form (rather than loop-local closures) lets the steady
-// state be driven slot-by-slot, which the allocation-regression tests use.
-type run struct {
+// session carries one identification round's state; doSlot advances it by
+// one slot. The struct form (rather than loop-local closures) lets the
+// steady state be driven slot-by-slot, which the allocation-regression
+// tests use and protocol.Session requires.
+type session struct {
 	p      *Protocol
 	env    *protocol.Env
 	m      protocol.Metrics
@@ -109,53 +114,205 @@ type run struct {
 	n                     int
 	consecutiveEmpty      int
 	consecutiveCollisions int
+
+	slot    uint64
+	budget  int
+	needPre bool
+	err     error
 }
 
-func (p *Protocol) run(env *protocol.Env) (protocol.Metrics, error) {
-	r := &run{
-		p:      p,
-		env:    env,
-		m:      protocol.Metrics{Tags: len(env.Tags)},
-		active: protocol.NewActiveSet(env.Tags),
-		store:  record.NewStore(),
-		buf:    make([]tagid.ID, 0, 64),
-		seen:   make(map[tagid.ID]struct{}, len(env.Tags)),
+var _ protocol.Session = (*session)(nil)
+
+// Begin implements protocol.SessionProtocol.
+func (p *Protocol) Begin(env *protocol.Env) protocol.Session {
+	s := &session{
+		p:       p,
+		env:     env,
+		m:       protocol.Metrics{Tags: len(env.Tags)},
+		active:  protocol.NewActiveSet(env.Tags),
+		store:   record.NewStore(),
+		buf:     make([]tagid.ID, 0, 64),
+		seen:    make(map[tagid.ID]struct{}, len(env.Tags)),
+		budget:  env.SlotBudget(),
+		needPre: p.cfg.PreEstimate,
 	}
-	r.store.Tracer = env.Tracer
+	s.store.Tracer = env.Tracer
 	env.TraceRunStart(p.Name())
-	r.n = p.cfg.KnownN
-	if r.n <= 0 {
-		r.n = len(env.Tags)
+	s.n = p.cfg.KnownN
+	if s.n <= 0 {
+		s.n = len(env.Tags)
 	}
-	if p.cfg.PreEstimate {
-		pre, err := prestep.Estimate(env, p.cfg.PreEstimateConfig)
+	return s
+}
+
+// Protocol implements protocol.Session.
+func (r *session) Protocol() string { return r.p.Name() }
+
+// Step implements protocol.Session. The first step runs the pre-estimation
+// phase when configured; every other step is one advertisement + report
+// slot. Stepping a done session keeps probing the field at p = 1, so newly
+// admitted tags are picked back up.
+func (r *session) Step() (bool, error) {
+	if r.err != nil {
+		return false, r.err
+	}
+	if r.needPre {
+		r.needPre = false
+		pre, err := prestep.Estimate(r.env, r.p.cfg.PreEstimateConfig)
 		if err != nil {
-			r.m.OnAir = pre.OnAir
-			return r.m, fmt.Errorf("pre-estimation: %w", err)
+			r.clock.Add(pre.OnAir)
+			r.err = fmt.Errorf("pre-estimation: %w", err)
+			return false, r.err
 		}
 		r.n = int(math.Round(pre.Estimate))
 		r.m.EmptySlots += pre.EmptySlots
 		r.m.SingletonSlots += pre.SingletonSlots
 		r.m.CollisionSlots += pre.CollisionSlots
 		r.clock.Add(pre.OnAir)
-		env.TraceEstimate(obsev.EstimateEvent{Estimate: float64(r.n)})
+		r.env.TraceEstimate(obsev.EstimateEvent{Estimate: float64(r.n)})
+		return false, nil
 	}
-	budget := env.SlotBudget()
-	for slot := uint64(0); ; slot++ {
-		if int(slot) >= budget {
-			r.m.OnAir = r.clock.Elapsed()
-			return r.m, protocol.ErrNoProgress
+	if int(r.slot) >= r.budget {
+		r.err = protocol.ErrNoProgress
+		return false, r.err
+	}
+	done := r.doSlot(r.slot)
+	r.slot++
+	return done, nil
+}
+
+// Admit implements protocol.Session. SCAT assumes a known population, so an
+// admission also raises the reader's belief n (a portal sensor announcing
+// the arrival); even without that, the consecutive-collision recovery would
+// re-locate the count.
+func (r *session) Admit(ids []tagid.ID) {
+	for _, id := range ids {
+		if _, identified := r.seen[id]; identified {
+			continue
 		}
-		if r.doSlot(slot) {
-			return r.m, nil
+		if r.active.Add(id) {
+			r.m.Tags++
+			r.n++
+			r.store.Readmit(id)
 		}
 	}
+}
+
+// Revoke implements protocol.Session. A departed unidentified tag lowers the
+// believed population and invalidates its pending record memberships.
+func (r *session) Revoke(ids []tagid.ID) {
+	for _, id := range ids {
+		if !r.active.Remove(id) {
+			continue
+		}
+		if _, identified := r.seen[id]; !identified {
+			r.store.Revoke(id)
+			if r.n > r.m.Identified() {
+				r.n--
+			}
+		}
+	}
+}
+
+// Metrics implements protocol.Session.
+func (r *session) Metrics() protocol.Metrics {
+	m := r.m
+	m.OnAir = r.clock.Elapsed()
+	return m
+}
+
+// Elapsed implements protocol.Session.
+func (r *session) Elapsed() time.Duration { return r.clock.Elapsed() }
+
+// Outstanding implements protocol.Session.
+func (r *session) Outstanding() int { return r.active.Len() }
+
+// checkpoint is a deep copy of a SCAT session's state.
+type checkpoint struct {
+	name   string
+	m      protocol.Metrics
+	clock  air.Clock
+	active *protocol.ActiveSet
+	store  *record.Store
+	seen   map[tagid.ID]struct{}
+
+	n                     int
+	consecutiveEmpty      int
+	consecutiveCollisions int
+
+	slot    uint64
+	budget  int
+	needPre bool
+	err     error
+
+	rng       rng.Source
+	chanState any
+}
+
+// Protocol implements protocol.Checkpoint.
+func (c *checkpoint) Protocol() string { return c.name }
+
+// Snapshot implements protocol.Session.
+func (r *session) Snapshot() (protocol.Checkpoint, error) {
+	store, err := r.store.Clone()
+	if err != nil {
+		return nil, err
+	}
+	cp := &checkpoint{
+		name:                  r.p.Name(),
+		m:                     r.m,
+		clock:                 r.clock,
+		active:                r.active.Clone(),
+		store:                 store,
+		seen:                  maps.Clone(r.seen),
+		n:                     r.n,
+		consecutiveEmpty:      r.consecutiveEmpty,
+		consecutiveCollisions: r.consecutiveCollisions,
+		slot:                  r.slot,
+		budget:                r.budget,
+		needPre:               r.needPre,
+		err:                   r.err,
+		rng:                   *r.env.RNG,
+	}
+	if st, ok := r.env.Channel.(channel.Stateful); ok {
+		cp.chanState = st.SnapshotState()
+	}
+	return cp, nil
+}
+
+// Restore implements protocol.Session.
+func (r *session) Restore(c protocol.Checkpoint) error {
+	cp, ok := c.(*checkpoint)
+	if !ok || cp.name != r.p.Name() {
+		return protocol.ErrCheckpointMismatch
+	}
+	store, err := cp.store.Clone()
+	if err != nil {
+		return err
+	}
+	r.m = cp.m
+	r.clock = cp.clock
+	r.active = cp.active.Clone()
+	r.store = store
+	r.seen = maps.Clone(cp.seen)
+	r.n = cp.n
+	r.consecutiveEmpty = cp.consecutiveEmpty
+	r.consecutiveCollisions = cp.consecutiveCollisions
+	r.slot = cp.slot
+	r.budget = cp.budget
+	r.needPre = cp.needPre
+	r.err = cp.err
+	*r.env.RNG = cp.rng
+	if cp.chanState != nil {
+		r.env.Channel.(channel.Stateful).RestoreState(cp.chanState)
+	}
+	return nil
 }
 
 // countDirect and countResolved record a first-time identification;
 // duplicates (retransmissions after a lost acknowledgement) are discarded,
 // as Section IV-E prescribes.
-func (r *run) countDirect(id tagid.ID) {
+func (r *session) countDirect(id tagid.ID) {
 	if _, dup := r.seen[id]; dup {
 		return
 	}
@@ -164,7 +321,7 @@ func (r *run) countDirect(id tagid.ID) {
 	r.env.NotifyIdentified(id, false)
 }
 
-func (r *run) countResolved(res record.Resolved) {
+func (r *session) countResolved(res record.Resolved) {
 	if _, dup := r.seen[res.ID]; dup {
 		return
 	}
@@ -178,7 +335,7 @@ func (r *run) countResolved(res record.Resolved) {
 
 // doSlot runs one advertisement + slot and reports whether the round
 // terminated (the final probe proved the population exhausted).
-func (r *run) doSlot(slot uint64) (done bool) {
+func (r *session) doSlot(slot uint64) (done bool) {
 	p, env := r.p, r.env
 	remaining := r.n - r.m.Identified()
 	// Termination: after enough consecutive empty slots (or once the

@@ -20,8 +20,6 @@ import (
 	"bytes"
 	"sort"
 
-	"github.com/ancrfid/ancrfid/internal/air"
-	"github.com/ancrfid/ancrfid/internal/channel"
 	"github.com/ancrfid/ancrfid/internal/protocol"
 	"github.com/ancrfid/ancrfid/internal/tagid"
 )
@@ -29,7 +27,7 @@ import (
 // ABS is the Adaptive Binary Splitting protocol.
 type ABS struct{}
 
-var _ protocol.Protocol = ABS{}
+var _ protocol.SessionProtocol = ABS{}
 
 // NewABS returns an ABS instance.
 func NewABS() ABS { return ABS{} }
@@ -37,68 +35,12 @@ func NewABS() ABS { return ABS{} }
 // Name implements protocol.Protocol.
 func (ABS) Name() string { return "ABS" }
 
-// Run implements protocol.Protocol. The first round of ABS begins with all
-// tags answering the initial query (every counter starts at zero), which is
-// one big collision that the random splitting then resolves.
+// Run implements protocol.Protocol by driving a fresh session to
+// completion. The first round of ABS begins with all tags answering the
+// initial query (every counter starts at zero), which is one big
+// collision that the random splitting then resolves.
 func (p ABS) Run(env *protocol.Env) (protocol.Metrics, error) {
-	m, err := p.run(env)
-	env.TraceRunEnd(p.Name(), m, err)
-	return m, err
-}
-
-func (p ABS) run(env *protocol.Env) (protocol.Metrics, error) {
-	var (
-		m     = protocol.Metrics{Tags: len(env.Tags)}
-		clock air.Clock
-	)
-	env.TraceRunStart(p.Name())
-	budget := env.SlotBudget()
-
-	// The stack holds the pending tag groups in depth-first order, exactly
-	// the order the tags' slot counters would produce.
-	initial := make([]tagid.ID, len(env.Tags))
-	copy(initial, env.Tags)
-	stack := [][]tagid.ID{initial}
-	slots := 0
-
-	for len(stack) > 0 {
-		if slots >= budget {
-			m.OnAir = clock.Elapsed()
-			return m, protocol.ErrNoProgress
-		}
-		group := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		slots++
-		clock.AddSlots(env.Timing, 1)
-
-		obs := env.Channel.Observe(group)
-		switch obs.Kind {
-		case channel.Empty:
-			m.EmptySlots++
-		case channel.Singleton:
-			m.SingletonSlots++
-			m.DirectIDs++
-			env.NotifyIdentified(obs.ID, false)
-		case channel.Collision:
-			m.CollisionSlots++
-			// Each colliding tag draws a random bit; the zero-subset
-			// transmits in the next slot. Tags are exchangeable under the
-			// random draw, so splitting by a binomial count is equivalent
-			// to per-tag draws.
-			k := env.RNG.Binomial(len(group), 0.5)
-			zero, one := group[:k], group[k:]
-			stack = append(stack, one, zero)
-		}
-		m.TagTransmissions += len(group)
-		env.NotifySlot(protocol.SlotEvent{
-			Seq:          m.TotalSlots() - 1,
-			Kind:         obs.Kind,
-			Transmitters: len(group),
-			Identified:   m.Identified(),
-		})
-	}
-	m.OnAir = clock.Elapsed()
-	return m, nil
+	return protocol.RunSession(p, env)
 }
 
 // query is one pending AQS query: a bit prefix (the first depth bits of
@@ -130,7 +72,7 @@ type leaf struct {
 	hasTag bool
 }
 
-var _ protocol.Protocol = (*AQS)(nil)
+var _ protocol.SessionProtocol = (*AQS)(nil)
 
 // NewAQS returns a fresh AQS reader.
 func NewAQS() *AQS { return &AQS{} }
@@ -144,8 +86,8 @@ func (*AQS) Name() string { return "AQS" }
 // parallel campaign — so Run neither reads nor writes the retained leaf
 // state; use RunRound for AQS's adaptive periodic re-reads.
 func (a *AQS) Run(env *protocol.Env) (protocol.Metrics, error) {
-	m, _, err := aqsRound(env, nil)
-	env.TraceRunEnd(a.Name(), m, err)
+	s := a.begin(env, nil)
+	m, err := protocol.DriveSession(s, env, a.Name())
 	return m, err
 }
 
@@ -156,99 +98,12 @@ func (a *AQS) Run(env *protocol.Env) (protocol.Metrics, error) {
 // covering leaf and are split out as usual. Unlike Run, RunRound is
 // stateful and must not be called concurrently on one reader.
 func (a *AQS) RunRound(env *protocol.Env) (protocol.Metrics, error) {
-	m, leaves, err := aqsRound(env, a.leaves)
+	s := a.begin(env, a.leaves)
+	m, err := protocol.DriveSession(s, env, a.Name())
 	if err == nil {
-		a.leaves = leaves
+		a.leaves = s.leaves
 	}
-	env.TraceRunEnd(a.Name(), m, err)
 	return m, err
-}
-
-// aqsRound runs one reading round from the given retained leaves (nil =
-// the root queries) and returns the merged leaf set a follow-up round
-// would start from. It touches no reader state.
-func aqsRound(env *protocol.Env, start []leaf) (protocol.Metrics, []leaf, error) {
-	var (
-		m     = protocol.Metrics{Tags: len(env.Tags)}
-		clock air.Clock
-	)
-	env.TraceRunStart("AQS")
-	budget := env.SlotBudget()
-
-	// Build the initial query queue: retained leaves if a previous round
-	// ran, else the root queries 0 and 1.
-	var queue []query
-	if len(start) > 0 {
-		queue = replayLeaves(start, env.Tags)
-	} else {
-		var zero, one []tagid.ID
-		for _, id := range env.Tags {
-			if id.Bit(0) == 0 {
-				zero = append(zero, id)
-			} else {
-				one = append(one, id)
-			}
-		}
-		queue = []query{
-			{depth: 1, prefix: withBit(tagid.ID{}, 0, 0), tags: zero},
-			{depth: 1, prefix: withBit(tagid.ID{}, 0, 1), tags: one},
-		}
-	}
-
-	var nextLeaves []leaf
-	slots := 0
-	// AQS serves queries breadth-first from a FIFO queue.
-	for head := 0; head < len(queue); head++ {
-		if slots >= budget {
-			m.OnAir = clock.Elapsed()
-			return m, nil, protocol.ErrNoProgress
-		}
-		q := queue[head]
-		slots++
-		clock.AddSlots(env.Timing, 1)
-
-		obs := env.Channel.Observe(q.tags)
-		switch obs.Kind {
-		case channel.Empty:
-			m.EmptySlots++
-			// Empty queries stay readable and are retained; sibling empties
-			// are merged after the round so stale holes do not accumulate.
-			nextLeaves = append(nextLeaves, leaf{depth: q.depth, prefix: q.prefix})
-		case channel.Singleton:
-			m.SingletonSlots++
-			m.DirectIDs++
-			env.NotifyIdentified(obs.ID, false)
-			nextLeaves = append(nextLeaves, leaf{depth: q.depth, prefix: q.prefix, hasTag: true})
-		case channel.Collision:
-			m.CollisionSlots++
-			if q.depth >= tagid.Bits {
-				// Identical 96-bit IDs cannot be split further; with the
-				// distinct populations used here this cannot happen.
-				m.OnAir = clock.Elapsed()
-				return m, nil, protocol.ErrNoProgress
-			}
-			var zero, one []tagid.ID
-			for _, id := range q.tags {
-				if id.Bit(q.depth) == 0 {
-					zero = append(zero, id)
-				} else {
-					one = append(one, id)
-				}
-			}
-			queue = append(queue,
-				query{depth: q.depth + 1, prefix: withBit(q.prefix, q.depth, 0), tags: zero},
-				query{depth: q.depth + 1, prefix: withBit(q.prefix, q.depth, 1), tags: one})
-		}
-		m.TagTransmissions += len(q.tags)
-		env.NotifySlot(protocol.SlotEvent{
-			Seq:          m.TotalSlots() - 1,
-			Kind:         obs.Kind,
-			Transmitters: len(q.tags),
-			Identified:   m.Identified(),
-		})
-	}
-	m.OnAir = clock.Elapsed()
-	return m, mergeEmptySiblings(nextLeaves), nil
 }
 
 // replayLeaves distributes the population over the retained leaves. The

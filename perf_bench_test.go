@@ -26,6 +26,61 @@ func BenchmarkCampaign(b *testing.B) {
 	b.ReportMetric(simulated/b.Elapsed().Seconds(), "tags/sec")
 }
 
+// sessionSteadyState builds an FCAT-2 session and drives it until the
+// population is exhausted, leaving it in the continuous-monitoring state
+// (probing an empty field) — the per-slot cost an idle reader pays between
+// arrivals in a dynamic workload.
+func sessionSteadyState(fatal func(...any)) ancrfid.Session {
+	sp, ok := ancrfid.AsSession(ancrfid.NewFCAT(2))
+	if !ok {
+		fatal("FCAT does not implement SessionProtocol")
+	}
+	env := sessionEnv("abstract", 1)
+	env.MaxSlots = 1 << 40 // monitoring steps must never hit the budget
+	s := sp.Begin(env)
+	for {
+		done, err := s.Step()
+		if err != nil {
+			fatal(err)
+		}
+		if done {
+			return s
+		}
+	}
+}
+
+// BenchmarkSessionStep measures the steady-state session step: a quiesced
+// FCAT-2 session monitoring an exhausted field, one probe slot per Step.
+// This is the idle-reader cost of the continuous-inventory loop (see
+// docs/architecture.md); the zero-alloc guard for it is
+// TestSessionStepZeroAlloc.
+func BenchmarkSessionStep(b *testing.B) {
+	s := sessionSteadyState(b.Fatal)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSessionStepZeroAlloc pins the steady-state session step to zero
+// allocations with the tracer off: monitoring an empty field must cost the
+// probe slot and nothing else, so dynamic workloads can idle indefinitely
+// without garbage.
+func TestSessionStepZeroAlloc(t *testing.T) {
+	s := sessionSteadyState(func(args ...any) { t.Fatal(args...) })
+	allocs := testing.AllocsPerRun(300, func() {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state session step allocates %v times, want 0", allocs)
+	}
+}
+
 // BenchmarkSlotLoop measures one deterministic FCAT-2 run and reports the
 // amortised cost per slot, the unit the zero-allocation guards are written
 // against.
