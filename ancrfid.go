@@ -45,6 +45,7 @@ import (
 	"github.com/ancrfid/ancrfid/internal/crdsa"
 	"github.com/ancrfid/ancrfid/internal/dfsa"
 	"github.com/ancrfid/ancrfid/internal/edfsa"
+	"github.com/ancrfid/ancrfid/internal/fault"
 	"github.com/ancrfid/ancrfid/internal/fcat"
 	"github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/prestep"
@@ -395,6 +396,91 @@ func NewAbstractChannel(cfg AbstractChannelConfig, r *RNG) Channel {
 // AWGN, and genuine interference-cancellation collision resolution.
 func NewSignalChannel(cfg SignalChannelConfig, r *RNG) Channel {
 	return channel.NewSignal(cfg, r)
+}
+
+// Deterministic fault injection and chaos testing. FaultConfig (set on
+// SimConfig.Faults, DynamicSimConfig.Faults via the embedded SimConfig, or
+// ChaosConfig) enables seed-split fault injection: Gilbert-Elliott burst
+// noise, acknowledgement loss, tag mute/stuck-responder failures, decode
+// corruption and reader crash-restart. Every fault decision is a pure
+// function of (Seed, run index), independent of how many random draws the
+// protocol makes, so faulty campaigns are exactly as reproducible as clean
+// ones. The zero FaultConfig is a guaranteed no-op: results and traces are
+// bit-identical to a build without the fault layer. See docs/robustness.md.
+type (
+	// FaultConfig selects the fault shapes of a run (zero value = none).
+	FaultConfig = fault.Config
+	// FaultBurstConfig parameterises Gilbert-Elliott burst noise.
+	FaultBurstConfig = fault.Burst
+	// FaultInjector is the deterministic per-run fault source (advanced use:
+	// build one with NewFaultInjector and wrap a channel for custom Envs).
+	FaultInjector = fault.Injector
+	// FaultChannel is a channel wrapped with fault injection.
+	FaultChannel = fault.Channel
+	// ChaosConfig describes a chaos campaign: faults plus a dynamic
+	// workload plus crash-recovery checkpointing.
+	ChaosConfig = sim.ChaosConfig
+	// ChaosReport is the audited outcome of one chaos run.
+	ChaosReport = sim.ChaosReport
+	// ChaosResult aggregates a chaos campaign.
+	ChaosResult = sim.ChaosResult
+
+	// FaultKind labels an injected fault in TraceFaultEvent.
+	FaultKind = obs.FaultKind
+	// TraceFaultEvent reports one injected fault.
+	TraceFaultEvent = obs.FaultEvent
+	// TraceQuarantineEvent reports a poisoned collision record being
+	// quarantined by the record store's defenses.
+	TraceQuarantineEvent = obs.QuarantineEvent
+	// TraceRestartEvent reports a reader crash-restart resuming from a
+	// checkpoint.
+	TraceRestartEvent = obs.RestartEvent
+)
+
+// Fault kinds carried by TraceFaultEvent.
+const (
+	// FaultBurst marks a slot spoiled by Gilbert-Elliott burst noise.
+	FaultBurst = obs.FaultBurst
+	// FaultAckLoss marks a dropped reader acknowledgement.
+	FaultAckLoss = obs.FaultAckLoss
+	// FaultMute marks a muted tag's suppressed transmission.
+	FaultMute = obs.FaultMute
+	// FaultStuck marks a stuck responder transmitting out of protocol.
+	FaultStuck = obs.FaultStuck
+	// FaultCorruptSingleton marks a singleton read corrupted into a
+	// collision-like observation.
+	FaultCorruptSingleton = obs.FaultCorruptSingleton
+	// FaultCorruptDecode marks a collision decode yielding a bit-flipped ID
+	// (caught by the store's CRC quarantine).
+	FaultCorruptDecode = obs.FaultCorruptDecode
+	// FaultCrash marks a reader crash.
+	FaultCrash = obs.FaultCrash
+)
+
+// NewFaultInjector derives the deterministic fault source for one run; the
+// same (cfg, seed, run) triple always yields the same fault sequence.
+func NewFaultInjector(cfg FaultConfig, seed uint64, run int) *FaultInjector {
+	return fault.New(cfg, seed, run)
+}
+
+// WrapFaultChannel wraps ch with fault injection for custom Envs: set the
+// returned channel (after AdmitAll of the initial population) as
+// Env.Channel and the injector as Env.Faults.
+func WrapFaultChannel(ch Channel, inj *FaultInjector) *FaultChannel {
+	return fault.WrapChannel(ch, inj)
+}
+
+// RunChaos executes a chaos campaign: fault-injected dynamic runs with
+// crash-restart recovery, audited against the inventory invariants (no
+// duplicate identifications, no phantom IDs, exact population accounting).
+// Workers > 1 parallelises with the same ordered-merge determinism as Run.
+func RunChaos(p SessionProtocol, cfg ChaosConfig) (ChaosResult, error) {
+	return sim.RunChaos(p, cfg)
+}
+
+// RunChaosOnce executes a single deterministic chaos run.
+func RunChaosOnce(p SessionProtocol, cfg ChaosConfig, run int) (ChaosReport, error) {
+	return sim.RunChaosOnce(p, cfg, run)
 }
 
 // OptimalOmega returns (lambda!)^(1/lambda), the report-probability

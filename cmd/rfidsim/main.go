@@ -62,6 +62,7 @@ func run(args []string) error {
 		ackloss   = fs.Float64("ackloss", 0, "probability a reader acknowledgement is lost (tags retransmit)")
 		timing    = fs.String("timing", "icode", "air interface: icode (53 kbit/s) or gen2 (128 kbit/s)")
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "Monte-Carlo worker goroutines (output is identical for any value)")
+		maxSlots  = fs.Int("max-slots", 0, "slot budget per run; a run that exhausts it fails with a no-progress error (0 = automatic)")
 		tracePath = fs.String("trace", "", "write the campaign's JSONL event trace to this file (\"-\" = stdout)")
 		timeline  = fs.String("timeline", "", "write a human-readable slot timeline to this file (\"-\" = stdout)")
 		metrics   = fs.String("metrics", "", "write the aggregated metrics registry to this file (\"-\" = stdout)")
@@ -72,6 +73,16 @@ func run(args []string) error {
 		arrivalRate   = fs.Float64("arrival-rate", 0, "continuous inventory: Poisson tag arrivals per second (enables the dynamic workload)")
 		departureRate = fs.Float64("departure-rate", 0, "continuous inventory: per-tag departure hazard in 1/s")
 		duration      = fs.Duration("duration", 0, "continuous inventory: simulated horizon (default 10s when a dynamic rate is set)")
+
+		faultAckLoss   = fs.Float64("fault-ack-loss", 0, "fault injection: probability an acknowledgement is dropped (deterministic, seed-split)")
+		faultBurstDuty = fs.Float64("fault-burst-duty", 0, "fault injection: Gilbert-Elliott burst-noise duty cycle (fraction of slots spoiled)")
+		faultBurstMean = fs.Float64("fault-burst-mean", 0, "fault injection: mean burst length in slots (default 8)")
+		faultMute      = fs.Float64("fault-mute", 0, "fault injection: probability a tag is mute (never transmits)")
+		faultStuck     = fs.Float64("fault-stuck", 0, "fault injection: probability a tag is a stuck responder (transmits out of protocol)")
+		faultCorrupt   = fs.Float64("fault-corrupt", 0, "fault injection: probability a slot's read or decode is corrupted (caught by CRC quarantine)")
+		faultCrash     = fs.Int("fault-crash-every", 0, "fault injection: crash and restart the reader every N slots (chaos mode)")
+		chaos          = fs.Bool("chaos", false, "chaos mode: fault-injected dynamic run with crash-restart recovery and invariant auditing")
+		sweepSeverity  = fs.Int("sweep-severity", 0, "sweep fault severity (ack loss + burst duty) over N+1 points for SCAT and FCAT, print a degradation table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,7 +136,16 @@ func run(args []string) error {
 		}
 	}
 
-	cfg := ancrfid.SimConfig{Tags: *tags, Runs: *runs, Seed: *seed, Lambda: lam, Timing: tm, PAckLoss: *ackloss, Workers: *workers}
+	cfg := ancrfid.SimConfig{Tags: *tags, Runs: *runs, Seed: *seed, Lambda: lam, Timing: tm, PAckLoss: *ackloss, Workers: *workers, MaxSlots: *maxSlots}
+	cfg.Faults = ancrfid.FaultConfig{
+		AckLoss:          *faultAckLoss,
+		Burst:            ancrfid.FaultBurstConfig{Duty: *faultBurstDuty, MeanBad: *faultBurstMean},
+		MuteProb:         *faultMute,
+		StuckProb:        *faultStuck,
+		CorruptSingleton: *faultCorrupt,
+		CorruptDecode:    *faultCorrupt,
+		CrashEvery:       *faultCrash,
+	}
 
 	var (
 		tracers []ancrfid.Tracer
@@ -204,19 +224,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown channel %q", *chanKind)
 	}
 
-	if *arrivalRate > 0 || *departureRate > 0 || *duration > 0 {
-		horizon := *duration
-		if horizon <= 0 {
-			horizon = 10 * time.Second
-		}
-		wl := ancrfid.WorkloadConfig{
-			Duration:      horizon,
-			ArrivalRate:   *arrivalRate,
-			DepartureRate: *departureRate,
-		}
-		if err := runDynamic(p, cfg, wl, *chanKind); err != nil {
-			return err
-		}
+	flushOutputs := func() error {
 		if jsonl != nil {
 			if err := jsonl.Err(); err != nil {
 				return fmt.Errorf("writing trace: %w", err)
@@ -234,23 +242,48 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *sweepSeverity > 0 {
+		return runSeveritySweep(cfg, lam, *sweepSeverity)
+	}
+
+	if *chaos {
+		horizon := *duration
+		if horizon <= 0 {
+			horizon = 10 * time.Second
+		}
+		wl := ancrfid.WorkloadConfig{
+			Duration:      horizon,
+			ArrivalRate:   *arrivalRate,
+			DepartureRate: *departureRate,
+		}
+		if err := runChaos(p, cfg, wl, *chanKind); err != nil {
+			return err
+		}
+		return flushOutputs()
+	}
+
+	if *arrivalRate > 0 || *departureRate > 0 || *duration > 0 {
+		horizon := *duration
+		if horizon <= 0 {
+			horizon = 10 * time.Second
+		}
+		wl := ancrfid.WorkloadConfig{
+			Duration:      horizon,
+			ArrivalRate:   *arrivalRate,
+			DepartureRate: *departureRate,
+		}
+		if err := runDynamic(p, cfg, wl, *chanKind); err != nil {
+			return err
+		}
+		return flushOutputs()
+	}
+
 	res, err := ancrfid.Run(p, cfg)
 	if err != nil {
 		return err
 	}
-	if jsonl != nil {
-		if err := jsonl.Err(); err != nil {
-			return fmt.Errorf("writing trace: %w", err)
-		}
-	}
-	if reg != nil {
-		w, err := openOut(*metrics)
-		if err != nil {
-			return err
-		}
-		if _, err := reg.WriteTo(w); err != nil {
-			return fmt.Errorf("writing metrics: %w", err)
-		}
+	if err := flushOutputs(); err != nil {
+		return err
 	}
 
 	m0 := res.Runs[0]
@@ -265,6 +298,124 @@ func run(args []string) error {
 	fmt.Printf("read time       %v (run 0)\n", m0.OnAir.Round(1e6))
 	fmt.Printf("reference       ALOHA bound %.1f tags/s, ANC bound (lambda=%d) %.1f tags/s\n",
 		ancrfid.AlohaBound(tm), lam, ancrfid.ANCBound(tm, lam))
+	return nil
+}
+
+// runChaos executes the chaos mode: fault-injected dynamic runs with
+// crash-restart recovery. Runs execute sequentially so a failing run can
+// print its partial report; every run's invariant audit is summarized.
+func runChaos(p ancrfid.Protocol, cfg ancrfid.SimConfig, wl ancrfid.WorkloadConfig, chanKind string) error {
+	sp, ok := ancrfid.AsSession(p)
+	if !ok {
+		return fmt.Errorf("protocol %s does not support chaos mode", p.Name())
+	}
+	ccfg := ancrfid.ChaosConfig{Config: cfg, Workload: wl}
+
+	fmt.Printf("protocol        %s (chaos mode)\n", p.Name())
+	fmt.Printf("workload        arrivals %.1f/s, departure hazard %.2f/s, horizon %v\n",
+		wl.ArrivalRate, wl.DepartureRate, wl.Duration)
+	fmt.Printf("population      %d initial tags, %d runs, seed %d, channel %s\n",
+		cfg.Tags, cfg.Runs, cfg.Seed, chanKind)
+	f := cfg.Faults
+	fmt.Printf("faults          ack-loss %.2f, burst duty %.2f, mute %.2f, stuck %.2f, corrupt %.2f, crash every %d slots\n",
+		f.AckLoss, f.Burst.Duty, f.MuteProb, f.StuckProb, f.CorruptDecode, f.CrashEvery)
+
+	var (
+		reports  []ancrfid.ChaosReport
+		firstErr error
+	)
+	for i := 0; i < cfg.Runs; i++ {
+		rep, err := ancrfid.RunChaosOnce(sp, ccfg, i)
+		if cfg.Progress != nil {
+			cfg.Progress(i, rep.Metrics, err)
+		}
+		reports = append(reports, rep)
+		if err != nil {
+			// Print the partial report alongside the error rather than
+			// discarding the run's accounting.
+			fmt.Printf("run %d FAILED after %v: %v\n", i, rep.Duration.Round(time.Millisecond), err)
+			firstErr = fmt.Errorf("%s chaos run %d: %w", p.Name(), i, err)
+			break
+		}
+	}
+
+	if len(reports) == 0 {
+		return firstErr
+	}
+	var adm, idf, missed, active, tp, crashes, cps, faults, quar float64
+	phantoms, dups, unaccounted := 0, 0, 0
+	for i := range reports {
+		rep := &reports[i]
+		adm += float64(rep.Admitted)
+		idf += float64(rep.Identified)
+		missed += float64(rep.DepartedUnread)
+		active += float64(rep.ActiveUnread)
+		if rep.Duration > 0 {
+			tp += float64(rep.Identified) / rep.Duration.Seconds()
+		}
+		crashes += float64(rep.Crashes)
+		cps += float64(rep.Checkpoints)
+		faults += float64(rep.FaultsInjected)
+		quar += float64(rep.Quarantined)
+		phantoms += rep.Phantoms
+		dups += rep.DupIdents
+		if !rep.Accounted() {
+			unaccounted++
+		}
+	}
+	n := float64(len(reports))
+	fmt.Printf("accounting      admitted %.1f = identified %.1f + missed %.1f + still-active %.1f (run means)\n",
+		adm/n, idf/n, missed/n, active/n)
+	fmt.Printf("chaos           crashes %.1f, checkpoints %.1f, faults injected %.1f, records quarantined %.1f (run means)\n",
+		crashes/n, cps/n, faults/n, quar/n)
+	fmt.Printf("invariants      phantom IDs %d, duplicate identifications %d, accounting violations %d (totals over %d runs)\n",
+		phantoms, dups, unaccounted, len(reports))
+	fmt.Printf("throughput      %.1f tags/s identified\n", tp/n)
+	if firstErr == nil && (phantoms > 0 || dups > 0 || unaccounted > 0) {
+		firstErr = fmt.Errorf("%s chaos campaign violated inventory invariants", p.Name())
+	}
+	return firstErr
+}
+
+// runSeveritySweep prints a throughput-versus-fault-severity table for SCAT
+// and FCAT from a single invocation: severity s in [0,1] over points+1 steps
+// scales acknowledgement loss and burst-noise duty linearly up to their
+// configured (or default) maxima. Graceful degradation shows as a monotone,
+// cliff-free column.
+func runSeveritySweep(cfg ancrfid.SimConfig, lam, points int) error {
+	maxAck := cfg.Faults.AckLoss
+	if maxAck <= 0 {
+		maxAck = 0.4
+	}
+	maxDuty := cfg.Faults.Burst.Duty
+	if maxDuty <= 0 {
+		maxDuty = 0.3
+	}
+	scatP := ancrfid.NewSCAT(lam)
+	fcatP := ancrfid.NewFCAT(lam)
+
+	fmt.Printf("severity sweep  %d points, ack-loss 0..%.2f, burst duty 0..%.2f (%d tags, %d runs/point, seed %d)\n",
+		points+1, maxAck, maxDuty, cfg.Tags, cfg.Runs, cfg.Seed)
+	fmt.Printf("%-9s %-9s %-11s %-14s %-14s\n", "severity", "ack-loss", "burst-duty", scatP.Name()+" tags/s", fcatP.Name()+" tags/s")
+	for i := 0; i <= points; i++ {
+		s := float64(i) / float64(points)
+		c := cfg
+		c.Tracer = nil
+		c.Metrics = nil
+		c.Progress = nil
+		c.Faults.AckLoss = maxAck * s
+		c.Faults.Burst.Duty = maxDuty * s
+		scatRes, err := ancrfid.Run(scatP, c)
+		if err != nil {
+			return fmt.Errorf("severity %.2f: %w", s, err)
+		}
+		fcatRes, err := ancrfid.Run(fcatP, c)
+		if err != nil {
+			return fmt.Errorf("severity %.2f: %w", s, err)
+		}
+		fmt.Printf("%-9.2f %-9.3f %-11.3f %-14.1f %-14.1f\n",
+			s, c.Faults.AckLoss, c.Faults.Burst.Duty, scatRes.Throughput.Mean, fcatRes.Throughput.Mean)
+	}
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -68,6 +69,7 @@ var knownEvents = map[string]bool{
 	"slot": true, "identify": true, "ack": true, "record": true,
 	"cascade": true, "resolve": true, "estimate": true,
 	"arrival": true, "departure": true, "checkpoint": true,
+	"fault": true, "quarantine": true, "restart": true,
 }
 
 func TestRunTraceJSONL(t *testing.T) {
@@ -242,5 +244,105 @@ func TestRunTimelineAndProgress(t *testing.T) {
 func TestRunBadTiming(t *testing.T) {
 	if err := run([]string{"-timing", "warp", "-tags", "10"}); err == nil {
 		t.Fatal("unknown timing should fail")
+	}
+}
+
+// captureStdout redirects os.Stdout around fn and returns what it printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRunChaosMode(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-protocol", "FCAT-2", "-chaos", "-tags", "30", "-runs", "2",
+			"-arrival-rate", "25", "-departure-rate", "0.3", "-duration", "1s",
+			"-fault-ack-loss", "0.15", "-fault-burst-duty", "0.1", "-fault-crash-every", "96"})
+	})
+	if err != nil {
+		t.Fatalf("chaos run failed: %v\noutput:\n%s", err, out)
+	}
+	for _, want := range []string{
+		"chaos mode",
+		"accounting      admitted",
+		"invariants      phantom IDs 0, duplicate identifications 0, accounting violations 0",
+		"throughput",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunChaosNoProgressPartial: a shape no protocol can make progress
+// against (every tag mute) burns its slot budget without identifying
+// anything and must fail with ErrNoProgress — yet still print the failing
+// run's partial report and the campaign accounting.
+func TestRunChaosNoProgressPartial(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-protocol", "FCAT-2", "-chaos", "-tags", "20", "-runs", "2",
+			"-duration", "300ms", "-max-slots", "20", "-fault-mute", "1"})
+	})
+	if err == nil {
+		t.Fatalf("all-mute chaos run should fail with no progress; output:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "no progress") &&
+		!strings.Contains(err.Error(), "slot budget") {
+		t.Errorf("error %q does not mention the budget/no-progress cause", err)
+	}
+	for _, want := range []string{"run 0 FAILED after", "accounting      admitted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("partial-result output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSeveritySweep(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-sweep-severity", "2", "-tags", "200", "-runs", "2", "-seed", "7"})
+	})
+	if err != nil {
+		t.Fatalf("severity sweep failed: %v\noutput:\n%s", err, out)
+	}
+	if !strings.Contains(out, "severity sweep") {
+		t.Fatalf("missing sweep header:\n%s", out)
+	}
+	var rows [][]string
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 5 {
+			if _, err := strconv.ParseFloat(f[0], 64); err == nil {
+				rows = append(rows, f)
+			}
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 sweep rows, got %d:\n%s", len(rows), out)
+	}
+	first := func(col int, r []string) float64 {
+		v, err := strconv.ParseFloat(r[col], 64)
+		if err != nil {
+			t.Fatalf("row %v column %d: %v", r, col, err)
+		}
+		return v
+	}
+	for col := 3; col <= 4; col++ {
+		if lo, hi := first(col, rows[len(rows)-1]), first(col, rows[0]); lo >= hi {
+			t.Errorf("column %d: throughput %.1f at max severity not below %.1f at zero", col, lo, hi)
+		}
 	}
 }

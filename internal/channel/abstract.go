@@ -204,6 +204,9 @@ func (m *abstractMixed) Decode() (tagid.ID, bool) {
 
 func (m *abstractMixed) Multiplicity() int { return len(m.members) }
 
+// Remaining implements Residual.
+func (m *abstractMixed) Remaining() int { return m.unknown }
+
 // CloneMixed implements Cloner. The member list and positional index are
 // immutable after construction and stay shared; the subtraction state is
 // copied. The clone lives outside the channel's arena.

@@ -82,7 +82,9 @@ type Mixed interface {
 // not mutate the checkpointed state. Both in-tree channels implement it.
 type Cloner interface {
 	// CloneMixed returns an independent copy of the recording: subtracting
-	// signals from the copy leaves the original untouched.
+	// signals from the copy leaves the original untouched. A nil return
+	// means the copy could not be made (a wrapper over an uncloneable
+	// recording); CloneMixed below reports that as a failure.
 	CloneMixed() Mixed
 }
 
@@ -93,7 +95,33 @@ func CloneMixed(m Mixed) (Mixed, bool) {
 	if !ok {
 		return nil, false
 	}
-	return c.CloneMixed(), true
+	cm := c.CloneMixed()
+	if cm == nil {
+		return nil, false
+	}
+	return cm, true
+}
+
+// Residual is implemented by Mixed recordings that can report how many
+// constituents are still unsubtracted. The hardened record store uses it as
+// a residual-energy guard: a record whose residual is down to one signal
+// but still refuses to decode is permanently unrecoverable (decoding is a
+// deterministic computation, so retrying never helps) and is quarantined
+// instead of being retried forever. Both in-tree channels implement it.
+type Residual interface {
+	// Remaining returns the number of constituent signals not yet
+	// subtracted from the recording.
+	Remaining() int
+}
+
+// Remaining reports the unsubtracted constituent count of a recording, or
+// false when the recording does not expose it.
+func Remaining(m Mixed) (int, bool) {
+	r, ok := m.(Residual)
+	if !ok {
+		return 0, false
+	}
+	return r.Remaining(), true
 }
 
 // Stateful is implemented by channels that keep persistent state drawn from

@@ -332,6 +332,15 @@ func (m *signalMixed) Decode() (tagid.ID, bool) {
 
 func (m *signalMixed) Multiplicity() int { return len(m.members) }
 
+// Remaining implements Residual. Subtract deduplicates, but callers may
+// subtract IDs that never transmitted here, so clamp at zero.
+func (m *signalMixed) Remaining() int {
+	if n := len(m.members) - len(m.known); n > 0 {
+		return n
+	}
+	return 0
+}
+
 // CloneMixed implements Cloner. The waveform and member list are immutable
 // after construction and stay shared; the cancellation set is copied.
 func (m *signalMixed) CloneMixed() Mixed {

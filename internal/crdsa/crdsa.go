@@ -175,6 +175,7 @@ func (s *session) Step() (bool, error) {
 		// are subtracted on sight.
 		s.store = record.NewStore()
 		s.store.Tracer = s.env.Tracer
+		s.store.Quarantine = s.env.Hardened()
 		for _, id := range s.unread {
 			if _, ok := s.seen[id]; ok {
 				s.store.MarkKnown(id)

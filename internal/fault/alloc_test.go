@@ -1,0 +1,44 @@
+package fault
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// TestInjectorZeroAlloc: steady-state fault decisions are hash evaluations
+// and must not allocate — the injector sits on the per-slot and per-ack hot
+// paths of every faulted run. BadSlot is warmed first: the Gilbert-Elliott
+// sojourn schedule grows lazily toward the highest queried slot, and only
+// that growth may allocate.
+func TestInjectorZeroAlloc(t *testing.T) {
+	inj := New(Config{
+		AckLoss:          0.2,
+		Burst:            Burst{Duty: 0.2, MeanBad: 6},
+		MuteProb:         0.1,
+		StuckProb:        0.1,
+		CorruptSingleton: 0.1,
+		CorruptDecode:    0.2,
+	}, 3, 0)
+	ids := tagid.Population(rng.New(5), 16)
+	for s := uint64(0); s < 4096; s++ {
+		inj.BadSlot(s) // warm the burst schedule
+	}
+	var slot uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		inj.BadSlot(slot % 4096)
+		inj.CorruptSingleton(slot)
+		inj.CorruptDecodeBit(slot)
+		inj.AckDelivered()
+		id := ids[slot%uint64(len(ids))]
+		inj.Muted(id)
+		inj.Stuck(id)
+		inj.StuckTransmits(slot, id)
+		inj.ShouldCrash(slot)
+		slot++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state injector decisions allocate %v times per slot, want 0", allocs)
+	}
+}

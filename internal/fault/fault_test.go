@@ -1,0 +1,251 @@
+package fault
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+func TestZeroConfigDisabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero Config must report Enabled() == false")
+	}
+	for _, c := range []Config{
+		{AckLoss: 0.1},
+		{Burst: Burst{Duty: 0.2}},
+		{MuteProb: 0.1},
+		{StuckProb: 0.1},
+		{CorruptSingleton: 0.1},
+		{CorruptDecode: 0.1},
+		{CrashEvery: 100},
+	} {
+		if !c.Enabled() {
+			t.Fatalf("Config %+v must report Enabled() == true", c)
+		}
+	}
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var inj *Injector
+	for i := 0; i < 10; i++ {
+		if !inj.AckDelivered() {
+			t.Fatal("nil injector must deliver every acknowledgement")
+		}
+	}
+	if inj.ShouldCrash(100) {
+		t.Fatal("nil injector must never crash")
+	}
+}
+
+// TestDeterminism: the same (cfg, seed, run) triple yields the identical
+// fault schedule; a different run index yields a different one.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		AckLoss:          0.2,
+		Burst:            Burst{Duty: 0.15, MeanBad: 6},
+		MuteProb:         0.1,
+		StuckProb:        0.1,
+		CorruptSingleton: 0.1,
+		CorruptDecode:    0.1,
+	}
+	sample := func(inj *Injector) []bool {
+		r := rng.New(7)
+		ids := tagid.Population(r, 64)
+		var out []bool
+		for s := uint64(0); s < 256; s++ {
+			out = append(out, inj.BadSlot(s), inj.CorruptSingleton(s), inj.AckDelivered())
+			if _, ok := inj.CorruptDecodeBit(s); ok {
+				out = append(out, true)
+			}
+		}
+		for _, id := range ids {
+			out = append(out, inj.Muted(id), inj.Stuck(id), inj.StuckTransmits(3, id))
+		}
+		return out
+	}
+	a := sample(New(cfg, 42, 3))
+	b := sample(New(cfg, 42, 3))
+	if len(a) != len(b) {
+		t.Fatalf("replay length mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical injectors", i)
+		}
+	}
+	c := sample(New(cfg, 42, 4))
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different run indices produced the identical fault schedule")
+	}
+}
+
+// TestDrawCountIndependence: per-slot and per-tag decisions are pure
+// functions of position, so querying them in any order or any number of
+// times gives the same answers — the property that keeps fault schedules
+// independent of how many draws the protocol under test makes.
+func TestDrawCountIndependence(t *testing.T) {
+	cfg := Config{Burst: Burst{Duty: 0.2}, CorruptSingleton: 0.3, MuteProb: 0.2}
+	fwd := New(cfg, 9, 0)
+	var bad, corrupt []bool
+	for s := uint64(0); s < 1000; s++ {
+		bad = append(bad, fwd.BadSlot(s))
+		corrupt = append(corrupt, fwd.CorruptSingleton(s))
+	}
+	rev := New(cfg, 9, 0)
+	for s := uint64(999); ; s-- {
+		if rev.BadSlot(s) != bad[s] {
+			t.Fatalf("BadSlot(%d) depends on query order", s)
+		}
+		if rev.CorruptSingleton(s) != corrupt[s] {
+			t.Fatalf("CorruptSingleton(%d) depends on query order", s)
+		}
+		if s == 0 {
+			break
+		}
+	}
+	// Re-reads of already-covered slots are pure.
+	for s := uint64(0); s < 1000; s += 37 {
+		if fwd.BadSlot(s) != bad[s] {
+			t.Fatalf("BadSlot(%d) changed on re-read", s)
+		}
+	}
+}
+
+// TestAckRewind: the acknowledgement counter is the injector's only
+// sequential state; restoring a snapshot replays the identical fates.
+func TestAckRewind(t *testing.T) {
+	inj := New(Config{AckLoss: 0.3}, 5, 1)
+	var fates []bool
+	for i := 0; i < 50; i++ {
+		fates = append(fates, inj.AckDelivered())
+	}
+	st := inj.snapshotState()
+	var tail []bool
+	for i := 0; i < 50; i++ {
+		tail = append(tail, inj.AckDelivered())
+	}
+	inj.restoreState(st)
+	if inj.Acks() != 50 {
+		t.Fatalf("restore: acks = %d, want 50", inj.Acks())
+	}
+	for i := 0; i < 50; i++ {
+		if inj.AckDelivered() != tail[i] {
+			t.Fatalf("replayed ack %d has a different fate", i)
+		}
+	}
+	_ = fates
+}
+
+// TestBurstDuty: the Gilbert-Elliott process's long-run bad fraction tracks
+// the configured duty cycle.
+func TestBurstDuty(t *testing.T) {
+	for _, duty := range []float64{0.1, 0.3, 0.5} {
+		inj := New(Config{Burst: Burst{Duty: duty, MeanBad: 8}}, 11, 0)
+		const slots = 200000
+		bad := 0
+		for s := uint64(0); s < slots; s++ {
+			if inj.BadSlot(s) {
+				bad++
+			}
+		}
+		got := float64(bad) / slots
+		if got < duty*0.7 || got > duty*1.3 {
+			t.Errorf("duty %.2f: measured bad fraction %.3f outside +/-30%%", duty, got)
+		}
+	}
+	// Degenerate duties.
+	if New(Config{}, 1, 0).BadSlot(10) {
+		t.Error("duty 0 must never be bad")
+	}
+	full := New(Config{Burst: Burst{Duty: 1}}, 1, 0)
+	if !full.BadSlot(10) {
+		t.Error("duty 1 must always be bad")
+	}
+}
+
+// TestTagFaultRates: per-ID selections hit roughly the configured fraction
+// of a population and are stable per ID.
+func TestTagFaultRates(t *testing.T) {
+	inj := New(Config{MuteProb: 0.2, StuckProb: 0.1}, 3, 0)
+	r := rng.New(99)
+	ids := tagid.Population(r, 5000)
+	muted, stuck := 0, 0
+	for _, id := range ids {
+		if inj.Muted(id) {
+			muted++
+		}
+		if inj.Stuck(id) {
+			stuck++
+		}
+		if inj.Muted(id) != inj.Muted(id) {
+			t.Fatal("Muted not stable per ID")
+		}
+	}
+	if f := float64(muted) / 5000; f < 0.15 || f > 0.25 {
+		t.Errorf("mute fraction %.3f, want ~0.20", f)
+	}
+	if f := float64(stuck) / 5000; f < 0.06 || f > 0.14 {
+		t.Errorf("stuck fraction %.3f, want ~0.10", f)
+	}
+}
+
+func TestCorruptDecodeBit(t *testing.T) {
+	inj := New(Config{CorruptDecode: 0.5}, 21, 2)
+	hits := 0
+	for s := uint64(0); s < 2000; s++ {
+		bit, ok := inj.CorruptDecodeBit(s)
+		if !ok {
+			continue
+		}
+		hits++
+		if bit < 0 || bit >= tagid.Bits {
+			t.Fatalf("corrupt bit %d out of range [0,%d)", bit, tagid.Bits)
+		}
+		bit2, ok2 := inj.CorruptDecodeBit(s)
+		if !ok2 || bit2 != bit {
+			t.Fatalf("CorruptDecodeBit(%d) not stable: (%d,%v) then (%d,%v)", s, bit, ok, bit2, ok2)
+		}
+	}
+	if hits < 800 || hits > 1200 {
+		t.Errorf("corrupt decode hits %d of 2000, want ~1000", hits)
+	}
+}
+
+func TestShouldCrash(t *testing.T) {
+	inj := New(Config{CrashEvery: 64}, 1, 0)
+	if inj.ShouldCrash(0) {
+		t.Error("wall slot 0 must not crash")
+	}
+	if !inj.ShouldCrash(64) || !inj.ShouldCrash(128) {
+		t.Error("multiples of CrashEvery must crash")
+	}
+	if inj.ShouldCrash(65) {
+		t.Error("non-multiples must not crash")
+	}
+	if New(Config{}, 1, 0).ShouldCrash(64) {
+		t.Error("CrashEvery 0 must never crash")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{Burst: Burst{Duty: 2}, StuckProb: 0.5}.withDefaults()
+	if c.Burst.Duty != 1 {
+		t.Errorf("Duty clamped to %v, want 1", c.Burst.Duty)
+	}
+	if c.Burst.MeanBad != 8 {
+		t.Errorf("MeanBad default %v, want 8", c.Burst.MeanBad)
+	}
+	if c.StuckTxProb != 0.5 {
+		t.Errorf("StuckTxProb default %v, want 0.5", c.StuckTxProb)
+	}
+}

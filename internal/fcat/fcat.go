@@ -237,6 +237,7 @@ func (p *Protocol) Begin(env *protocol.Env) protocol.Session {
 		oracleN: len(env.Tags),
 	}
 	s.store.Tracer = env.Tracer
+	s.store.Quarantine = env.Hardened()
 	env.TraceRunStart(p.Name())
 	return s
 }

@@ -19,6 +19,9 @@ const (
 	kindTagArrival
 	kindTagDeparture
 	kindSessionCheckpoint
+	kindFaultInjected
+	kindRecordQuarantined
+	kindReaderRestart
 )
 
 // Buffer is a Tracer that records a run's event stream in memory and plays
@@ -48,6 +51,10 @@ type Buffer struct {
 	arrivals    []ArrivalEvent
 	departures  []DepartureEvent
 	checkpoints []CheckpointEvent
+
+	faults      []FaultEvent
+	quarantines []QuarantineEvent
+	restarts    []RestartEvent
 }
 
 var _ Tracer = (*Buffer)(nil)
@@ -72,6 +79,9 @@ func (b *Buffer) Reset() {
 	b.arrivals = b.arrivals[:0]
 	b.departures = b.departures[:0]
 	b.checkpoints = b.checkpoints[:0]
+	b.faults = b.faults[:0]
+	b.quarantines = b.quarantines[:0]
+	b.restarts = b.restarts[:0]
 }
 
 // Replay delivers every buffered event to t in recorded order. A nil t is
@@ -80,7 +90,7 @@ func (b *Buffer) Replay(t Tracer) {
 	if t == nil {
 		return
 	}
-	var cursor [kindSessionCheckpoint + 1]int
+	var cursor [kindReaderRestart + 1]int
 	for _, k := range b.order {
 		i := cursor[k]
 		cursor[k]++
@@ -113,6 +123,12 @@ func (b *Buffer) Replay(t Tracer) {
 			t.TagDeparture(b.departures[i])
 		case kindSessionCheckpoint:
 			t.SessionCheckpoint(b.checkpoints[i])
+		case kindFaultInjected:
+			t.FaultInjected(b.faults[i])
+		case kindRecordQuarantined:
+			t.RecordQuarantined(b.quarantines[i])
+		case kindReaderRestart:
+			t.ReaderRestart(b.restarts[i])
 		}
 	}
 }
@@ -185,4 +201,19 @@ func (b *Buffer) TagDeparture(ev DepartureEvent) {
 func (b *Buffer) SessionCheckpoint(ev CheckpointEvent) {
 	b.order = append(b.order, kindSessionCheckpoint)
 	b.checkpoints = append(b.checkpoints, ev)
+}
+
+func (b *Buffer) FaultInjected(ev FaultEvent) {
+	b.order = append(b.order, kindFaultInjected)
+	b.faults = append(b.faults, ev)
+}
+
+func (b *Buffer) RecordQuarantined(ev QuarantineEvent) {
+	b.order = append(b.order, kindRecordQuarantined)
+	b.quarantines = append(b.quarantines, ev)
+}
+
+func (b *Buffer) ReaderRestart(ev RestartEvent) {
+	b.order = append(b.order, kindReaderRestart)
+	b.restarts = append(b.restarts, ev)
 }

@@ -258,3 +258,39 @@ func (j *JSONL) SessionCheckpoint(ev CheckpointEvent) {
 	j.int("identified", int64(ev.Identified))
 	j.close()
 }
+
+func (j *JSONL) FaultInjected(ev FaultEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("fault")
+	j.int("slot", int64(ev.Slot))
+	j.str("kind", ev.Kind.String())
+	var zero tagid.ID
+	if ev.ID != zero {
+		j.id("id", ev.ID)
+	}
+	j.close()
+}
+
+func (j *JSONL) RecordQuarantined(ev QuarantineEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("quarantine")
+	j.int("slot", int64(ev.Slot))
+	j.str("reason", ev.Reason)
+	j.int("members", int64(ev.Members))
+	j.close()
+}
+
+func (j *JSONL) ReaderRestart(ev RestartEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("restart")
+	j.int("wall", int64(ev.Wall))
+	j.int("t_us", ev.At.Microseconds())
+	j.int("checkpoint", int64(ev.Checkpoint))
+	j.close()
+}

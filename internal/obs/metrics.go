@@ -42,6 +42,14 @@ const (
 	HistTxPerSlot    = "hist.tx_per_slot"
 	HistCascadeDepth = "hist.cascade_depth"
 	HistRecordMult   = "hist.record_multiplicity"
+
+	// Fault-path counters. Unlike the handles above these are created
+	// lazily, on the first matching event: Registry.WriteTo prints every
+	// registered counter (zeros included), and a fault-free campaign's
+	// metrics dump must stay byte-identical to earlier releases.
+	MetricFaultsPrefix       = "faults." // + FaultKind.String()
+	MetricRecordsQuarantined = "records.quarantined"
+	MetricReaderRestarts     = "reader.restarts"
 )
 
 // MetricsTracer feeds a Registry from the event stream. The counter handles
@@ -59,6 +67,13 @@ type MetricsTracer struct {
 	tagsArrived, tagsDeparted, departedUnread  *Counter
 	checkpoints                                *Counter
 	txPerSlot, cascadeDepth, recordMult        *Histogram
+
+	// reg backs the lazily created fault-path handles below; faultKinds
+	// caches per-kind counters after first use.
+	reg         *Registry
+	faultKinds  [FaultCrash + 1]*Counter
+	quarantined *Counter
+	restarts    *Counter
 }
 
 var _ Tracer = (*MetricsTracer)(nil)
@@ -91,6 +106,7 @@ func NewMetricsTracer(reg *Registry) *MetricsTracer {
 		txPerSlot:        reg.Histogram(HistTxPerSlot),
 		cascadeDepth:     reg.Histogram(HistCascadeDepth),
 		recordMult:       reg.Histogram(HistRecordMult),
+		reg:              reg,
 	}
 }
 
@@ -166,3 +182,30 @@ func (t *MetricsTracer) TagDeparture(ev DepartureEvent) {
 }
 
 func (t *MetricsTracer) SessionCheckpoint(CheckpointEvent) { t.checkpoints.Inc() }
+
+func (t *MetricsTracer) FaultInjected(ev FaultEvent) {
+	k := ev.Kind
+	if int(k) >= len(t.faultKinds) {
+		k = 0
+	}
+	c := t.faultKinds[k]
+	if c == nil {
+		c = t.reg.Counter(MetricFaultsPrefix + ev.Kind.String())
+		t.faultKinds[k] = c
+	}
+	c.Inc()
+}
+
+func (t *MetricsTracer) RecordQuarantined(QuarantineEvent) {
+	if t.quarantined == nil {
+		t.quarantined = t.reg.Counter(MetricRecordsQuarantined)
+	}
+	t.quarantined.Inc()
+}
+
+func (t *MetricsTracer) ReaderRestart(RestartEvent) {
+	if t.restarts == nil {
+		t.restarts = t.reg.Counter(MetricReaderRestarts)
+	}
+	t.restarts.Inc()
+}

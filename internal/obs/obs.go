@@ -255,6 +255,88 @@ type CheckpointEvent struct {
 	Identified int
 }
 
+// FaultKind classifies an injected fault (see internal/fault).
+type FaultKind uint8
+
+const (
+	// FaultBurst marks a slot spoiled by Gilbert–Elliott burst noise.
+	FaultBurst FaultKind = iota + 1
+	// FaultAckLoss marks a reader acknowledgement dropped by the injector.
+	FaultAckLoss
+	// FaultMute marks a mute tag filtered out of a slot's transmitters.
+	FaultMute
+	// FaultStuck marks a stuck responder keying up out of protocol.
+	FaultStuck
+	// FaultCorruptSingleton marks a lone report corrupted in flight.
+	FaultCorruptSingleton
+	// FaultCorruptDecode marks a record decode silently yielding a
+	// bit-flipped ID.
+	FaultCorruptDecode
+	// FaultCrash marks a reader crash at a slot boundary.
+	FaultCrash
+)
+
+// String returns the fault-kind name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultBurst:
+		return "burst"
+	case FaultAckLoss:
+		return "ack-loss"
+	case FaultMute:
+		return "mute"
+	case FaultStuck:
+		return "stuck"
+	case FaultCorruptSingleton:
+		return "corrupt-singleton"
+	case FaultCorruptDecode:
+		return "corrupt-decode"
+	case FaultCrash:
+		return "crash"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultEvent reports one injected fault taking effect. Only runs with a
+// fault configuration emit it; fault-free runs produce byte-identical
+// traces to a build without the injector.
+type FaultEvent struct {
+	// Slot is the sequence number of the affected slot; for ack-loss it is
+	// instead the ordinal of the dropped acknowledgement within the run.
+	Slot uint64
+	// Kind is the fault shape that fired.
+	Kind FaultKind
+	// ID is the affected tag where one is identifiable (mute, stuck,
+	// ack-loss); the zero ID for slot-scoped faults.
+	ID tagid.ID
+}
+
+// QuarantineEvent reports the hardened record store evicting a poisoned
+// collision record instead of propagating its garbage (see record.Store).
+type QuarantineEvent struct {
+	// Slot is the quarantined record's slot index.
+	Slot uint64
+	// Reason is "crc" when a decode produced an invalid ID, "residual" when
+	// the residual-energy guard declared the record unrecoverable.
+	Reason string
+	// Members is the record's multiplicity; the surviving unidentified
+	// members fall back to plain re-query.
+	Members int
+}
+
+// RestartEvent reports the chaos harness crash-restarting the reader from
+// its last session checkpoint (see sim.RunChaos).
+type RestartEvent struct {
+	// Wall is the monotone executed-slot count at the crash (never rewound
+	// by the restore).
+	Wall uint64
+	// At is the simulated air time the restored checkpoint rewinds to.
+	At time.Duration
+	// Checkpoint is the sequence number of the checkpoint restored.
+	Checkpoint int
+}
+
 // Tracer receives the typed event stream of a protocol run. Implementations
 // must tolerate events from any protocol (a DFSA run emits no record or
 // estimator events, a tree run emits only run/slot events, and so on).
@@ -276,6 +358,9 @@ type Tracer interface {
 	TagArrival(ArrivalEvent)
 	TagDeparture(DepartureEvent)
 	SessionCheckpoint(CheckpointEvent)
+	FaultInjected(FaultEvent)
+	RecordQuarantined(QuarantineEvent)
+	ReaderRestart(RestartEvent)
 }
 
 // NopTracer implements Tracer with no-ops; embed it to build partial
@@ -298,6 +383,9 @@ func (NopTracer) EstimatorUpdate(EstimateEvent)    {}
 func (NopTracer) TagArrival(ArrivalEvent)          {}
 func (NopTracer) TagDeparture(DepartureEvent)      {}
 func (NopTracer) SessionCheckpoint(CheckpointEvent) {}
+func (NopTracer) FaultInjected(FaultEvent)          {}
+func (NopTracer) RecordQuarantined(QuarantineEvent) {}
+func (NopTracer) ReaderRestart(RestartEvent)        {}
 
 // Hooks adapts plain functions into a Tracer; nil fields are skipped. It is
 // the quickest way to observe a run ad hoc:
@@ -321,6 +409,10 @@ type Hooks struct {
 	OnTagArrival        func(ArrivalEvent)
 	OnTagDeparture      func(DepartureEvent)
 	OnSessionCheckpoint func(CheckpointEvent)
+
+	OnFaultInjected     func(FaultEvent)
+	OnRecordQuarantined func(QuarantineEvent)
+	OnReaderRestart     func(RestartEvent)
 }
 
 var _ Tracer = (*Hooks)(nil)
@@ -406,6 +498,24 @@ func (h *Hooks) TagDeparture(ev DepartureEvent) {
 func (h *Hooks) SessionCheckpoint(ev CheckpointEvent) {
 	if h.OnSessionCheckpoint != nil {
 		h.OnSessionCheckpoint(ev)
+	}
+}
+
+func (h *Hooks) FaultInjected(ev FaultEvent) {
+	if h.OnFaultInjected != nil {
+		h.OnFaultInjected(ev)
+	}
+}
+
+func (h *Hooks) RecordQuarantined(ev QuarantineEvent) {
+	if h.OnRecordQuarantined != nil {
+		h.OnRecordQuarantined(ev)
+	}
+}
+
+func (h *Hooks) ReaderRestart(ev RestartEvent) {
+	if h.OnReaderRestart != nil {
+		h.OnReaderRestart(ev)
 	}
 }
 
@@ -510,5 +620,23 @@ func (m multi) TagDeparture(ev DepartureEvent) {
 func (m multi) SessionCheckpoint(ev CheckpointEvent) {
 	for _, t := range m {
 		t.SessionCheckpoint(ev)
+	}
+}
+
+func (m multi) FaultInjected(ev FaultEvent) {
+	for _, t := range m {
+		t.FaultInjected(ev)
+	}
+}
+
+func (m multi) RecordQuarantined(ev QuarantineEvent) {
+	for _, t := range m {
+		t.RecordQuarantined(ev)
+	}
+}
+
+func (m multi) ReaderRestart(ev RestartEvent) {
+	for _, t := range m {
+		t.ReaderRestart(ev)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/tagid"
 )
 
 // Timeline renders the event stream as a human-readable slot timeline, the
@@ -137,4 +138,20 @@ func (t *Timeline) TagDeparture(ev DepartureEvent) {
 
 func (t *Timeline) SessionCheckpoint(ev CheckpointEvent) {
 	t.printf("    checkpoint %d at %v (active %d, identified %d)\n", ev.Seq, ev.At, ev.Active, ev.Identified)
+}
+
+func (t *Timeline) FaultInjected(ev FaultEvent) {
+	if ev.ID == (tagid.ID{}) {
+		t.printf("           fault %s @%d\n", ev.Kind, ev.Slot)
+		return
+	}
+	t.printf("           fault %s @%d id=%s\n", ev.Kind, ev.Slot, ev.ID)
+}
+
+func (t *Timeline) RecordQuarantined(ev QuarantineEvent) {
+	t.printf("           quarantine @%d (%s, %d members)\n", ev.Slot, ev.Reason, ev.Members)
+}
+
+func (t *Timeline) ReaderRestart(ev RestartEvent) {
+	t.printf("    RESTART at wall slot %d -> checkpoint %d (%v)\n", ev.Wall, ev.Checkpoint, ev.At)
 }

@@ -36,3 +36,16 @@ func TestTransmittersZeroAlloc(t *testing.T) {
 		}
 	}
 }
+
+// TestAckDeliveredZeroAlloc: the acknowledgement draw runs once per
+// identified tag; with no injector configured it must stay allocation-free
+// so fault-capable builds cost existing campaigns nothing.
+func TestAckDeliveredZeroAlloc(t *testing.T) {
+	env := &Env{RNG: rng.New(3), PAckLoss: 0.1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		env.AckDelivered()
+	})
+	if allocs != 0 {
+		t.Errorf("AckDelivered with nil Faults allocates %v times, want 0", allocs)
+	}
+}

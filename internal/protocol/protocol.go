@@ -10,6 +10,7 @@ import (
 
 	"github.com/ancrfid/ancrfid/internal/air"
 	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/fault"
 	"github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/rng"
 	"github.com/ancrfid/ancrfid/internal/tagid"
@@ -71,11 +72,37 @@ type Env struct {
 	// CRDSA); the tree protocols use a different feedback structure and
 	// ignore it.
 	PAckLoss float64
+	// Faults, when non-nil, is the run's deterministic fault injector (see
+	// internal/fault). It layers additional acknowledgement loss on top of
+	// PAckLoss and switches the reader into hardened mode (Hardened), which
+	// arms the record store's quarantine defenses. Nil — the default — is
+	// the fault-free fast path: no extra RNG draws, no extra allocations,
+	// byte-identical behaviour to a build without the injector.
+	Faults *fault.Injector
 }
 
-// AckDelivered draws whether one acknowledgement reaches its tag.
+// Hardened reports whether the run executes under fault injection. The
+// collision-aware protocols arm their record-store defenses (CRC-validated
+// cascade decodes, residual-energy quarantine) exactly when it is true, so
+// fault-free runs keep their historical, bit-reproducible behaviour.
+func (e *Env) Hardened() bool { return e.Faults != nil }
+
+// AckDelivered draws whether one acknowledgement reaches its tag. The
+// baseline PAckLoss draw always happens first (and consumes the run RNG
+// identically whether or not faults are configured); the injector can only
+// drop additional acknowledgements, never resurrect one.
 func (e *Env) AckDelivered() bool {
-	return e.PAckLoss <= 0 || !e.RNG.Bool(e.PAckLoss)
+	delivered := e.PAckLoss <= 0 || !e.RNG.Bool(e.PAckLoss)
+	if e.Faults == nil {
+		return delivered
+	}
+	if !e.Faults.AckDelivered() {
+		if e.Tracer != nil {
+			e.Tracer.FaultInjected(obs.FaultEvent{Slot: e.Faults.Acks(), Kind: obs.FaultAckLoss})
+		}
+		return false
+	}
+	return delivered
 }
 
 // SlotEvent describes one completed report segment, for observers that

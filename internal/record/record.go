@@ -95,6 +95,26 @@ type Store struct {
 	// Protocols point it at their run's Env.Tracer.
 	Tracer obs.Tracer
 
+	// Quarantine arms the store's poisoned-record defenses, used by the
+	// collision-aware protocols when running under fault injection
+	// (protocol.Env.Hardened):
+	//
+	//   - CRC-validated cascade decodes: a decode that yields an ID failing
+	//     its CRC is a poisoned record (imperfect cancellation propagated
+	//     garbage); the record is quarantined instead of admitting a
+	//     phantom ID into the inventory.
+	//   - Residual-energy guard: a record whose residual is down to one
+	//     constituent but still refuses to decode is permanently
+	//     unrecoverable — decoding is deterministic, retrying never helps —
+	//     and is evicted rather than retried forever.
+	//
+	// Either way the record's surviving unidentified members keep their
+	// active-tag status and are simply re-queried in later slots (their
+	// acknowledgements never arrived), so a quarantine degrades to plain
+	// re-query instead of corrupting the store. Off by default: fault-free
+	// runs keep their historical, bit-reproducible behaviour.
+	Quarantine bool
+
 	byMember map[tagid.HashPrefix]*member
 	// known records every ID the reader has learned, keyed by hash prefix
 	// with the exact ID as the value. A tag whose acknowledgement was lost
@@ -113,8 +133,9 @@ type Store struct {
 	// so batch runs pay nothing.
 	revoked map[tagid.ID]struct{}
 
-	active int
-	total  int
+	active      int
+	total       int
+	quarantined int
 
 	// Arena chunks and reusable cascade buffers. The queue and out slices
 	// back every cascade, so the slice returned by Add/OnIdentified is only
@@ -235,6 +256,25 @@ func (s *Store) Add(slot uint64, mix channel.Mixed, members []tagid.ID) []Resolv
 		s.Tracer.RecordCreated(obs.RecordEvent{Slot: slot, Multiplicity: len(members), Unknown: unknown})
 	}
 	if y, ok := e.mix.Decode(); ok {
+		if s.Quarantine && !y.Valid() {
+			// Poisoned decode: the residual fails its CRC. Quarantine the
+			// record; its unidentified member keeps retransmitting and is
+			// re-read from a clean slot later.
+			s.discard(e, "crc")
+			return nil
+		}
+		if s.isRevoked(y) || s.isKnown(y.HashPrefix(), y) {
+			// The residual names a departed tag (stale read) or one the
+			// reader already knows (possible when the member list carries a
+			// duplicated ID, so the duplicate's subtraction was a no-op).
+			// The record is spent, but yields nothing — the same guards the
+			// cascade applies.
+			e.resolved = true
+			if s.Tracer != nil {
+				s.Tracer.RecordResolved(obs.ResolveEvent{Slot: slot, ID: y, Dup: true})
+			}
+			return nil
+		}
 		// All but one member were already known: the record resolves as it
 		// is stored.
 		e.resolved = true
@@ -251,9 +291,34 @@ func (s *Store) Add(slot uint64, mix channel.Mixed, members []tagid.ID) []Resolv
 		e.resolved = true
 		return nil
 	}
+	if s.Quarantine {
+		if rem, ok := channel.Remaining(e.mix); ok && rem <= 1 {
+			// Residual-energy guard: one constituent left and the decode
+			// still failed, so the record can never resolve (decoding is
+			// deterministic). Do not even hold it.
+			s.discard(e, "residual")
+			return nil
+		}
+	}
 	s.active++
 	return nil
 }
+
+// discard quarantines a freshly stored, never-counted record: it is marked
+// resolved so no cascade revisits it, and its surviving members fall back
+// to plain re-query.
+func (s *Store) discard(e *entry, reason string) {
+	e.resolved = true
+	s.quarantined++
+	if s.Tracer != nil {
+		s.Tracer.RecordQuarantined(obs.QuarantineEvent{
+			Slot: e.slot, Reason: reason, Members: e.mix.Multiplicity(),
+		})
+	}
+}
+
+// Quarantined returns the number of records the store has quarantined.
+func (s *Store) Quarantined() int { return s.quarantined }
 
 // Revoke removes a departed tag from the store's outstanding bookkeeping:
 // its member-index node is unlinked — invalidating every pending
@@ -339,6 +404,23 @@ func (s *Store) cascade() {
 			e.mix.Subtract(x.id)
 			y, ok := e.mix.Decode()
 			if !ok {
+				if s.Quarantine {
+					if rem, rok := channel.Remaining(e.mix); rok && rem <= 1 {
+						// Residual-energy guard: the subtraction left a single
+						// constituent that still refuses to decode — the
+						// record is permanently unrecoverable. Evict it so the
+						// cascade never revisits it; its last member stays
+						// active and falls back to plain re-query.
+						s.evict(e, "residual")
+					}
+				}
+				continue
+			}
+			if s.Quarantine && !y.Valid() {
+				// CRC-validated cascade decode: a residual failing its CRC is
+				// a poisoned record; quarantine it instead of admitting a
+				// phantom ID into the inventory.
+				s.evict(e, "crc")
 				continue
 			}
 			e.resolved = true
@@ -382,6 +464,19 @@ func (s *Store) cascade() {
 	}
 }
 
+// evict quarantines a record that was counted active: it is marked resolved
+// and removed from the active count.
+func (s *Store) evict(e *entry, reason string) {
+	e.resolved = true
+	s.active--
+	s.quarantined++
+	if s.Tracer != nil {
+		s.Tracer.RecordQuarantined(obs.QuarantineEvent{
+			Slot: e.slot, Reason: reason, Members: e.mix.Multiplicity(),
+		})
+	}
+}
+
 // Clone returns a deep copy of the store for a session checkpoint:
 // continuing to use the original (or the clone) leaves the other
 // untouched. Unresolved recordings are cloned via channel.CloneMixed;
@@ -390,11 +485,13 @@ func (s *Store) cascade() {
 // cloning. The clone carries the same Tracer.
 func (s *Store) Clone() (*Store, error) {
 	c := &Store{
-		Tracer:   s.Tracer,
-		byMember: make(map[tagid.HashPrefix]*member, len(s.byMember)),
-		known:    make(map[tagid.HashPrefix]tagid.ID, len(s.known)),
-		active:   s.active,
-		total:    s.total,
+		Tracer:      s.Tracer,
+		Quarantine:  s.Quarantine,
+		byMember:    make(map[tagid.HashPrefix]*member, len(s.byMember)),
+		known:       make(map[tagid.HashPrefix]tagid.ID, len(s.known)),
+		active:      s.active,
+		total:       s.total,
+		quarantined: s.quarantined,
 	}
 	for k, v := range s.known {
 		c.known[k] = v

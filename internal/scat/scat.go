@@ -137,6 +137,7 @@ func (p *Protocol) Begin(env *protocol.Env) protocol.Session {
 		needPre: p.cfg.PreEstimate,
 	}
 	s.store.Tracer = env.Tracer
+	s.store.Quarantine = env.Hardened()
 	env.TraceRunStart(p.Name())
 	s.n = p.cfg.KnownN
 	if s.n <= 0 {

@@ -10,6 +10,7 @@ import (
 
 	"github.com/ancrfid/ancrfid/internal/air"
 	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/fault"
 	"github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/protocol"
 	"github.com/ancrfid/ancrfid/internal/rng"
@@ -55,6 +56,13 @@ type Config struct {
 	// PAckLoss is the probability a reader acknowledgement is lost (see
 	// protocol.Env.PAckLoss).
 	PAckLoss float64
+	// Faults configures deterministic fault injection (see internal/fault).
+	// The zero value is the fault-free fast path: no wrapper channel, no
+	// extra RNG draws, bit-identical results and traces to earlier
+	// releases. When enabled, each run derives its injector purely from
+	// (Seed, run index) — like the run RNG — so campaigns stay reproducible
+	// and reorderable across worker counts.
+	Faults fault.Config
 	// Tracer, when non-nil, receives the typed event stream of every run in
 	// the campaign (see internal/obs). Events from consecutive runs are
 	// delimited by RunStart/RunEnd pairs.
@@ -264,6 +272,14 @@ func RunOnce(p protocol.Protocol, cfg Config, run int) (protocol.Metrics, error)
 		MaxSlots: cfg.MaxSlots,
 		PAckLoss: cfg.PAckLoss,
 		Tracer:   cfg.tracer(),
+	}
+	if cfg.Faults.Enabled() {
+		inj := fault.New(cfg.Faults, cfg.Seed, run)
+		fch := fault.WrapChannel(ch, inj)
+		fch.Tracer = env.Tracer
+		fch.AdmitAll(tags)
+		env.Channel = fch
+		env.Faults = inj
 	}
 	return p.Run(env)
 }

@@ -102,9 +102,13 @@ func (s *absSession) Step() (bool, error) {
 		s.m.EmptySlots++
 	case channel.Singleton:
 		s.m.SingletonSlots++
-		s.m.DirectIDs++
-		s.seen[obs.ID] = struct{}{}
-		s.env.NotifyIdentified(obs.ID, false)
+		// A lone report from an already-read tag (a stuck responder keying
+		// up out of turn) is not a fresh identification.
+		if _, dup := s.seen[obs.ID]; !dup {
+			s.m.DirectIDs++
+			s.seen[obs.ID] = struct{}{}
+			s.env.NotifyIdentified(obs.ID, false)
+		}
 	case channel.Collision:
 		s.m.CollisionSlots++
 		// Each colliding tag draws a random bit; the zero-subset
@@ -366,9 +370,13 @@ func (s *aqsSession) Step() (bool, error) {
 		s.nextLeaves = append(s.nextLeaves, leaf{depth: q.depth, prefix: q.prefix})
 	case channel.Singleton:
 		s.m.SingletonSlots++
-		s.m.DirectIDs++
-		s.seen[obs.ID] = struct{}{}
-		s.env.NotifyIdentified(obs.ID, false)
+		// A lone report from an already-read tag (a stuck responder keying
+		// up out of turn) is not a fresh identification.
+		if _, dup := s.seen[obs.ID]; !dup {
+			s.m.DirectIDs++
+			s.seen[obs.ID] = struct{}{}
+			s.env.NotifyIdentified(obs.ID, false)
+		}
 		s.nextLeaves = append(s.nextLeaves, leaf{depth: q.depth, prefix: q.prefix, hasTag: true})
 	case channel.Collision:
 		s.m.CollisionSlots++

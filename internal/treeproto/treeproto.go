@@ -182,10 +182,20 @@ func mergeEmptySiblings(leaves []leaf) []leaf {
 			changed = true
 		}
 	}
+	// Emit the surviving holes in (prefix, depth) order: map iteration
+	// order must not leak into the retained leaf list, which fixes the
+	// next round's query order and hence the whole downstream schedule.
+	rest := make([]leaf, 0, len(empty))
 	for k := range empty {
-		kept = append(kept, leaf{depth: k.depth, prefix: k.prefix})
+		rest = append(rest, leaf{depth: k.depth, prefix: k.prefix})
 	}
-	return kept
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].prefix != rest[j].prefix {
+			return prefixLess(rest[i].prefix, rest[j].prefix)
+		}
+		return rest[i].depth < rest[j].depth
+	})
+	return append(kept, rest...)
 }
 
 // withBit returns id with bit i (most significant first) set to v.

@@ -100,19 +100,55 @@ func TestSessionCheckpointResume(t *testing.T) {
 	}
 }
 
-// TestSessionCheckpointMismatch checks cross-protocol restores are
-// rejected.
+// TestSessionCheckpointMismatch checks every cross-protocol restore is
+// rejected with ErrCheckpointMismatch, and that the rejection never
+// half-applies: the victim session continues bit-identically to an
+// undisturbed twin afterwards.
 func TestSessionCheckpointMismatch(t *testing.T) {
-	fc, _ := ancrfid.AsSession(ancrfid.NewFCAT(2))
-	df, _ := ancrfid.AsSession(ancrfid.NewDFSA())
-	sf := fc.Begin(sessionEnv("abstract", 1))
-	sd := df.Begin(sessionEnv("abstract", 1))
-	cp, err := sf.Snapshot()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := sd.Restore(cp); err != ancrfid.ErrCheckpointMismatch {
-		t.Fatalf("want ErrCheckpointMismatch, got %v", err)
+	for _, from := range allProtocols {
+		for _, to := range allProtocols {
+			if from == to {
+				continue
+			}
+			t.Run(from+"->"+to, func(t *testing.T) {
+				fp, err := ancrfid.ByName(from)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fsp, _ := ancrfid.AsSession(fp)
+				donor := fsp.Begin(sessionEnv("abstract", 1))
+				cp, err := donor.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				mk := func() ancrfid.Session {
+					tp, err := ancrfid.ByName(to)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tsp, _ := ancrfid.AsSession(tp)
+					s := tsp.Begin(sessionEnv("abstract", 2))
+					for i := 0; i < 5; i++ {
+						if _, err := s.Step(); err != nil {
+							t.Fatal(err)
+						}
+					}
+					return s
+				}
+				victim, control := mk(), mk()
+				if err := victim.Restore(cp); err != ancrfid.ErrCheckpointMismatch {
+					t.Fatalf("restoring a %s checkpoint into %s: want ErrCheckpointMismatch, got %v",
+						from, to, err)
+				}
+				driveToDone(t, victim)
+				driveToDone(t, control)
+				if victim.Metrics() != control.Metrics() {
+					t.Fatalf("rejected restore perturbed the session:\nvictim  %+v\ncontrol %+v",
+						victim.Metrics(), control.Metrics())
+				}
+			})
+		}
 	}
 }
 
