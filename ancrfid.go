@@ -166,6 +166,95 @@ func NewJSONLTracer(w io.Writer) *obs.JSONL { return obs.NewJSONL(w) }
 // timeline to w (the format behind rfidsim -timeline).
 func NewTimelineTracer(w io.Writer) *obs.Timeline { return obs.NewTimeline(w) }
 
+// Telemetry-plane types, re-exported from the obs subsystem: hierarchical
+// spans over simulated time, streaming quantile sketches, health scoring and
+// the Prometheus exposition (see docs/observability.md).
+type (
+	// Span is one node of the hierarchical trace (campaign > run > frame >
+	// slot > decode activity).
+	Span = obs.Span
+	// SpanKind classifies a span.
+	SpanKind = obs.SpanKind
+	// SpanSink consumes a span stream.
+	SpanSink = obs.SpanSink
+	// SpanSinkFunc adapts a function to a SpanSink.
+	SpanSinkFunc = obs.SpanSinkFunc
+	// SpanBuilder is a Tracer folding the event stream into spans.
+	SpanBuilder = obs.SpanBuilder
+	// ChromeTrace is a SpanSink writing Chrome trace-event JSON (Perfetto).
+	ChromeTrace = obs.ChromeTrace
+	// Sketch is a streaming log-bucket quantile sketch.
+	Sketch = obs.Sketch
+	// HealthMonitor is a Tracer scoring system health from the event stream.
+	HealthMonitor = obs.HealthMonitor
+	// HealthConfig tunes the health monitor's detectors.
+	HealthConfig = obs.HealthConfig
+	// HealthEvent is one typed health-state transition.
+	HealthEvent = obs.HealthEvent
+	// HealthKind classifies a health transition.
+	HealthKind = obs.HealthKind
+	// HealthSnapshot is a point-in-time health view (the /healthz payload).
+	HealthSnapshot = obs.HealthSnapshot
+)
+
+// Span kinds emitted by SpanBuilder.
+const (
+	SpanCampaign   = obs.SpanCampaign
+	SpanRun        = obs.SpanRun
+	SpanFrame      = obs.SpanFrame
+	SpanSlot       = obs.SpanSlot
+	SpanResolution = obs.SpanResolution
+	SpanAdvert     = obs.SpanAdvert
+	SpanIdentify   = obs.SpanIdentify
+	SpanAck        = obs.SpanAck
+	SpanRecord     = obs.SpanRecord
+	SpanCascade    = obs.SpanCascade
+	SpanResolve    = obs.SpanResolve
+	SpanEstimate   = obs.SpanEstimate
+	SpanArrival    = obs.SpanArrival
+	SpanDeparture  = obs.SpanDeparture
+	SpanCheckpoint = obs.SpanCheckpoint
+	SpanFault      = obs.SpanFault
+	SpanQuarantine = obs.SpanQuarantine
+	SpanRestart    = obs.SpanRestart
+)
+
+// Health transition kinds carried by HealthEvent.
+const (
+	HealthStall           = obs.HealthStall
+	HealthRecovered       = obs.HealthRecovered
+	HealthQuarantineSurge = obs.HealthQuarantineSurge
+	HealthRunFailed       = obs.HealthRunFailed
+)
+
+// Sketch names registered by the metrics tracer (see docs/observability.md).
+const (
+	// SketchIdentLatencyUS holds identification latency in microseconds of
+	// simulated time.
+	SketchIdentLatencyUS = obs.SketchIdentLatencyUS
+	// SketchCascadeDepth holds the cascade depth of record resolutions.
+	SketchCascadeDepth = obs.SketchCascadeDepth
+)
+
+// NewSpanBuilder returns a Tracer that folds the event stream into
+// hierarchical spans emitted to sink; call Close after the campaign.
+func NewSpanBuilder(sink SpanSink) *SpanBuilder { return obs.NewSpanBuilder(sink) }
+
+// NewChromeTrace returns a SpanSink writing the Chrome trace-event JSON
+// format to w (loadable in Perfetto); call Close when done. The format
+// behind rfidsim -spans.
+func NewChromeTrace(w io.Writer) *ChromeTrace { return obs.NewChromeTrace(w) }
+
+// NewHealthMonitor returns a Tracer that scores health from the event
+// stream (zero config fields take defaults).
+func NewHealthMonitor(cfg HealthConfig) *HealthMonitor { return obs.NewHealthMonitor(cfg) }
+
+// WritePrometheus writes reg in the Prometheus text exposition format (the
+// payload behind rfidsim -serve's /metrics endpoint).
+func WritePrometheus(w io.Writer, reg *Registry) (int64, error) {
+	return obs.WritePrometheus(w, reg)
+}
+
 // ErrNoProgress is returned when a run exhausts its slot budget before
 // identifying every tag — a livelocked read (e.g. a channel too noisy for
 // any decode to succeed).

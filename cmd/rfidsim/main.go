@@ -15,8 +15,12 @@
 // Observability (see docs/observability.md): -trace writes the campaign's
 // full event stream as JSON Lines, -timeline renders a human-readable
 // slot-by-slot account, -metrics dumps the aggregated counter/histogram
-// registry as "key value" lines, and -progress reports per-run completion
-// on stderr. Output paths accept "-" for stdout.
+// registry as "key value" lines, -spans writes the hierarchical span
+// timeline as Chrome trace-event JSON (load it at ui.perfetto.dev), -serve
+// exposes the live campaign over HTTP (/metrics Prometheus exposition,
+// /healthz health score, /debug/vars expvar), and -progress reports per-run
+// completion with live identification-latency percentiles on stderr.
+// Output paths accept "-" for stdout.
 //
 // Campaigns run on a worker pool sized by -workers (default: all CPUs);
 // every output — metrics, traces, timelines — is bit-identical to a
@@ -30,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -66,7 +72,9 @@ func run(args []string) error {
 		tracePath = fs.String("trace", "", "write the campaign's JSONL event trace to this file (\"-\" = stdout)")
 		timeline  = fs.String("timeline", "", "write a human-readable slot timeline to this file (\"-\" = stdout)")
 		metrics   = fs.String("metrics", "", "write the aggregated metrics registry to this file (\"-\" = stdout)")
-		progress  = fs.Bool("progress", false, "report per-run completion on stderr")
+		spansPath = fs.String("spans", "", "write the hierarchical span timeline as Chrome trace-event JSON (Perfetto-loadable) to this file (\"-\" = stdout)")
+		serveAddr = fs.String("serve", "", "serve live telemetry over HTTP at this address (/metrics Prometheus exposition, /healthz, /debug/vars)")
+		progress  = fs.Bool("progress", false, "report per-run completion with live latency percentiles on stderr")
 		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memprof   = fs.String("memprofile", "", "write a heap profile (after the campaign) to this file")
 
@@ -148,9 +156,12 @@ func run(args []string) error {
 	}
 
 	var (
-		tracers []ancrfid.Tracer
-		closers []io.Closer
-		jsonl   *obs.JSONL
+		tracers     []ancrfid.Tracer
+		closers     []io.Closer
+		jsonl       *obs.JSONL
+		spanBuilder *ancrfid.SpanBuilder
+		spanTrace   *ancrfid.ChromeTrace
+		health      *ancrfid.HealthMonitor
 	)
 	defer func() {
 		for _, c := range closers {
@@ -183,20 +194,51 @@ func run(args []string) error {
 		}
 		tracers = append(tracers, ancrfid.NewTimelineTracer(w))
 	}
+	if *spansPath != "" {
+		w, err := openOut(*spansPath)
+		if err != nil {
+			return err
+		}
+		spanTrace = ancrfid.NewChromeTrace(w)
+		spanBuilder = ancrfid.NewSpanBuilder(spanTrace)
+		tracers = append(tracers, spanBuilder)
+	}
+	if *serveAddr != "" {
+		health = ancrfid.NewHealthMonitor(ancrfid.HealthConfig{})
+		tracers = append(tracers, health)
+	}
 	cfg.Tracer = ancrfid.MultiTracer(tracers...)
+	// The registry also backs -serve's /metrics and -progress's live latency
+	// percentiles, so either flag brings it up even without -metrics.
 	var reg *ancrfid.Registry
-	if *metrics != "" {
+	if *metrics != "" || *serveAddr != "" || *progress {
 		reg = ancrfid.NewRegistry()
 		cfg.Metrics = reg
 	}
+	if *serveAddr != "" {
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		srv := &http.Server{Handler: newTelemetryServer(reg, health)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rfidsim: telemetry on http://%s (/metrics, /healthz, /debug/vars)\n", ln.Addr())
+	}
 	if *progress {
+		identLat := reg.Sketch(ancrfid.SketchIdentLatencyUS)
 		cfg.Progress = func(run int, m ancrfid.Metrics, err error) {
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "run %d/%d: %v\n", run+1, *runs, err)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "run %d/%d: %d/%d tags in %d slots (%.1f tags/s)\n",
-				run+1, *runs, m.Identified(), m.Tags, m.TotalSlots(), m.Throughput())
+			// The sketch aggregates campaign-wide and streams mid-run, so the
+			// percentiles are live estimates, sharpening as runs complete.
+			p50 := time.Duration(identLat.Quantile(0.50)) * time.Microsecond
+			p95 := time.Duration(identLat.Quantile(0.95)) * time.Microsecond
+			fmt.Fprintf(os.Stderr, "run %d/%d: %d/%d tags in %d slots (%.1f tags/s, ident p50 %v p95 %v)\n",
+				run+1, *runs, m.Identified(), m.Tags, m.TotalSlots(), m.Throughput(),
+				p50.Round(100*time.Microsecond), p95.Round(100*time.Microsecond))
 		}
 	}
 	switch *chanKind {
@@ -230,7 +272,13 @@ func run(args []string) error {
 				return fmt.Errorf("writing trace: %w", err)
 			}
 		}
-		if reg != nil {
+		if spanBuilder != nil {
+			spanBuilder.Close()
+			if err := spanTrace.Close(); err != nil {
+				return fmt.Errorf("writing spans: %w", err)
+			}
+		}
+		if reg != nil && *metrics != "" {
 			w, err := openOut(*metrics)
 			if err != nil {
 				return err
@@ -342,7 +390,7 @@ func runChaos(p ancrfid.Protocol, cfg ancrfid.SimConfig, wl ancrfid.WorkloadConf
 	if len(reports) == 0 {
 		return firstErr
 	}
-	var adm, idf, missed, active, tp, crashes, cps, faults, quar float64
+	var adm, idf, missed, active, tp, crashes, cps, faults, quar, stalls, score float64
 	phantoms, dups, unaccounted := 0, 0, 0
 	for i := range reports {
 		rep := &reports[i]
@@ -357,6 +405,8 @@ func runChaos(p ancrfid.Protocol, cfg ancrfid.SimConfig, wl ancrfid.WorkloadConf
 		cps += float64(rep.Checkpoints)
 		faults += float64(rep.FaultsInjected)
 		quar += float64(rep.Quarantined)
+		stalls += float64(rep.Stalls)
+		score += rep.HealthScore
 		phantoms += rep.Phantoms
 		dups += rep.DupIdents
 		if !rep.Accounted() {
@@ -368,6 +418,7 @@ func runChaos(p ancrfid.Protocol, cfg ancrfid.SimConfig, wl ancrfid.WorkloadConf
 		adm/n, idf/n, missed/n, active/n)
 	fmt.Printf("chaos           crashes %.1f, checkpoints %.1f, faults injected %.1f, records quarantined %.1f (run means)\n",
 		crashes/n, cps/n, faults/n, quar/n)
+	fmt.Printf("health          score %.1f/100, stall episodes %.1f (run means)\n", score/n, stalls/n)
 	fmt.Printf("invariants      phantom IDs %d, duplicate identifications %d, accounting violations %d (totals over %d runs)\n",
 		phantoms, dups, unaccounted, len(reports))
 	fmt.Printf("throughput      %.1f tags/s identified\n", tp/n)
@@ -396,25 +447,33 @@ func runSeveritySweep(cfg ancrfid.SimConfig, lam, points int) error {
 
 	fmt.Printf("severity sweep  %d points, ack-loss 0..%.2f, burst duty 0..%.2f (%d tags, %d runs/point, seed %d)\n",
 		points+1, maxAck, maxDuty, cfg.Tags, cfg.Runs, cfg.Seed)
-	fmt.Printf("%-9s %-9s %-11s %-14s %-14s\n", "severity", "ack-loss", "burst-duty", scatP.Name()+" tags/s", fcatP.Name()+" tags/s")
+	fmt.Printf("%-9s %-9s %-11s %-14s %-14s %-12s %-12s\n", "severity", "ack-loss", "burst-duty",
+		scatP.Name()+" tags/s", fcatP.Name()+" tags/s", "scat-health", "fcat-health")
 	for i := 0; i <= points; i++ {
 		s := float64(i) / float64(points)
 		c := cfg
-		c.Tracer = nil
 		c.Metrics = nil
 		c.Progress = nil
 		c.Faults.AckLoss = maxAck * s
 		c.Faults.Burst.Duty = maxDuty * s
+		// A per-point health monitor scores each protocol's degradation: a
+		// campaign that merely slows down keeps a high score, one that stalls
+		// (collision slots with no progress) or fails runs loses points.
+		scatHealth := ancrfid.NewHealthMonitor(ancrfid.HealthConfig{})
+		c.Tracer = scatHealth
 		scatRes, err := ancrfid.Run(scatP, c)
 		if err != nil {
 			return fmt.Errorf("severity %.2f: %w", s, err)
 		}
+		fcatHealth := ancrfid.NewHealthMonitor(ancrfid.HealthConfig{})
+		c.Tracer = fcatHealth
 		fcatRes, err := ancrfid.Run(fcatP, c)
 		if err != nil {
 			return fmt.Errorf("severity %.2f: %w", s, err)
 		}
-		fmt.Printf("%-9.2f %-9.3f %-11.3f %-14.1f %-14.1f\n",
-			s, c.Faults.AckLoss, c.Faults.Burst.Duty, scatRes.Throughput.Mean, fcatRes.Throughput.Mean)
+		fmt.Printf("%-9.2f %-9.3f %-11.3f %-14.1f %-14.1f %-12.0f %-12.0f\n",
+			s, c.Faults.AckLoss, c.Faults.Burst.Duty, scatRes.Throughput.Mean, fcatRes.Throughput.Mean,
+			scatHealth.Score(), fcatHealth.Score())
 	}
 	return nil
 }

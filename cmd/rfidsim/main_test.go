@@ -324,7 +324,7 @@ func TestRunSeveritySweep(t *testing.T) {
 	var rows [][]string
 	for _, line := range strings.Split(out, "\n") {
 		f := strings.Fields(line)
-		if len(f) == 5 {
+		if len(f) == 7 {
 			if _, err := strconv.ParseFloat(f[0], 64); err == nil {
 				rows = append(rows, f)
 			}
@@ -343,6 +343,14 @@ func TestRunSeveritySweep(t *testing.T) {
 	for col := 3; col <= 4; col++ {
 		if lo, hi := first(col, rows[len(rows)-1]), first(col, rows[0]); lo >= hi {
 			t.Errorf("column %d: throughput %.1f at max severity not below %.1f at zero", col, lo, hi)
+		}
+	}
+	// Health-score columns stay within [0, 100] at every severity.
+	for _, r := range rows {
+		for col := 5; col <= 6; col++ {
+			if v := first(col, r); v < 0 || v > 100 {
+				t.Errorf("column %d: health score %v out of [0,100] in row %v", col, v, r)
+			}
 		}
 	}
 }

@@ -1,0 +1,44 @@
+// Telemetry endpoint behind the -serve flag: a minimal HTTP plane exposing
+// the live campaign — Prometheus metrics, a health probe and expvar — while
+// the simulation runs. The registry's atomic totals and the health monitor's
+// snapshot are safe to read concurrently with the campaign workers, so the
+// endpoint observes the run mid-flight without perturbing it.
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+
+	"github.com/ancrfid/ancrfid"
+)
+
+// newTelemetryServer routes the telemetry plane:
+//
+//	/metrics     Prometheus text exposition of the metrics registry
+//	/healthz     JSON health snapshot (HTTP 503 when unhealthy)
+//	/debug/vars  Go expvar (runtime memstats etc.)
+//
+// health may be nil; /healthz then reports a bare 200 (no monitor attached).
+func newTelemetryServer(reg *ancrfid.Registry, health *ancrfid.HealthMonitor) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = ancrfid.WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if health == nil {
+			_, _ = w.Write([]byte(`{"healthy":true}` + "\n"))
+			return
+		}
+		snap := health.Snapshot()
+		if !snap.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		_ = enc.Encode(snap)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

@@ -6,11 +6,14 @@
 // (cheap re-reads, expensive on churn) against the collision-aware FCAT
 // reader (flat cost).
 //
-// The per-round inventory is assembled live from the reader's event
-// stream: an ancrfid.TracerHooks observer collects every identification
-// event as it happens (tagging each ID with how it was obtained), so the
-// arrival/departure report needs no access to the simulation's ground
-// truth — it sees exactly what a reader in the field would see.
+// The per-round report is assembled live from the reader's telemetry plane:
+// an ancrfid.SpanBuilder folds the event stream into hierarchical spans
+// (run > frame > slot > decode activity) whose stream drives the slot
+// counts, the ANC-resolution tally and the on-air time, while an
+// ancrfid.HealthMonitor scores each round's degradation. Only the ID diff
+// itself still reads identification events directly — spans deliberately
+// carry no 96-bit tag IDs. The report needs no access to the simulation's
+// ground truth: it sees exactly what a reader in the field would see.
 //
 // Run with:
 //
@@ -20,35 +23,56 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"github.com/ancrfid/ancrfid"
 )
 
-// inventory accumulates one reading round from the event stream.
-type inventory struct {
+// roundTelemetry accumulates one reading round from the telemetry plane.
+type roundTelemetry struct {
 	ids      map[ancrfid.TagID]struct{}
-	resolved int // IDs recovered from collision records via ANC
-	slots    int
+	builder  *ancrfid.SpanBuilder
+	health   *ancrfid.HealthMonitor
+	slots    int // SpanSlot spans seen
+	resolved int // SpanIdentify spans flagged via-resolution
+	airTime  time.Duration
 }
 
-// tracer returns the event-stream observer that fills the inventory.
-func (inv *inventory) tracer() ancrfid.Tracer {
-	return &ancrfid.TracerHooks{
-		OnTagIdentified: func(ev ancrfid.TraceIdentifyEvent) {
-			inv.ids[ev.ID] = struct{}{}
-			if ev.ViaResolution {
-				inv.resolved++
+func newRoundTelemetry() *roundTelemetry {
+	rt := &roundTelemetry{ids: make(map[ancrfid.TagID]struct{})}
+	rt.builder = ancrfid.NewSpanBuilder(ancrfid.SpanSinkFunc(func(s ancrfid.Span) {
+		switch s.Kind {
+		case ancrfid.SpanSlot:
+			rt.slots++
+		case ancrfid.SpanIdentify:
+			if s.N1 == 1 {
+				rt.resolved++
 			}
-		},
-		OnSlotDone: func(ev ancrfid.TraceSlotEvent) {
-			inv.slots++
-		},
-	}
+		case ancrfid.SpanRun:
+			rt.airTime = s.End - s.Start
+		}
+	}))
+	rt.health = ancrfid.NewHealthMonitor(ancrfid.HealthConfig{})
+	return rt
 }
 
-func newInventory() *inventory {
-	return &inventory{ids: make(map[ancrfid.TagID]struct{})}
+// tracer returns the round's composite observer: the span builder and the
+// health monitor consume the full stream; a minimal hook collects the IDs
+// the change report diffs.
+func (rt *roundTelemetry) tracer() ancrfid.Tracer {
+	return ancrfid.MultiTracer(
+		&ancrfid.TracerHooks{
+			OnTagIdentified: func(ev ancrfid.TraceIdentifyEvent) {
+				rt.ids[ev.ID] = struct{}{}
+			},
+		},
+		rt.builder,
+		rt.health,
+	)
 }
+
+// finish flushes the round's open spans (run and campaign close on Close).
+func (rt *roundTelemetry) finish() { rt.builder.Close() }
 
 func main() {
 	r := ancrfid.NewRNG(99)
@@ -77,7 +101,7 @@ func main() {
 	fcat := ancrfid.NewFCAT(2)
 	known := make(map[ancrfid.TagID]struct{})
 
-	fmt.Println("round  present  arrived  departed  resolved  AQS slots  FCAT slots")
+	fmt.Println("round  present  arrived  departed  resolved  AQS slots  FCAT slots  FCAT air  health")
 	for round := 1; round <= 6; round++ {
 		// Overnight churn: trucks come and go.
 		switch round {
@@ -95,34 +119,37 @@ func main() {
 			tags = append(tags, id)
 		}
 
-		// Each reader streams its events into its own inventory; the AQS
-		// inventory is only used for its slot count here, the FCAT one
-		// drives the change report.
-		aqsInv, fcatInv := newInventory(), newInventory()
-		if _, err := aqs.RunRound(freshEnv(r, tags, aqsInv.tracer())); err != nil {
+		// Each reader streams its telemetry into its own collector; the AQS
+		// one is only used for its slot count here, the FCAT one drives the
+		// change report.
+		aqsTel, fcatTel := newRoundTelemetry(), newRoundTelemetry()
+		if _, err := aqs.RunRound(freshEnv(r, tags, aqsTel.tracer())); err != nil {
 			log.Fatal(err)
 		}
-		if _, err := fcat.Run(freshEnv(r, tags, fcatInv.tracer())); err != nil {
+		if _, err := fcat.Run(freshEnv(r, tags, fcatTel.tracer())); err != nil {
 			log.Fatal(err)
 		}
+		aqsTel.finish()
+		fcatTel.finish()
 
 		// Diff the streamed reading against the last known inventory.
 		arrived, departed := 0, 0
-		for id := range fcatInv.ids {
+		for id := range fcatTel.ids {
 			if _, ok := known[id]; !ok {
 				arrived++
 			}
 		}
 		for id := range known {
-			if _, ok := fcatInv.ids[id]; !ok {
+			if _, ok := fcatTel.ids[id]; !ok {
 				departed++
 			}
 		}
-		known = fcatInv.ids
+		known = fcatTel.ids
 
-		fmt.Printf("%5d  %7d  %7d  %8d  %8d  %9d  %10d\n",
-			round, len(present), arrived, departed, fcatInv.resolved,
-			aqsInv.slots, fcatInv.slots)
+		fmt.Printf("%5d  %7d  %7d  %8d  %8d  %9d  %10d  %8v  %6.0f\n",
+			round, len(present), arrived, departed, fcatTel.resolved,
+			aqsTel.slots, fcatTel.slots, fcatTel.airTime.Round(time.Millisecond),
+			fcatTel.health.Score())
 	}
 
 	fmt.Println("\nAQS re-reads an unchanged dock almost for free but pays to rebuild")

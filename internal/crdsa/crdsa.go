@@ -121,6 +121,7 @@ func (p *Protocol) Begin(env *protocol.Env) protocol.Session {
 		budget: env.SlotBudget(),
 		growth: 1,
 	}
+	env.Clock = &s.clock
 	env.TraceRunStart(p.Name())
 	copy(s.unread, env.Tags)
 	s.backlog = p.cfg.InitialBacklog

@@ -105,6 +105,7 @@ func (p *Protocol) Begin(env *protocol.Env) protocol.Session {
 		seen:   make(map[tagid.ID]struct{}, len(env.Tags)),
 		budget: env.SlotBudget(),
 	}
+	env.Clock = &s.clock
 	env.TraceRunStart(p.Name())
 	copy(s.unread, env.Tags)
 	s.frameSize = p.cfg.InitialFrame

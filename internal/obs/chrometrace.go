@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// ChromeTrace is a SpanSink writing the Chrome trace-event JSON array format,
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing. Duration
+// spans become complete events (ph "X"), instants become instant events
+// (ph "i"); timestamps are simulated air time in microseconds. Each run gets
+// its own thread lane (tid = run index + 1; the campaign span sits on tid 0),
+// so parallel-campaign traces lay the runs side by side.
+//
+// The writer buffers internally: call Close to terminate the JSON array and
+// flush, and check Err for any deferred write error. Output depends only on
+// the span stream, so it inherits the stream's worker-count determinism.
+type ChromeTrace struct {
+	w     *bufio.Writer
+	buf   []byte
+	first bool
+	err   error
+}
+
+var _ SpanSink = (*ChromeTrace)(nil)
+
+// NewChromeTrace returns a trace writer emitting into w.
+func NewChromeTrace(w io.Writer) *ChromeTrace {
+	t := &ChromeTrace{w: bufio.NewWriter(w), first: true, buf: make([]byte, 0, 256)}
+	t.buf = append(t.buf, "[\n"...)
+	return t
+}
+
+// EmitSpan implements SpanSink.
+func (t *ChromeTrace) EmitSpan(s Span) {
+	if t.err != nil {
+		return
+	}
+	b := t.buf
+	if t.first {
+		t.first = false
+	} else {
+		b = append(b, ",\n"...)
+	}
+	tid := s.Run + 1
+	if s.Run < 0 {
+		tid = 0
+	}
+	b = append(b, `{"name":"`...)
+	b = append(b, s.Kind.String()...)
+	if s.Label != "" {
+		b = append(b, ' ')
+		b = appendJSONString(b, s.Label)
+	}
+	b = append(b, `","ph":"`...)
+	if s.Kind.Instant() {
+		b = append(b, `i","s":"t`...)
+	} else {
+		b = append(b, 'X')
+	}
+	b = append(b, `","pid":1,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendInt(b, s.Start.Microseconds(), 10)
+	if !s.Kind.Instant() {
+		b = append(b, `,"dur":`...)
+		b = strconv.AppendInt(b, (s.End - s.Start).Microseconds(), 10)
+	}
+	b = append(b, `,"args":{"id":`...)
+	b = strconv.AppendInt(b, int64(s.ID), 10)
+	b = append(b, `,"parent":`...)
+	b = strconv.AppendInt(b, int64(s.Parent), 10)
+	if s.Seq >= 0 {
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendInt(b, int64(s.Seq), 10)
+	}
+	b = append(b, `,"n1":`...)
+	b = strconv.AppendInt(b, int64(s.N1), 10)
+	b = append(b, `,"n2":`...)
+	b = strconv.AppendInt(b, int64(s.N2), 10)
+	b = append(b, "}}"...)
+	_, t.err = t.w.Write(b)
+	t.buf = b[:0]
+}
+
+// appendJSONString appends s with the characters JSON requires escaped.
+// Protocol names are plain ASCII; anything exotic falls back to \u escapes.
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+// Close terminates the JSON array and flushes. It does not close the
+// underlying writer.
+func (t *ChromeTrace) Close() error {
+	if t.err == nil {
+		_, t.err = t.w.WriteString("\n]\n")
+	}
+	if err := t.w.Flush(); t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Err returns the first write error, if any.
+func (t *ChromeTrace) Err() error { return t.err }

@@ -1,6 +1,11 @@
 package obs
 
-import "github.com/ancrfid/ancrfid/internal/channel"
+import (
+	"time"
+
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
 
 // Metric names fed by MetricsTracer. The slot, frame, identification and
 // transmission counters mirror the protocol.Metrics fields of the traced
@@ -43,6 +48,14 @@ const (
 	HistCascadeDepth = "hist.cascade_depth"
 	HistRecordMult   = "hist.record_multiplicity"
 
+	// Streaming quantile sketches (see Sketch): identification latency in
+	// microseconds of simulated time — arrival-to-identification in dynamic
+	// runs, run-start-to-identification in batch runs — and cascade depth of
+	// every non-duplicate record resolution. Percentiles of both are
+	// available mid-run without storing per-tag records.
+	SketchIdentLatencyUS = "sketch.ident_latency_us"
+	SketchCascadeDepth   = "sketch.cascade_depth"
+
 	// Fault-path counters. Unlike the handles above these are created
 	// lazily, on the first matching event: Registry.WriteTo prints every
 	// registered counter (zeros included), and a fault-free campaign's
@@ -67,6 +80,12 @@ type MetricsTracer struct {
 	tagsArrived, tagsDeparted, departedUnread  *Counter
 	checkpoints                                *Counter
 	txPerSlot, cascadeDepth, recordMult        *Histogram
+	identLatency, cascadeDepthSketch           *Sketch
+
+	// arrivals maps tag -> arrival time for latency stamping; it is created
+	// lazily on the first TagArrival event, so batch runs (which never emit
+	// arrivals) pay nothing and measure latency from run start.
+	arrivals map[tagid.ID]time.Duration
 
 	// reg backs the lazily created fault-path handles below; faultKinds
 	// caches per-kind counters after first use.
@@ -103,14 +122,19 @@ func NewMetricsTracer(reg *Registry) *MetricsTracer {
 		tagsDeparted:     reg.Counter(MetricTagsDeparted),
 		departedUnread:   reg.Counter(MetricTagsDepartedUnread),
 		checkpoints:      reg.Counter(MetricCheckpoints),
-		txPerSlot:        reg.Histogram(HistTxPerSlot),
-		cascadeDepth:     reg.Histogram(HistCascadeDepth),
-		recordMult:       reg.Histogram(HistRecordMult),
-		reg:              reg,
+		txPerSlot:          reg.Histogram(HistTxPerSlot),
+		cascadeDepth:       reg.Histogram(HistCascadeDepth),
+		recordMult:         reg.Histogram(HistRecordMult),
+		identLatency:       reg.Sketch(SketchIdentLatencyUS),
+		cascadeDepthSketch: reg.Sketch(SketchCascadeDepth),
+		reg:                reg,
 	}
 }
 
-func (t *MetricsTracer) RunStart(RunStartEvent) { t.runsStarted.Inc() }
+func (t *MetricsTracer) RunStart(RunStartEvent) {
+	t.runsStarted.Inc()
+	clear(t.arrivals)
+}
 
 func (t *MetricsTracer) RunEnd(ev RunEndEvent) {
 	if ev.Err == "" {
@@ -145,6 +169,11 @@ func (t *MetricsTracer) TagIdentified(ev IdentifyEvent) {
 	} else {
 		t.idsDirect.Inc()
 	}
+	lat := ev.At
+	if t0, ok := t.arrivals[ev.ID]; ok {
+		lat = ev.At - t0
+	}
+	t.identLatency.Observe(lat.Microseconds())
 }
 
 func (t *MetricsTracer) AckSent(ev AckEvent) {
@@ -168,11 +197,18 @@ func (t *MetricsTracer) RecordResolved(ev ResolveEvent) {
 	}
 	t.recResolved.Inc()
 	t.cascadeDepth.Observe(int64(ev.Depth))
+	t.cascadeDepthSketch.Observe(int64(ev.Depth))
 }
 
 func (t *MetricsTracer) EstimatorUpdate(EstimateEvent) { t.estimatorUpdates.Inc() }
 
-func (t *MetricsTracer) TagArrival(ArrivalEvent) { t.tagsArrived.Inc() }
+func (t *MetricsTracer) TagArrival(ev ArrivalEvent) {
+	t.tagsArrived.Inc()
+	if t.arrivals == nil {
+		t.arrivals = make(map[tagid.ID]time.Duration)
+	}
+	t.arrivals[ev.ID] = ev.At
+}
 
 func (t *MetricsTracer) TagDeparture(ev DepartureEvent) {
 	t.tagsDeparted.Inc()

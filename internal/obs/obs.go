@@ -101,6 +101,10 @@ type RunEndEvent struct {
 	Resolved int
 	// Err is the run error, empty on success.
 	Err string
+	// At is the simulated air time the run finished at (equal to the run's
+	// Metrics.OnAir). Not serialised by the JSONL tracer — the trace derives
+	// slot times from the timing model; spans and sketches consume it.
+	At time.Duration
 }
 
 // FrameEvent marks a frame boundary: the advertisement that opens a frame
@@ -115,6 +119,8 @@ type FrameEvent struct {
 	// P is the advertised report probability; 0 for frame-ALOHA protocols,
 	// which advertise a frame size instead.
 	P float64
+	// At is the simulated air time the frame was advertised at.
+	At time.Duration
 }
 
 // AdvertEvent marks a single-slot advertisement (SCAT's per-slot
@@ -124,6 +130,8 @@ type AdvertEvent struct {
 	Seq int
 	// P is the advertised report probability.
 	P float64
+	// At is the simulated air time of the advertisement.
+	At time.Duration
 }
 
 // SlotEvent reports one completed report segment.
@@ -136,6 +144,9 @@ type SlotEvent struct {
 	Transmitters int
 	// Identified is the cumulative unique-ID count after the slot.
 	Identified int
+	// At is the simulated air time after the slot (report segment,
+	// acknowledgements and resolution work included).
+	At time.Duration
 }
 
 // IdentifyEvent reports a tag ID entering the reader's inventory, exactly
@@ -146,6 +157,9 @@ type IdentifyEvent struct {
 	// ViaResolution is true when the ID was recovered from a collision
 	// record rather than read from a singleton slot.
 	ViaResolution bool
+	// At is the simulated air time of the identification. In a batch run it
+	// doubles as the identification latency (every tag is present from t=0).
+	At time.Duration
 }
 
 // AckEvent reports one reader acknowledgement and whether it reached its
@@ -159,6 +173,8 @@ type AckEvent struct {
 	Kind AckKind
 	// Delivered is false when the acknowledgement was lost.
 	Delivered bool
+	// At is the simulated air time of the acknowledgement.
+	At time.Duration
 }
 
 // RecordEvent reports a collision record entering the reader's store.
@@ -216,6 +232,8 @@ type EstimateEvent struct {
 	FrameEst float64
 	// Identified is the unique-ID count at the time of the update.
 	Identified int
+	// At is the simulated air time of the update.
+	At time.Duration
 }
 
 // ArrivalEvent reports a tag entering the reader field. Only dynamic

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promNamespace prefixes every exposed metric name.
+const promNamespace = "rfid_"
+
+// promName mangles a registry metric name into a legal Prometheus metric
+// name: the rfid_ namespace plus the name with '.' and '-' replaced by '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promNamespace) + len(name))
+	b.WriteString(promNamespace)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '.' || c == '-' {
+			c = '_'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4), metric families in sorted registry-name order:
+//
+//   - counters expose as a counter family with the conventional _total
+//     suffix: rfid_slots_empty_total (not doubled when the name already
+//     ends in "total");
+//   - histograms expose as a histogram family with cumulative _bucket
+//     lines over the power-of-two bucket uppers, an le="+Inf" bucket, and
+//     _sum/_count;
+//   - sketches expose as a summary family with quantile-labelled sample
+//     lines (0.5, 0.9, 0.95, 0.99) and _sum/_count.
+//
+// All sample values are integers and the output is a pure function of the
+// registry's atomic totals, so two dumps of the same quiesced campaign are
+// byte-identical regardless of worker count — the same determinism contract
+// as Registry.WriteTo. Served at /metrics by the rfidsim -serve endpoint.
+func WritePrometheus(w io.Writer, r *Registry) (int64, error) {
+	names, counters, hists, sketches := r.snapshot()
+
+	var total int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	for _, name := range names {
+		pn := promName(name)
+		if c, ok := counters[name]; ok {
+			cn := pn
+			if !strings.HasSuffix(cn, "_total") {
+				cn += "_total"
+			}
+			if err := emit("# TYPE %s counter\n%s %d\n", cn, cn, c.Value()); err != nil {
+				return total, err
+			}
+		}
+		if h, ok := hists[name]; ok {
+			if err := emit("# TYPE %s histogram\n", pn); err != nil {
+				return total, err
+			}
+			last := histBuckets - 1
+			for last > 0 && h.Bucket(last) == 0 {
+				last--
+			}
+			cum := int64(0)
+			for i := 0; i <= last; i++ {
+				cum += h.Bucket(i)
+				if err := emit("%s_bucket{le=\"%d\"} %d\n", pn, BucketUpper(i), cum); err != nil {
+					return total, err
+				}
+			}
+			if err := emit("%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+				pn, h.Count(), pn, h.Sum(), pn, h.Count()); err != nil {
+				return total, err
+			}
+		}
+		if s, ok := sketches[name]; ok {
+			if err := emit("# TYPE %s summary\n", pn); err != nil {
+				return total, err
+			}
+			for _, sq := range sketchQuantiles {
+				if err := emit("%s{quantile=\"%s\"} %d\n", pn, sq.label, s.Quantile(sq.q)); err != nil {
+					return total, err
+				}
+			}
+			if err := emit("%s_sum %d\n%s_count %d\n", pn, s.Sum(), pn, s.Count()); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}

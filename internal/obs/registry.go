@@ -88,15 +88,16 @@ func (h *Histogram) Bucket(i int) int64 {
 	return h.buckets[i].Load()
 }
 
-// Registry is a concurrency-safe collection of named counters and
-// histograms. Lookup-or-create takes a mutex; the returned handles update
-// atomically, so hot paths should cache them (as MetricsTracer does).
-// One registry can aggregate a whole campaign: the sim harness feeds every
-// run of a campaign into the same registry.
+// Registry is a concurrency-safe collection of named counters, histograms
+// and quantile sketches. Lookup-or-create takes a mutex; the returned
+// handles update atomically, so hot paths should cache them (as
+// MetricsTracer does). One registry can aggregate a whole campaign: the sim
+// harness feeds every run of a campaign into the same registry.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
+	sketches map[string]*Sketch
 }
 
 // NewRegistry returns an empty registry.
@@ -104,6 +105,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		hists:    make(map[string]*Histogram),
+		sketches: make(map[string]*Sketch),
 	}
 }
 
@@ -131,6 +133,18 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Sketch returns the named quantile sketch, creating it empty if needed.
+func (r *Registry) Sketch(name string) *Sketch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sketches[name]
+	if !ok {
+		s = &Sketch{}
+		r.sketches[name] = s
+	}
+	return s
+}
+
 // Value returns the named counter's current value (0 if absent).
 func (r *Registry) Value(name string) int64 {
 	r.mu.Lock()
@@ -142,57 +156,98 @@ func (r *Registry) Value(name string) int64 {
 	return c.Value()
 }
 
-// WriteTo dumps the registry as sorted expvar/Prometheus-style text: one
-// "key value" pair per line. Counters dump as "name value"; histograms as
-// "name.count", "name.sum" and cumulative "name.le.<upper>" bucket lines
-// (only up to the last non-empty bucket). All values are integers.
-func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+// sketchQuantiles are the fixed quantiles the text dump and the Prometheus
+// exposition report for every sketch.
+var sketchQuantiles = []struct {
+	q     float64
+	key   string // dump suffix
+	label string // Prometheus quantile label value
+}{
+	{0.50, "p50", "0.5"},
+	{0.90, "p90", "0.9"},
+	{0.95, "p95", "0.95"},
+	{0.99, "p99", "0.99"},
+}
+
+// snapshot copies the handle maps under the lock so dumps iterate without
+// holding it; the atomic handles stay live.
+func (r *Registry) snapshot() (names []string, counters map[string]*Counter, hists map[string]*Histogram, sketches map[string]*Sketch) {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.counters))
-	for name := range r.counters {
-		names = append(names, name)
+	defer r.mu.Unlock()
+	counters = make(map[string]*Counter, len(r.counters))
+	hists = make(map[string]*Histogram, len(r.hists))
+	sketches = make(map[string]*Sketch, len(r.sketches))
+	seen := make(map[string]struct{}, len(r.counters)+len(r.hists)+len(r.sketches))
+	add := func(name string) {
+		if _, ok := seen[name]; !ok {
+			seen[name] = struct{}{}
+			names = append(names, name)
+		}
 	}
-	hnames := make([]string, 0, len(r.hists))
-	for name := range r.hists {
-		hnames = append(hnames, name)
-	}
-	counters := make(map[string]*Counter, len(r.counters))
 	for name, c := range r.counters {
 		counters[name] = c
+		add(name)
 	}
-	hists := make(map[string]*Histogram, len(r.hists))
 	for name, h := range r.hists {
 		hists[name] = h
+		add(name)
 	}
-	r.mu.Unlock()
-
+	for name, s := range r.sketches {
+		sketches[name] = s
+		add(name)
+	}
 	sort.Strings(names)
-	sort.Strings(hnames)
+	return names, counters, hists, sketches
+}
+
+// WriteTo dumps the registry as sorted expvar/Prometheus-style text: one
+// "key value" pair per line, metric names in sorted order. Counters dump as
+// "name value"; histograms as "name.count", "name.sum" and cumulative
+// "name.le.<upper>" bucket lines (only up to the last non-empty bucket);
+// sketches as "name.count", "name.p50/.p90/.p95/.p99" and "name.sum". All
+// values are integers, and two dumps of the same campaign are byte-identical
+// regardless of worker count or dump order.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	names, counters, hists, sketches := r.snapshot()
+
 	var total int64
-	for _, name := range names {
-		n, err := fmt.Fprintf(w, "%s %d\n", name, counters[name].Value())
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
 		total += int64(n)
-		if err != nil {
-			return total, err
-		}
+		return err
 	}
-	for _, name := range hnames {
-		h := hists[name]
-		n, err := fmt.Fprintf(w, "%s.count %d\n%s.sum %d\n", name, h.Count(), name, h.Sum())
-		total += int64(n)
-		if err != nil {
-			return total, err
+	for _, name := range names {
+		if c, ok := counters[name]; ok {
+			if err := emit("%s %d\n", name, c.Value()); err != nil {
+				return total, err
+			}
 		}
-		last := histBuckets - 1
-		for last > 0 && h.Bucket(last) == 0 {
-			last--
+		if h, ok := hists[name]; ok {
+			if err := emit("%s.count %d\n%s.sum %d\n", name, h.Count(), name, h.Sum()); err != nil {
+				return total, err
+			}
+			last := histBuckets - 1
+			for last > 0 && h.Bucket(last) == 0 {
+				last--
+			}
+			cum := int64(0)
+			for i := 0; i <= last; i++ {
+				cum += h.Bucket(i)
+				if err := emit("%s.le.%d %d\n", name, BucketUpper(i), cum); err != nil {
+					return total, err
+				}
+			}
 		}
-		cum := int64(0)
-		for i := 0; i <= last; i++ {
-			cum += h.Bucket(i)
-			n, err := fmt.Fprintf(w, "%s.le.%d %d\n", name, BucketUpper(i), cum)
-			total += int64(n)
-			if err != nil {
+		if s, ok := sketches[name]; ok {
+			if err := emit("%s.count %d\n", name, s.Count()); err != nil {
+				return total, err
+			}
+			for _, sq := range sketchQuantiles {
+				if err := emit("%s.%s %d\n", name, sq.key, s.Quantile(sq.q)); err != nil {
+					return total, err
+				}
+			}
+			if err := emit("%s.sum %d\n", name, s.Sum()); err != nil {
 				return total, err
 			}
 		}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestSketchRelativeError: every reported quantile of a known distribution
+// must land within the documented 2.5% relative-error bound of the exact
+// nearest-rank quantile.
+func TestSketchRelativeError(t *testing.T) {
+	// A deterministic long-tailed sample: squares, so values span 1..1e6.
+	var values []int64
+	for i := 1; i <= 1000; i++ {
+		values = append(values, int64(i*i))
+	}
+	var s Sketch
+	for _, v := range values {
+		s.Observe(v)
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0} {
+		rank := int(math.Ceil(q * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := float64(sorted[rank-1])
+		got := float64(s.Quantile(q))
+		if rel := math.Abs(got-exact) / exact; rel > 0.025 {
+			t.Errorf("q=%.2f: got %v, exact %v, relative error %.4f > 0.025", q, got, exact, rel)
+		}
+	}
+}
+
+// TestSketchZeroAndEmpty: zero/negative observations land in the exact zero
+// bucket, and an empty sketch reports zero quantiles.
+func TestSketchZeroAndEmpty(t *testing.T) {
+	var s Sketch
+	if s.Quantile(0.5) != 0 || s.Count() != 0 {
+		t.Fatal("empty sketch must report zeros")
+	}
+	s.Observe(0)
+	s.Observe(-3)
+	s.Observe(100)
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("median of {0,-3,100} = %d, want 0 (zero bucket)", got)
+	}
+	if got := s.Quantile(1.0); got == 0 {
+		t.Error("max quantile must see the 100 observation")
+	}
+	if s.Count() != 3 || s.Sum() != 97 {
+		t.Errorf("count=%d sum=%d, want 3 and 97", s.Count(), s.Sum())
+	}
+}
+
+// TestSketchOrderInvariance: bucket totals commute, so any observation order
+// (as from parallel campaign workers) yields identical quantiles.
+func TestSketchOrderInvariance(t *testing.T) {
+	var a, b Sketch
+	for i := int64(1); i <= 500; i++ {
+		a.Observe(i * 7 % 1000)
+	}
+	for i := int64(500); i >= 1; i-- {
+		b.Observe(i * 7 % 1000)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Errorf("q=%.2f: order-dependent quantile %d vs %d", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}

@@ -64,6 +64,12 @@ type Env struct {
 	// The nil default costs nothing: every emission point is a nil check
 	// around a by-value method call, with no allocation on the hot path.
 	Tracer obs.Tracer
+	// Clock, when non-nil, is the session's simulated air-time clock.
+	// Sessions register their clock in Begin so the trace helpers can stamp
+	// every event with the deterministic simulated time it occurred at (the
+	// At fields in internal/obs). Nil — e.g. before Begin, or for a custom
+	// driver — stamps events with 0. Never read on the tracer-off path.
+	Clock *air.Clock
 	// PAckLoss is the probability that a reader acknowledgement fails to
 	// reach its tag. The tag then keeps transmitting until a later
 	// acknowledgement gets through, and the reader discards the duplicate
@@ -79,6 +85,16 @@ type Env struct {
 	// the fault-free fast path: no extra RNG draws, no extra allocations,
 	// byte-identical behaviour to a build without the injector.
 	Faults *fault.Injector
+}
+
+// Now returns the session's current simulated air time; 0 when no clock is
+// registered. It is only called inside tracer-on branches, so the tracer-off
+// path stays untouched (and zero-alloc).
+func (e *Env) Now() time.Duration {
+	if e.Clock == nil {
+		return 0
+	}
+	return e.Clock.Elapsed()
 }
 
 // Hardened reports whether the run executes under fault injection. The
@@ -133,6 +149,7 @@ func (e *Env) NotifySlot(ev SlotEvent) {
 			Kind:         ev.Kind,
 			Transmitters: ev.Transmitters,
 			Identified:   ev.Identified,
+			At:           e.Now(),
 		})
 	}
 }
@@ -146,7 +163,7 @@ func (e *Env) NotifyIdentified(id tagid.ID, viaResolution bool) {
 		e.OnIdentified(id, viaResolution)
 	}
 	if e.Tracer != nil {
-		e.Tracer.TagIdentified(obs.IdentifyEvent{ID: id, ViaResolution: viaResolution})
+		e.Tracer.TagIdentified(obs.IdentifyEvent{ID: id, ViaResolution: viaResolution, At: e.Now()})
 	}
 }
 
@@ -172,12 +189,14 @@ func (e *Env) TraceRunEnd(protocol string, m Metrics, err error) {
 	if err != nil {
 		ev.Err = err.Error()
 	}
+	ev.At = m.OnAir
 	e.Tracer.RunEnd(ev)
 }
 
 // TraceFrame emits a frame-boundary event.
 func (e *Env) TraceFrame(ev obs.FrameEvent) {
 	if e.Tracer != nil {
+		ev.At = e.Now()
 		e.Tracer.FrameStart(ev)
 	}
 }
@@ -185,6 +204,7 @@ func (e *Env) TraceFrame(ev obs.FrameEvent) {
 // TraceAdvert emits a single-slot advertisement event.
 func (e *Env) TraceAdvert(ev obs.AdvertEvent) {
 	if e.Tracer != nil {
+		ev.At = e.Now()
 		e.Tracer.Advertisement(ev)
 	}
 }
@@ -192,6 +212,7 @@ func (e *Env) TraceAdvert(ev obs.AdvertEvent) {
 // TraceAck emits an acknowledgement event.
 func (e *Env) TraceAck(ev obs.AckEvent) {
 	if e.Tracer != nil {
+		ev.At = e.Now()
 		e.Tracer.AckSent(ev)
 	}
 }
@@ -199,6 +220,7 @@ func (e *Env) TraceAck(ev obs.AckEvent) {
 // TraceEstimate emits a population-estimate update event.
 func (e *Env) TraceEstimate(ev obs.EstimateEvent) {
 	if e.Tracer != nil {
+		ev.At = e.Now()
 		e.Tracer.EstimatorUpdate(ev)
 	}
 }

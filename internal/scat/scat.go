@@ -138,6 +138,7 @@ func (p *Protocol) Begin(env *protocol.Env) protocol.Session {
 	}
 	s.store.Tracer = env.Tracer
 	s.store.Quarantine = env.Hardened()
+	env.Clock = &s.clock
 	env.TraceRunStart(p.Name())
 	s.n = p.cfg.KnownN
 	if s.n <= 0 {

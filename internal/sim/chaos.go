@@ -98,6 +98,12 @@ type ChaosReport struct {
 	FaultsInjected int
 	Quarantined    int
 
+	// Stalls counts stall episodes the health monitor flagged (stretches of
+	// non-empty slots with no new identification; see obs.HealthMonitor),
+	// and HealthScore is the monitor's final 0-100 degradation score.
+	Stalls      int
+	HealthScore float64
+
 	// Duration is the simulated air time of the surviving timeline.
 	Duration time.Duration
 }
@@ -120,6 +126,8 @@ type ChaosResult struct {
 	Crashes        stats.Summary
 	FaultsInjected stats.Summary
 	Quarantined    stats.Summary
+	Stalls         stats.Summary
+	HealthScore    stats.Summary
 }
 
 // RunChaos executes the chaos campaign for one session protocol, with the
@@ -232,7 +240,10 @@ func RunChaosOnce(p protocol.SessionProtocol, cfg ChaosConfig, run int) (ChaosRe
 		OnFaultInjected:     func(obs.FaultEvent) { rep.FaultsInjected++ },
 		OnRecordQuarantined: func(obs.QuarantineEvent) { rep.Quarantined++ },
 	}
-	env.Tracer = obs.Multi(audit, cfg.tracer())
+	// The health monitor rides the same in-run event stream as the audit;
+	// its final score and stall count land in the report.
+	health := obs.NewHealthMonitor(obs.HealthConfig{})
+	env.Tracer = obs.Multi(audit, health, cfg.tracer())
 
 	var (
 		inj *fault.Injector
@@ -441,6 +452,8 @@ func RunChaosOnce(p protocol.SessionProtocol, cfg ChaosConfig, run int) (ChaosRe
 	}
 	rep.Admitted = len(rep.Tags)
 	env.TraceRunEnd(p.Name(), rep.Metrics, runErr)
+	rep.Stalls = health.Stalls()
+	rep.HealthScore = health.Score()
 	return rep, runErr
 }
 
@@ -622,6 +635,8 @@ func (r *ChaosResult) summarize() {
 		cr  = make([]float64, 0, n)
 		fl  = make([]float64, 0, n)
 		qr  = make([]float64, 0, n)
+		st  = make([]float64, 0, n)
+		hs  = make([]float64, 0, n)
 	)
 	for i := range r.Runs {
 		rep := &r.Runs[i]
@@ -635,6 +650,8 @@ func (r *ChaosResult) summarize() {
 		cr = append(cr, float64(rep.Crashes))
 		fl = append(fl, float64(rep.FaultsInjected))
 		qr = append(qr, float64(rep.Quarantined))
+		st = append(st, float64(rep.Stalls))
+		hs = append(hs, rep.HealthScore)
 	}
 	r.Admitted = stats.Summarize(adm)
 	r.Identified = stats.Summarize(idf)
@@ -644,4 +661,6 @@ func (r *ChaosResult) summarize() {
 	r.Crashes = stats.Summarize(cr)
 	r.FaultsInjected = stats.Summarize(fl)
 	r.Quarantined = stats.Summarize(qr)
+	r.Stalls = stats.Summarize(st)
+	r.HealthScore = stats.Summarize(hs)
 }

@@ -67,6 +67,7 @@ func (p ABS) Begin(env *protocol.Env) protocol.Session {
 		seen:   make(map[tagid.ID]struct{}, len(env.Tags)),
 		budget: env.SlotBudget(),
 	}
+	env.Clock = &s.clock
 	env.TraceRunStart(p.Name())
 	initial := make([]tagid.ID, len(env.Tags))
 	copy(initial, env.Tags)
@@ -297,6 +298,7 @@ func (a *AQS) begin(env *protocol.Env, start []leaf) *aqsSession {
 		budget: env.SlotBudget(),
 		leaves: start,
 	}
+	env.Clock = &s.clock
 	env.TraceRunStart(a.Name())
 	s.m = protocol.Metrics{Tags: len(env.Tags)}
 	s.beginRound(start, env.Tags)

@@ -5,9 +5,12 @@
 package ancrfid_test
 
 import (
+	"io"
 	"testing"
+	"time"
 
 	"github.com/ancrfid/ancrfid"
+	"github.com/ancrfid/ancrfid/internal/channel"
 )
 
 // BenchmarkCampaign measures a single-worker FCAT-2 campaign over 5000
@@ -98,5 +101,41 @@ func BenchmarkSlotLoop(b *testing.B) {
 	}
 	if slots > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(slots), "ns/slot")
+	}
+}
+
+// BenchmarkSpanEmit measures the span builder's per-slot cost: folding an
+// identify + slot event pair into the open hierarchy with a no-op sink.
+// This is the overhead -spans adds to every traced slot, so the bench gate
+// tracks it; TestSpanEmitNoAlloc (internal/obs) pins it allocation-free.
+func BenchmarkSpanEmit(b *testing.B) {
+	sb := ancrfid.NewSpanBuilder(ancrfid.SpanSinkFunc(func(ancrfid.Span) {}))
+	sb.RunStart(ancrfid.TraceRunStartEvent{Protocol: "BENCH", Tags: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := time.Duration(i) * time.Millisecond
+		sb.TagIdentified(ancrfid.TraceIdentifyEvent{At: at})
+		sb.SlotDone(ancrfid.TraceSlotEvent{Seq: i, Kind: channel.Singleton,
+			Transmitters: 1, At: at})
+	}
+}
+
+// BenchmarkExposition measures one Prometheus text exposition of a
+// campaign-populated registry — the cost of a /metrics scrape against a
+// live -serve endpoint.
+func BenchmarkExposition(b *testing.B) {
+	p := ancrfid.NewFCAT(2)
+	reg := ancrfid.NewRegistry()
+	cfg := ancrfid.SimConfig{Tags: 1000, Runs: 1, Seed: 1, Workers: 1, Metrics: reg}
+	if _, err := ancrfid.Run(p, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ancrfid.WritePrometheus(io.Discard, reg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,144 @@
+package ancrfid_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/ancrfid/ancrfid"
+)
+
+var telemetryProtocols = []string{"FCAT-2", "SCAT-2", "DFSA", "EDFSA", "CRDSA", "ABS", "AQS"}
+
+// collectSpans runs a campaign with a span builder attached and returns the
+// emitted span stream.
+func collectSpans(t *testing.T, name string, workers int) []ancrfid.Span {
+	t.Helper()
+	p, err := ancrfid.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []ancrfid.Span
+	b := ancrfid.NewSpanBuilder(ancrfid.SpanSinkFunc(func(s ancrfid.Span) {
+		spans = append(spans, s)
+	}))
+	cfg := ancrfid.SimConfig{Tags: 150, Runs: 3, Seed: 11, Workers: workers, Tracer: b}
+	if _, err := ancrfid.Run(p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	return spans
+}
+
+// TestSpanInvariants is the span-model property test, across every
+// protocol: IDs are unique, every span satisfies Start <= End, every parent
+// link resolves to an emitted span, children nest inside their parents, and
+// the campaign span (ID 1) closes the stream covering all runs.
+func TestSpanInvariants(t *testing.T) {
+	for _, name := range telemetryProtocols {
+		t.Run(name, func(t *testing.T) {
+			spans := collectSpans(t, name, 1)
+			if len(spans) == 0 {
+				t.Fatal("no spans emitted")
+			}
+			byID := make(map[uint64]ancrfid.Span, len(spans))
+			runs := 0
+			for _, s := range spans {
+				if _, dup := byID[s.ID]; dup {
+					t.Fatalf("duplicate span ID %d", s.ID)
+				}
+				byID[s.ID] = s
+				if s.Kind == ancrfid.SpanRun {
+					runs++
+				}
+			}
+			for _, s := range spans {
+				if s.Start > s.End {
+					t.Errorf("span %d (%v): start %v > end %v", s.ID, s.Kind, s.Start, s.End)
+				}
+				if s.Kind == ancrfid.SpanCampaign {
+					if s.ID != 1 || s.Parent != 0 {
+						t.Errorf("campaign span must be ID 1 / parent 0, got %+v", s)
+					}
+					continue
+				}
+				p, ok := byID[s.Parent]
+				if !ok {
+					t.Errorf("span %d (%v): parent %d never emitted", s.ID, s.Kind, s.Parent)
+					continue
+				}
+				if s.Start < p.Start || s.End > p.End {
+					t.Errorf("span %d (%v) [%v,%v] escapes parent %d (%v) [%v,%v]",
+						s.ID, s.Kind, s.Start, s.End, p.ID, p.Kind, p.Start, p.End)
+				}
+			}
+			last := spans[len(spans)-1]
+			if last.Kind != ancrfid.SpanCampaign {
+				t.Errorf("stream must end with the campaign span, got %v", last.Kind)
+			}
+			if runs != 3 {
+				t.Errorf("%d run spans, want 3", runs)
+			}
+		})
+	}
+}
+
+// TestSpanStreamWorkersIdentical: the ordered-merge determinism contract
+// extends to spans — the span stream (serialised through the Chrome-trace
+// exporter, IDs and all) is byte-identical for any worker count.
+func TestSpanStreamWorkersIdentical(t *testing.T) {
+	render := func(name string, workers int) []byte {
+		p, err := ancrfid.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		ct := ancrfid.NewChromeTrace(&buf)
+		b := ancrfid.NewSpanBuilder(ct)
+		cfg := ancrfid.SimConfig{Tags: 120, Runs: 6, Seed: 7, Workers: workers, Tracer: b}
+		if _, err := ancrfid.Run(p, cfg); err != nil {
+			t.Fatal(err)
+		}
+		b.Close()
+		if err := ct.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, name := range telemetryProtocols {
+		t.Run(name, func(t *testing.T) {
+			seq := render(name, 1)
+			par := render(name, 8)
+			if !bytes.Equal(seq, par) {
+				t.Errorf("span stream differs between workers=1 (%d bytes) and workers=8 (%d bytes)",
+					len(seq), len(par))
+			}
+		})
+	}
+}
+
+// TestPrometheusDeterministic: the exposition of one campaign's registry is
+// identical across worker counts and across repeated dumps (the atomic
+// totals commute; the encoder iterates sorted names).
+func TestPrometheusDeterministic(t *testing.T) {
+	expose := func(workers int) []byte {
+		p, err := ancrfid.ByName("FCAT-2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := ancrfid.NewRegistry()
+		cfg := ancrfid.SimConfig{Tags: 200, Runs: 4, Seed: 9, Workers: workers, Metrics: reg}
+		if _, err := ancrfid.Run(p, cfg); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ancrfid.WritePrometheus(&buf, reg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq := expose(1)
+	par := expose(8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("exposition differs between worker counts:\n--- workers=1\n%s\n--- workers=8\n%s", seq, par)
+	}
+}
