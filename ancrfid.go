@@ -47,6 +47,7 @@ import (
 	"github.com/ancrfid/ancrfid/internal/edfsa"
 	"github.com/ancrfid/ancrfid/internal/fault"
 	"github.com/ancrfid/ancrfid/internal/fcat"
+	"github.com/ancrfid/ancrfid/internal/fleet"
 	"github.com/ancrfid/ancrfid/internal/obs"
 	"github.com/ancrfid/ancrfid/internal/prestep"
 	"github.com/ancrfid/ancrfid/internal/protocol"
@@ -453,6 +454,76 @@ func PortalWorkload(burst int, epochRate float64, meanDwell, duration time.Durat
 // identification latencies.
 func LatencyPercentile(lat []time.Duration, p float64) time.Duration {
 	return workload.Percentile(lat, p)
+}
+
+// Multi-reader fleet simulation. A fleet hosts N readers over M
+// interrogation zones on a deterministic discrete-event scheduler:
+// adjacent-zone readers interfere per a dBm link budget, coordination
+// policies (Colorwave-style TDMA, listen-before-talk) arbitrate the air,
+// and tag populations migrate between zones. Fleet runs are bit-identical
+// for any worker count, and a one-reader one-zone fleet reproduces the
+// single-reader run exactly. See docs/fleet.md.
+type (
+	// FleetTopology describes one fleet: reader/zone counts, policy, link
+	// budget, migration workload and per-reader overrides.
+	FleetTopology = fleet.Config
+	// FleetReport is the outcome of one fleet run, with per-reader and
+	// per-tag records and fleet-wide population accounting.
+	FleetReport = fleet.Report
+	// FleetReaderReport summarises one reader of a fleet run.
+	FleetReaderReport = fleet.ReaderReport
+	// FleetTagLifecycle is one tag's journey through the fleet.
+	FleetTagLifecycle = fleet.TagLifecycle
+	// FleetLinkBudget is the dBm arithmetic of reader-to-reader
+	// interference.
+	FleetLinkBudget = fleet.LinkBudget
+	// FleetPolicy arbitrates when a reader may open a slot.
+	FleetPolicy = fleet.Policy
+	// FleetGrantContext is what a policy sees when deciding a grant.
+	FleetGrantContext = fleet.GrantContext
+	// FleetSimConfig describes a multi-reader Monte-Carlo campaign.
+	FleetSimConfig = sim.FleetConfig
+	// FleetSimResult aggregates a fleet campaign.
+	FleetSimResult = sim.FleetResult
+
+	// TraceFleetEvent reports one fleet-scheduler event (blocked slot,
+	// interfered slot, zone migration).
+	TraceFleetEvent = obs.FleetEvent
+)
+
+// ErrFleetMigrationNeedsHorizon is returned when a migrating fleet has no
+// time horizon to run against.
+var ErrFleetMigrationNeedsHorizon = fleet.ErrMigrationNeedsHorizon
+
+// UncoordinatedPolicy is the baseline fleet policy: every reader transmits
+// whenever it has work.
+func UncoordinatedPolicy() FleetPolicy { return fleet.Uncoordinated{} }
+
+// TDMAPolicy is Colorwave-style time-division coordination; colors 0 uses
+// the fleet's default colour count (the zone ring's chromatic number).
+func TDMAPolicy(colors int) FleetPolicy { return fleet.TDMA{Colors: colors} }
+
+// LBTPolicy is listen-before-talk: a reader defers while an interfering
+// adjacent-zone carrier covers its slot start.
+func LBTPolicy() FleetPolicy { return fleet.LBT{} }
+
+// DefaultFleetLinkBudget returns the warehouse-portal link budget: 30 dBm
+// readers, 40 dB adjacent-zone loss, a -90 dBm noise floor and a 10 dB
+// interference margin.
+func DefaultFleetLinkBudget() FleetLinkBudget { return fleet.DefaultLinkBudget() }
+
+// RunFleet executes a multi-reader Monte-Carlo campaign: each run
+// schedules cfg.Fleet's topology over the discrete-event core. Workers > 1
+// parallelises across runs with the same ordered-merge determinism as Run;
+// cfg.Fleet.Workers additionally parallelises the zone shards inside each
+// run.
+func RunFleet(p SessionProtocol, cfg FleetSimConfig) (FleetSimResult, error) {
+	return sim.RunFleet(p, cfg)
+}
+
+// RunFleetOnce executes a single deterministic fleet run.
+func RunFleetOnce(p SessionProtocol, cfg FleetSimConfig, run int) (FleetReport, error) {
+	return sim.RunFleetOnce(p, cfg, run)
 }
 
 // NewRNG returns a deterministic random source.

@@ -116,3 +116,39 @@ func TestRunEmptyInput(t *testing.T) {
 		t.Fatal("empty benchmark output should fail")
 	}
 }
+
+// TestRunParseFailure pins the CI contract that a malformed ns/op field is
+// a hard error (non-zero exit), not a silently skipped line: a gate run
+// over garbage must never report success.
+func TestRunParseFailure(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "garbled.txt")
+	garbled := "BenchmarkFig4ExpectedSlots-4 \t 1 \t 1.2.3 ns/op\n"
+	if err := os.WriteFile(in, []byte(garbled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-in", in}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "1.2.3") {
+		t.Fatalf("garbled ns/op should fail with the offending line, got %v", err)
+	}
+}
+
+// TestRunCorruptBaseline: a truncated or hand-mangled baseline JSON must
+// fail the gate rather than gate against nothing.
+func TestRunCorruptBaseline(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseline := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(baseline, []byte(`{"benchmarks": {`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-in", in, "-baseline", baseline}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "parsing baseline") {
+		t.Fatalf("corrupt baseline should fail the gate, got %v", err)
+	}
+}

@@ -39,6 +39,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/ancrfid/ancrfid"
@@ -81,6 +83,12 @@ func run(args []string) error {
 		arrivalRate   = fs.Float64("arrival-rate", 0, "continuous inventory: Poisson tag arrivals per second (enables the dynamic workload)")
 		departureRate = fs.Float64("departure-rate", 0, "continuous inventory: per-tag departure hazard in 1/s")
 		duration      = fs.Duration("duration", 0, "continuous inventory: simulated horizon (default 10s when a dynamic rate is set)")
+
+		readers     = fs.Int("readers", 1, "fleet: number of readers (>1 enables the multi-reader scheduler)")
+		zones       = fs.Int("zones", 0, "fleet: interrogation zones on a ring (0 = one per reader)")
+		policyName  = fs.String("policy", "none", "fleet: reader coordination policy: none, tdma, lbt")
+		readerPower = fs.String("reader-power", "", "fleet: comma-separated per-reader transmit power in dBm (default 30)")
+		migrate     = fs.Float64("migrate", 0, "fleet: per-tag zone-migration hazard in 1/s (uses -duration as horizon, default 10s)")
 
 		faultAckLoss   = fs.Float64("fault-ack-loss", 0, "fault injection: probability an acknowledgement is dropped (deterministic, seed-split)")
 		faultBurstDuty = fs.Float64("fault-burst-duty", 0, "fault injection: Gilbert-Elliott burst-noise duty cycle (fraction of slots spoiled)")
@@ -294,6 +302,42 @@ func run(args []string) error {
 		return runSeveritySweep(cfg, lam, *sweepSeverity)
 	}
 
+	if *readers > 1 || *zones > 1 || *migrate > 0 || *policyName != "none" {
+		topo := ancrfid.FleetTopology{
+			Readers:       *readers,
+			Zones:         *zones,
+			Workers:       *workers,
+			Horizon:       *duration,
+			MigrationRate: *migrate,
+		}
+		if *migrate > 0 && topo.Horizon <= 0 {
+			topo.Horizon = 10 * time.Second
+		}
+		switch *policyName {
+		case "none":
+			topo.Policy = ancrfid.UncoordinatedPolicy()
+		case "tdma":
+			topo.Policy = ancrfid.TDMAPolicy(0)
+		case "lbt":
+			topo.Policy = ancrfid.LBTPolicy()
+		default:
+			return fmt.Errorf("unknown policy %q (want none, tdma or lbt)", *policyName)
+		}
+		if *readerPower != "" {
+			for _, field := range strings.Split(*readerPower, ",") {
+				dbm, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+				if err != nil {
+					return fmt.Errorf("bad -reader-power entry %q: %w", field, err)
+				}
+				topo.ReaderPower = append(topo.ReaderPower, dbm)
+			}
+		}
+		if err := runFleet(p, cfg, topo, *chanKind); err != nil {
+			return err
+		}
+		return flushOutputs()
+	}
+
 	if *chaos {
 		horizon := *duration
 		if horizon <= 0 {
@@ -476,6 +520,115 @@ func runSeveritySweep(cfg ancrfid.SimConfig, lam, points int) error {
 			scatHealth.Score(), fcatHealth.Score())
 	}
 	return nil
+}
+
+// runFleet executes the multi-reader mode: each run schedules the fleet
+// topology over the discrete-event core. Runs execute sequentially so a
+// failing run can still print its partial report; the per-run zone shards
+// run on topo.Workers goroutines with bit-identical output for any count.
+func runFleet(p ancrfid.Protocol, cfg ancrfid.SimConfig, topo ancrfid.FleetTopology, chanKind string) error {
+	sp, ok := ancrfid.AsSession(p)
+	if !ok {
+		return fmt.Errorf("protocol %s does not support fleet mode", p.Name())
+	}
+	fcfg := ancrfid.FleetSimConfig{Config: cfg, Fleet: topo}
+
+	nReaders := topo.Readers
+	if nReaders <= 0 {
+		nReaders = 1
+	}
+	nZones := topo.Zones
+	if nZones <= 0 {
+		nZones = nReaders
+	}
+	shape := "ring"
+	if topo.Linear {
+		shape = "line"
+	}
+	link := ancrfid.DefaultFleetLinkBudget()
+	fmt.Printf("protocol        %s (fleet mode)\n", p.Name())
+	fmt.Printf("fleet           %d readers over %d zones (%s), policy %s, link %.0f dBm tx / %.0f dB adjacent loss\n",
+		nReaders, nZones, shape, topo.Policy.Name(), link.TxPowerDBm, link.AdjacentLossDB)
+	if topo.MigrationRate > 0 || topo.Horizon > 0 {
+		fmt.Printf("workload        migration hazard %.2f/s, horizon %v\n", topo.MigrationRate, topo.Horizon)
+	}
+	fmt.Printf("population      %d tags per reader, %d runs, seed %d, channel %s\n",
+		cfg.Tags, cfg.Runs, cfg.Seed, chanKind)
+
+	var (
+		reports  []ancrfid.FleetReport
+		firstErr error
+	)
+	for i := 0; i < cfg.Runs; i++ {
+		rep, err := ancrfid.RunFleetOnce(sp, fcfg, i)
+		reports = append(reports, rep)
+		if err != nil {
+			fmt.Printf("run %d FAILED after %v: %v\n", i, rep.Duration.Round(time.Millisecond), err)
+			firstErr = fmt.Errorf("%s fleet run %d: %w", p.Name(), i, err)
+			break
+		}
+	}
+	if len(reports) == 0 {
+		return firstErr
+	}
+
+	n := float64(len(reports))
+	fmt.Printf("%-7s %-5s %-10s %-11s %-8s %-8s %-11s %s\n",
+		"reader", "zone", "power", "identified", "steps", "blocked", "interfered", "air (run means)")
+	for r := 0; r < nReaders; r++ {
+		var idf, steps, blocked, interf, air float64
+		var zone int
+		var power float64
+		for i := range reports {
+			if r >= len(reports[i].Readers) {
+				continue
+			}
+			rr := &reports[i].Readers[r]
+			zone, power = rr.Zone, rr.PowerDBm
+			idf += float64(rr.Metrics.Identified())
+			steps += float64(rr.Steps)
+			blocked += float64(rr.Blocked)
+			interf += float64(rr.Interfered)
+			air += rr.OnAir.Seconds()
+		}
+		fmt.Printf("%-7d %-5d %-10s %-11.1f %-8.1f %-8.1f %-11.1f %v\n",
+			r, zone, fmt.Sprintf("%.1f dBm", power), idf/n, steps/n, blocked/n, interf/n,
+			time.Duration(air/n*float64(time.Second)).Round(time.Millisecond))
+	}
+
+	var adm, idf, missed, active, mig, col, blk, dur, tp float64
+	dups, phantoms, unaccounted := 0, 0, 0
+	for i := range reports {
+		rep := &reports[i]
+		adm += float64(rep.Admitted)
+		idf += float64(rep.Identified)
+		missed += float64(rep.DepartedUnread)
+		active += float64(rep.ActiveUnread)
+		mig += float64(rep.Migrations)
+		col += float64(rep.ReaderCollisions)
+		blk += float64(rep.BlockedSlots)
+		dur += rep.Duration.Seconds()
+		if rep.Duration > 0 {
+			tp += float64(rep.Identified) / rep.Duration.Seconds()
+		}
+		dups += rep.DupIdents
+		phantoms += rep.Phantoms
+		if !rep.Accounted() {
+			unaccounted++
+		}
+	}
+	fmt.Printf("accounting      admitted %.1f = identified %.1f + missed %.1f + still-active %.1f (run means)\n",
+		adm/n, idf/n, missed/n, active/n)
+	fmt.Printf("coordination    %.1f migrations, %.1f reader-collision slots, %.1f policy-blocked slots (run means)\n",
+		mig/n, col/n, blk/n)
+	fmt.Printf("invariants      phantom IDs %d, duplicate identifications %d, accounting violations %d (totals over %d runs)\n",
+		phantoms, dups, unaccounted, len(reports))
+	fmt.Printf("throughput      %.1f tags/s fleet-wide over %v mean wall clock\n",
+		tp/n, time.Duration(dur/n*float64(time.Second)).Round(time.Millisecond))
+	if firstErr == nil && (phantoms > 0 || dups > 0 || unaccounted > 0) {
+		firstErr = fmt.Errorf("%s fleet campaign violated inventory invariants", p.Name())
+	}
+	return firstErr
 }
 
 // runDynamic executes the continuous-inventory mode: each run drives a

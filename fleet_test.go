@@ -1,0 +1,190 @@
+package ancrfid_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ancrfid/ancrfid"
+)
+
+// sessionByName resolves a protocol and asserts it supports sessions.
+func sessionByName(t testing.TB, name string) ancrfid.SessionProtocol {
+	t.Helper()
+	p, err := ancrfid.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, ok := ancrfid.AsSession(p)
+	if !ok {
+		t.Fatalf("%s does not support sessions", name)
+	}
+	return sp
+}
+
+// TestFleetDegenerateMatchesSingleReader pins the fleet scheduler's
+// degenerate case: a one-reader one-zone fleet must reproduce the plain
+// single-reader run exactly — same protocol metrics and a byte-identical
+// JSONL event stream. This is what entitles every existing golden to stay
+// untouched by the fleet layer.
+func TestFleetDegenerateMatchesSingleReader(t *testing.T) {
+	for _, name := range []string{"FCAT-2", "SCAT-2", "DFSA"} {
+		t.Run(name, func(t *testing.T) {
+			base := ancrfid.SimConfig{Tags: 200, Seed: 17, PAckLoss: 0.05}
+
+			soloCfg := base
+			var soloTrace bytes.Buffer
+			soloCfg.Tracer = ancrfid.NewJSONLTracer(&soloTrace)
+			p, err := ancrfid.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			soloM, err := ancrfid.RunOnce(p, soloCfg, 0)
+			if err != nil {
+				t.Fatalf("single-reader run: %v", err)
+			}
+
+			fleetCfg := ancrfid.FleetSimConfig{Config: base, Fleet: ancrfid.FleetTopology{Readers: 1, Zones: 1}}
+			var fleetTrace bytes.Buffer
+			fleetCfg.Tracer = ancrfid.NewJSONLTracer(&fleetTrace)
+			rep, err := ancrfid.RunFleetOnce(sessionByName(t, name), fleetCfg, 0)
+			if err != nil {
+				t.Fatalf("fleet run: %v", err)
+			}
+
+			if len(rep.Readers) != 1 {
+				t.Fatalf("fleet has %d readers, want 1", len(rep.Readers))
+			}
+			if got := rep.Readers[0].Metrics; got != soloM {
+				t.Errorf("reader 0 metrics diverge from the single-reader run:\nfleet: %+v\nsolo:  %+v", got, soloM)
+			}
+			if !bytes.Equal(fleetTrace.Bytes(), soloTrace.Bytes()) {
+				t.Errorf("JSONL trace diverges from the single-reader run (%d vs %d bytes)",
+					fleetTrace.Len(), soloTrace.Len())
+			}
+			if rep.Identified != soloM.Identified() || !rep.Accounted() {
+				t.Errorf("fleet accounting (identified %d, accounted %v) disagrees with solo %d",
+					rep.Identified, rep.Accounted(), soloM.Identified())
+			}
+		})
+	}
+}
+
+// runFleetInstrumented executes the acceptance scenario — a 4-reader
+// 4-zone FCAT-2 fleet campaign with migrating tags — and captures
+// everything observable: the campaign result (hashed via %#v), the full
+// JSONL trace, and the metrics registry dump.
+func runFleetInstrumented(t *testing.T, policy ancrfid.FleetPolicy, campaignWorkers, fleetWorkers int) (string, string, string) {
+	t.Helper()
+	var trace bytes.Buffer
+	jsonl := ancrfid.NewJSONLTracer(&trace)
+	reg := ancrfid.NewRegistry()
+	res, err := ancrfid.RunFleet(sessionByName(t, "FCAT-2"), ancrfid.FleetSimConfig{
+		Config: ancrfid.SimConfig{
+			Tags: 60, Runs: 4, Seed: 23, PAckLoss: 0.02,
+			Tracer: jsonl, Metrics: reg, Workers: campaignWorkers,
+		},
+		Fleet: ancrfid.FleetTopology{
+			Readers: 4, Zones: 4, Policy: policy, Workers: fleetWorkers,
+			Horizon: 300 * time.Millisecond, MigrationRate: 3,
+		},
+	})
+	if err != nil {
+		t.Fatalf("policy=%s campaignWorkers=%d fleetWorkers=%d: %v",
+			policy.Name(), campaignWorkers, fleetWorkers, err)
+	}
+	if err := jsonl.Err(); err != nil {
+		t.Fatalf("trace write: %v", err)
+	}
+	var dump strings.Builder
+	if _, err := reg.WriteTo(&dump); err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%#v", res), trace.String(), dump.String()
+}
+
+// TestFleetCampaignDeterminism is the fleet acceptance test: the 4-reader
+// 4-zone FCAT-2 campaign must be bit-identical — result hash, JSONL trace,
+// registry dump — across zone-shard worker counts (1 vs 8) and campaign
+// worker counts (1 vs 4), under both TDMA and listen-before-talk.
+func TestFleetCampaignDeterminism(t *testing.T) {
+	for _, policy := range []ancrfid.FleetPolicy{ancrfid.TDMAPolicy(0), ancrfid.LBTPolicy()} {
+		t.Run(policy.Name(), func(t *testing.T) {
+			t.Parallel()
+			refRes, refTrace, refReg := runFleetInstrumented(t, policy, 1, 1)
+			if refTrace == "" || !strings.Contains(refReg, "fleet.") {
+				t.Fatal("instrumentation vacuous: empty trace or no fleet.* metric families")
+			}
+			for _, w := range [][2]int{{1, 8}, {4, 1}, {4, 8}} {
+				res, trace, reg := runFleetInstrumented(t, policy, w[0], w[1])
+				if res != refRes {
+					t.Errorf("campaignWorkers=%d fleetWorkers=%d: result differs from sequential", w[0], w[1])
+				}
+				if trace != refTrace {
+					t.Errorf("campaignWorkers=%d fleetWorkers=%d: JSONL trace differs (%d vs %d bytes)",
+						w[0], w[1], len(trace), len(refTrace))
+				}
+				if reg != refReg {
+					t.Errorf("campaignWorkers=%d fleetWorkers=%d: registry dump differs", w[0], w[1])
+				}
+			}
+		})
+	}
+}
+
+// TestFleetCampaignSummaries sanity-checks the campaign aggregation the
+// CLI prints: a coordinated migrating fleet identifies tags, migrates
+// them, and keeps the fleet-wide accounting total in every run.
+func TestFleetCampaignSummaries(t *testing.T) {
+	res, err := ancrfid.RunFleet(sessionByName(t, "FCAT-2"), ancrfid.FleetSimConfig{
+		Config: ancrfid.SimConfig{Tags: 50, Runs: 3, Seed: 5},
+		Fleet: ancrfid.FleetTopology{
+			Readers: 4, Zones: 4, Policy: ancrfid.TDMAPolicy(0),
+			Horizon: 300 * time.Millisecond, MigrationRate: 2, Workers: 4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "tdma" || len(res.Runs) != 3 {
+		t.Fatalf("Policy=%q len(Runs)=%d, want tdma/3", res.Policy, len(res.Runs))
+	}
+	if res.Identified.Mean <= 0 || res.Throughput.Mean <= 0 {
+		t.Errorf("vacuous campaign: identified %.1f, throughput %.1f", res.Identified.Mean, res.Throughput.Mean)
+	}
+	if res.Migrations.Mean <= 0 {
+		t.Error("no migrations despite a migrating workload")
+	}
+	for i := range res.Runs {
+		if !res.Runs[i].Accounted() {
+			t.Errorf("run %d: fleet accounting not total", i)
+		}
+		if res.Runs[i].DupIdents != 0 || res.Runs[i].Phantoms != 0 {
+			t.Errorf("run %d: dup idents %d, phantoms %d", i, res.Runs[i].DupIdents, res.Runs[i].Phantoms)
+		}
+	}
+}
+
+// BenchmarkFleetCampaign measures the multi-reader scheduler end to end:
+// a 4-reader 4-zone TDMA campaign with intra-run zone sharding. Wired into
+// the CI bench gate with a fixed iteration count.
+func BenchmarkFleetCampaign(b *testing.B) {
+	sp := sessionByName(b, "FCAT-2")
+	cfg := ancrfid.FleetSimConfig{
+		Config: ancrfid.SimConfig{Tags: 100, Runs: 4, Seed: 3, Workers: 4},
+		Fleet:  ancrfid.FleetTopology{Readers: 4, Zones: 4, Policy: ancrfid.TDMAPolicy(0), Workers: 2},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ancrfid.RunFleet(sp, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Identified.Mean <= 0 {
+			b.Fatal("vacuous campaign")
+		}
+	}
+}

@@ -416,4 +416,3 @@ func (sc *FrameScratch) Read() map[tagid.ID]struct{} {
 	clear(sc.read)
 	return sc.read
 }
-

@@ -230,7 +230,7 @@ func (i *Injector) CorruptDecodeBit(slot uint64) (int, bool) {
 	if !i.chance(saltDecode, slot, i.cfg.CorruptDecode) {
 		return 0, false
 	}
-	return int(mix64(i.salt ^ saltDecode ^ mix64(slot^0x5bd1)) % tagid.Bits), true
+	return int(mix64(i.salt^saltDecode^mix64(slot^0x5bd1)) % tagid.Bits), true
 }
 
 // BadSlot reports whether the Gilbert–Elliott process is in the bad state

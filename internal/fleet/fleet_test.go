@@ -1,0 +1,363 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/ancrfid/ancrfid/internal/fault"
+	"github.com/ancrfid/ancrfid/internal/fcat"
+	"github.com/ancrfid/ancrfid/internal/obs"
+)
+
+func TestEventQueueOrder(t *testing.T) {
+	var q eventQueue
+	r := rand.New(rand.NewSource(7))
+	const n = 500
+	for i := 0; i < n; i++ {
+		// Coarse times force plenty of ties; seq must break them in push
+		// order.
+		q.push(event{at: time.Duration(r.Intn(20)) * time.Millisecond, kind: evStep, reader: i})
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d, want %d", q.Len(), n)
+	}
+	var prev event
+	for i := 0; i < n; i++ {
+		peeked, ok := q.peek()
+		if !ok {
+			t.Fatalf("peek %d: empty", i)
+		}
+		ev, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d: empty", i)
+		}
+		if peeked != ev {
+			t.Fatalf("pop %d: peek %+v != pop %+v", i, peeked, ev)
+		}
+		if i > 0 && ev.before(prev) {
+			t.Fatalf("pop %d out of order: %+v after %+v", i, ev, prev)
+		}
+		if i > 0 && ev.at == prev.at && ev.seq < prev.seq {
+			t.Fatalf("pop %d: tie not broken by push order: %+v after %+v", i, ev, prev)
+		}
+		prev = ev
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on empty queue reported an event")
+	}
+}
+
+func TestDefaultColors(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 4: 2, 8: 2, 3: 3, 5: 3, 7: 3}
+	for zones, want := range cases {
+		if got := defaultColors(zones); got != want {
+			t.Errorf("defaultColors(%d) = %d, want %d", zones, got, want)
+		}
+	}
+	// Adjacency check: on any ring the default colouring must give adjacent
+	// zones distinct colours (including across the wraparound seam).
+	for zones := 2; zones <= 9; zones++ {
+		k := defaultColors(zones)
+		for z := 0; z < zones; z++ {
+			c := zoneColor(z, zones, k)
+			if c < 0 || c >= k {
+				t.Fatalf("zones=%d: zoneColor(%d) = %d out of range", zones, z, c)
+			}
+			if n := (z + 1) % zones; c == zoneColor(n, zones, k) {
+				t.Errorf("zones=%d colors=%d: zone %d and %d share colour", zones, k, z, n)
+			}
+		}
+	}
+}
+
+func TestTDMAGrant(t *testing.T) {
+	q := 2 * time.Millisecond
+	ctx := GrantContext{Zone: 1, Zones: 4, Quantum: q, Colors: 2}
+	p := TDMA{}
+	// Zone 1, 2 colours: own phases are odd quanta.
+	if ok, _ := p.Grant(ctx, q); !ok {
+		t.Fatal("own phase denied")
+	}
+	if ok, _ := p.Grant(ctx, q+q/2); !ok {
+		t.Fatal("mid own phase denied")
+	}
+	ok, retry := p.Grant(ctx, 0)
+	if ok {
+		t.Fatal("foreign phase granted")
+	}
+	if retry != q {
+		t.Fatalf("retry = %v, want %v", retry, q)
+	}
+	// From inside a foreign phase the retry is the NEXT own phase start.
+	ok, retry = p.Grant(ctx, 2*q+q/4)
+	if ok {
+		t.Fatal("foreign phase granted")
+	}
+	if retry != 3*q {
+		t.Fatalf("retry = %v, want %v", retry, 3*q)
+	}
+	if ok2, retry2 := p.Grant(ctx, retry); !ok2 {
+		t.Fatalf("retry time %v denied (retry -> %v)", retry, retry2)
+	}
+	// Single colour degenerates to always-grant.
+	if ok, _ := (TDMA{Colors: 1}).Grant(ctx, 0); !ok {
+		t.Fatal("single colour denied")
+	}
+}
+
+func TestLBTGrant(t *testing.T) {
+	busy := 5 * time.Millisecond
+	ctx := GrantContext{AdjacentBusyUntil: busy}
+	ok, retry := LBT{}.Grant(ctx, 1*time.Millisecond)
+	if ok {
+		t.Fatal("granted under a busy carrier")
+	}
+	if retry != busy {
+		t.Fatalf("retry = %v, want %v", retry, busy)
+	}
+	if ok, _ := (LBT{}).Grant(ctx, busy); !ok {
+		t.Fatal("denied at carrier end")
+	}
+	if ok, _ := (LBT{}).Grant(GrantContext{}, 0); !ok {
+		t.Fatal("denied with idle neighbours")
+	}
+}
+
+func TestLinkBudget(t *testing.T) {
+	lb := DefaultLinkBudget()
+	if !lb.Interferes(lb.TxPowerDBm) {
+		t.Fatal("default budget should interfere at default power")
+	}
+	// -80 dBm threshold: 40 dB loss + (-90 + 10) dBm floor+margin.
+	if lb.Interferes(-41) {
+		t.Fatal("-41 dBm should be below the interference threshold")
+	}
+	if !lb.Interferes(-39) {
+		t.Fatal("-39 dBm should clear the interference threshold")
+	}
+	if s := lb.NoiseSigma(); s < 0.03 || s > 0.04 {
+		t.Fatalf("NoiseSigma = %v, want ~0.0316", s)
+	}
+	if sc := lb.SignalConfig(); sc.NoiseSigma != lb.NoiseSigma() {
+		t.Fatal("SignalConfig did not adopt the budget's sigma")
+	}
+	var zero LinkBudget
+	if zero.withDefaults() != DefaultLinkBudget() {
+		t.Fatal("zero budget should fill to the default")
+	}
+}
+
+// traceBytes runs one fleet and returns (report dump, JSONL trace bytes).
+func traceBytes(t *testing.T, cfg Config) (string, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg.Tracer = obs.NewJSONL(&buf)
+	rep, err := Run(fcat.New(fcat.Config{Lambda: 2}), cfg, 0)
+	if err != nil {
+		t.Fatalf("fleet run failed: %v", err)
+	}
+	return fmt.Sprintf("%#v", rep), buf.Bytes()
+}
+
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	for _, pol := range []Policy{Uncoordinated{}, TDMA{}, LBT{}} {
+		for _, zones := range []int{2, 4} {
+			base := Config{
+				Readers:       4,
+				Zones:         zones,
+				Tags:          30,
+				Policy:        pol,
+				Seed:          42,
+				Horizon:       400 * time.Millisecond,
+				MigrationRate: 4,
+			}
+			seq := base
+			seq.Workers = 1
+			par := base
+			par.Workers = 8
+			repSeq, traceSeq := traceBytes(t, seq)
+			repPar, tracePar := traceBytes(t, par)
+			if repSeq != repPar {
+				t.Errorf("policy=%s zones=%d: report differs between 1 and 8 workers", pol.Name(), zones)
+			}
+			if !bytes.Equal(traceSeq, tracePar) {
+				t.Errorf("policy=%s zones=%d: JSONL trace differs between 1 and 8 workers", pol.Name(), zones)
+			}
+		}
+	}
+}
+
+func TestFleetStaticBatchCompletes(t *testing.T) {
+	rep, err := Run(fcat.New(fcat.Config{Lambda: 2}), Config{
+		Readers: 3, Zones: 3, Tags: 25, Seed: 7, Policy: TDMA{},
+	}, 0)
+	if err != nil {
+		t.Fatalf("fleet run failed: %v", err)
+	}
+	if rep.Admitted != 75 {
+		t.Fatalf("Admitted = %d, want 75", rep.Admitted)
+	}
+	if rep.Identified != 75 {
+		t.Fatalf("static batch left %d tags unidentified", rep.Admitted-rep.Identified)
+	}
+	if !rep.Accounted() {
+		t.Fatal("accounting not total")
+	}
+	for i, rr := range rep.Readers {
+		if rr.Metrics.Identified() != 25 {
+			t.Errorf("reader %d identified %d, want 25", i, rr.Metrics.Identified())
+		}
+		if rr.Wall < rr.OnAir {
+			t.Errorf("reader %d wall %v < air %v", i, rr.Wall, rr.OnAir)
+		}
+	}
+}
+
+func TestFleetMigrationAccounting(t *testing.T) {
+	for _, linear := range []bool{false, true} {
+		cfg := Config{
+			Readers:       4,
+			Zones:         4,
+			Tags:          40,
+			Seed:          99,
+			Horizon:       500 * time.Millisecond,
+			MigrationRate: 6,
+			Linear:        linear,
+		}
+		rep, err := Run(fcat.New(fcat.Config{Lambda: 2}), cfg, 0)
+		if err != nil {
+			t.Fatalf("linear=%v: fleet run failed: %v", linear, err)
+		}
+		if !rep.Accounted() {
+			t.Fatalf("linear=%v: admitted %d != identified %d + departed-unread %d + active %d",
+				linear, rep.Admitted, rep.Identified, rep.DepartedUnread, rep.ActiveUnread)
+		}
+		if rep.Migrations == 0 {
+			t.Errorf("linear=%v: no migrations at rate %v over %v", linear, cfg.MigrationRate, cfg.Horizon)
+		}
+		if rep.DupIdents != 0 {
+			t.Errorf("linear=%v: %d tags identified by more than one reader (zones do not overlap)", linear, rep.DupIdents)
+		}
+		if rep.Phantoms != 0 {
+			t.Errorf("linear=%v: %d phantom identifications without faults", linear, rep.Phantoms)
+		}
+		hops := 0
+		for _, tag := range rep.Tags {
+			hops += tag.Hops
+			if tag.Zone < 0 || tag.Zone >= cfg.Zones {
+				t.Fatalf("linear=%v: tag in zone %d of %d", linear, tag.Zone, cfg.Zones)
+			}
+		}
+		if hops != rep.Migrations {
+			t.Errorf("linear=%v: per-tag hops %d != Migrations %d", linear, hops, rep.Migrations)
+		}
+		if linear {
+			// On a line, unread tags leaving the last zone exit the fleet.
+			if rep.DepartedUnread == 0 {
+				t.Error("linear fleet recorded no unread exits")
+			}
+		}
+	}
+}
+
+func TestFleetMigrationRequiresHorizon(t *testing.T) {
+	_, err := Run(fcat.New(fcat.Config{Lambda: 2}), Config{Readers: 2, Tags: 10, MigrationRate: 1}, 0)
+	if err != ErrMigrationNeedsHorizon {
+		t.Fatalf("err = %v, want ErrMigrationNeedsHorizon", err)
+	}
+}
+
+func TestTDMABeatsUncoordinated(t *testing.T) {
+	base := Config{Readers: 4, Zones: 4, Tags: 60, Seed: 11}
+	un := base
+	un.Policy = Uncoordinated{}
+	unRep, err := Run(fcat.New(fcat.Config{Lambda: 2}), un, 0)
+	if err != nil {
+		t.Fatalf("uncoordinated run failed: %v", err)
+	}
+	td := base
+	td.Policy = TDMA{}
+	tdRep, err := Run(fcat.New(fcat.Config{Lambda: 2}), td, 0)
+	if err != nil {
+		t.Fatalf("tdma run failed: %v", err)
+	}
+	if unRep.ReaderCollisions == 0 {
+		t.Fatal("uncoordinated 4-zone fleet saw no reader-to-reader interference; scenario is too easy")
+	}
+	if tdRep.ReaderCollisions >= unRep.ReaderCollisions {
+		t.Fatalf("tdma interfered slots %d, want strictly fewer than uncoordinated %d",
+			tdRep.ReaderCollisions, unRep.ReaderCollisions)
+	}
+	if tdRep.BlockedSlots == 0 {
+		t.Error("tdma blocked no slots; the policy never engaged")
+	}
+}
+
+func TestFleetLowPowerDisablesInterference(t *testing.T) {
+	cfg := Config{
+		Readers: 4, Zones: 4, Tags: 40, Seed: 11,
+		// Everyone below the -80 dBm adjacent threshold: budget says no
+		// reader can spoil a neighbour.
+		ReaderPower: []float64{-50, -50, -50, -50},
+	}
+	rep, err := Run(fcat.New(fcat.Config{Lambda: 2}), cfg, 0)
+	if err != nil {
+		t.Fatalf("fleet run failed: %v", err)
+	}
+	if rep.ReaderCollisions != 0 {
+		t.Fatalf("low-power fleet recorded %d interfered slots, want 0", rep.ReaderCollisions)
+	}
+	for _, rr := range rep.Readers {
+		if rr.PowerDBm != -50 {
+			t.Fatalf("reader %d power %v, want -50", rr.Reader, rr.PowerDBm)
+		}
+	}
+}
+
+func TestFleetPerReaderFaults(t *testing.T) {
+	// Mute every tag of reader 1 only: reader 0 finishes its batch normally
+	// while reader 1's bootstrap proves a silent field and it parks in
+	// monitoring with nothing identified. The per-reader override must leave
+	// reader 0 untouched, and the muted tags must show up as ActiveUnread in
+	// the fleet accounting.
+	cfg := Config{
+		Readers: 2, Zones: 2, Tags: 20, Seed: 5,
+		ReaderFaults: map[int]fault.Config{1: {MuteProb: 1}},
+	}
+	rep, err := Run(fcat.New(fcat.Config{Lambda: 2}), cfg, 0)
+	if err != nil {
+		t.Fatalf("fleet run failed: %v", err)
+	}
+	if got := rep.Readers[0].Metrics.Identified(); got != 20 {
+		t.Errorf("fault-free reader 0 identified %d, want 20", got)
+	}
+	if got := rep.Readers[1].Metrics.Identified(); got != 0 {
+		t.Errorf("fully muted reader 1 identified %d, want 0", got)
+	}
+	if rep.ActiveUnread != 20 || !rep.Accounted() {
+		t.Errorf("ActiveUnread = %d (accounted=%v), want 20 muted tags still active",
+			rep.ActiveUnread, rep.Accounted())
+	}
+}
+
+func BenchmarkEventQueue(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ats := make([]time.Duration, 1024)
+	for i := range ats {
+		ats[i] = time.Duration(r.Intn(1 << 20))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var q eventQueue
+		for j, at := range ats {
+			q.push(event{at: at, kind: evStep, reader: j})
+		}
+		for q.Len() > 0 {
+			q.pop()
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Reader-coordination policies. The dense-reader problem is classic RFID
+// engineering: readers in adjacent zones jam each other's backscatter
+// decode, and deployments coordinate either by time-division (the Colorwave
+// family: colour the zone graph, transmit only in your colour's phase) or
+// by carrier sensing (listen-before-talk, the ETSI EN 302 208 mechanism).
+// Both are modelled here behind one interface; Uncoordinated is the
+// baseline that shows why coordination matters.
+package fleet
+
+import "time"
+
+// GrantContext is what a policy sees when deciding whether a reader may
+// open a slot: the reader's zone, the interference horizon of its
+// neighbours, and the fleet's slot quantum. It is computed from the
+// scheduler's epoch-start snapshot, never from in-flight state, which is
+// what keeps fleet runs bit-identical for any worker count.
+type GrantContext struct {
+	// Zone is the requesting reader's zone index.
+	Zone int
+	// Zones is the fleet's zone count.
+	Zones int
+	// AdjacentBusyUntil is the end of the latest interfering adjacent-zone
+	// transmission committed before the current scheduling window; zero
+	// when no neighbour's carrier reaches into it.
+	AdjacentBusyUntil time.Duration
+	// Quantum is the fleet's scheduling quantum (one nominal slot time);
+	// TDMA phases are Quantum long.
+	Quantum time.Duration
+	// Colors is the fleet's default TDMA colour count (1 for one zone, 2
+	// for an even ring, 3 for an odd ring).
+	Colors int
+}
+
+// Policy decides whether a reader may transmit a slot at a given fleet
+// wall-clock time. Implementations must be pure functions of their
+// arguments (no internal mutable state): the scheduler may consult them
+// from concurrent zone shards.
+type Policy interface {
+	// Name returns the policy's display name, e.g. "tdma".
+	Name() string
+	// Grant reports whether the reader may open a slot at time at. When it
+	// returns false, retry is the earliest time the reader should ask
+	// again (strictly later than at).
+	Grant(ctx GrantContext, at time.Duration) (ok bool, retry time.Duration)
+}
+
+// defaultColors returns the chromatic number of the zone ring: 1 for a
+// single zone, 2 for an even ring, 3 for an odd ring of more than one
+// zone.
+func defaultColors(zones int) int {
+	switch {
+	case zones <= 1:
+		return 1
+	case zones%2 == 0:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// zoneColor assigns zone its TDMA colour such that adjacent ring zones
+// never share one (given colors >= defaultColors(zones)): plain modular
+// colouring when the ring length divides evenly, otherwise alternate
+// through the first colors-1 colours and spend the spare colour on the
+// last zone to fix the wraparound seam.
+func zoneColor(zone, zones, colors int) int {
+	if colors <= 1 {
+		return 0
+	}
+	if zones%colors == 0 {
+		return zone % colors
+	}
+	if zone == zones-1 {
+		return colors - 1
+	}
+	return zone % (colors - 1)
+}
+
+// Uncoordinated is the baseline policy: every reader transmits whenever it
+// has work, interference be damned. It is the control arm of the
+// TDMA-versus-uncoordinated scenario test.
+type Uncoordinated struct{}
+
+func (Uncoordinated) Name() string { return "none" }
+
+func (Uncoordinated) Grant(GrantContext, time.Duration) (bool, time.Duration) {
+	return true, 0
+}
+
+// TDMA is Colorwave-style time-division coordination: zones are coloured
+// by zoneColor, time is divided into phases one quantum long, and a reader
+// transmits only while the running phase index (t / quantum) mod k equals
+// its zone's colour. Adjacent ring zones always hold different colours
+// (see defaultColors and zoneColor), so coordinated readers never start
+// slots concurrently with their neighbours — residual interference comes
+// only from slots that overrun their quantum into the next phase.
+type TDMA struct {
+	// Colors overrides the colour count; 0 uses the fleet default.
+	Colors int
+}
+
+func (TDMA) Name() string { return "tdma" }
+
+func (p TDMA) Grant(ctx GrantContext, at time.Duration) (bool, time.Duration) {
+	colors := p.Colors
+	if colors <= 0 {
+		colors = ctx.Colors
+	}
+	if colors <= 1 || ctx.Quantum <= 0 {
+		return true, 0
+	}
+	color := time.Duration(zoneColor(ctx.Zone, ctx.Zones, colors))
+	cycle := ctx.Quantum * time.Duration(colors)
+	phase := (at / ctx.Quantum) % time.Duration(colors)
+	if phase == color {
+		return true, 0
+	}
+	// Retry at the start of the zone's next phase.
+	base := at - at%cycle
+	next := base + color*ctx.Quantum
+	if next <= at {
+		next += cycle
+	}
+	return false, next
+}
+
+// LBT is listen-before-talk: the reader senses the carrier before opening a
+// slot and defers while an interfering adjacent-zone transmission covers
+// the start time. The sensing window is the scheduling quantum — carriers
+// that start within the same window are mutually invisible, which is
+// exactly the LBT collision window of real deployments, but falls below
+// this model's interference resolution (see docs/fleet.md).
+type LBT struct{}
+
+func (LBT) Name() string { return "lbt" }
+
+func (LBT) Grant(ctx GrantContext, at time.Duration) (bool, time.Duration) {
+	if at < ctx.AdjacentBusyUntil {
+		return false, ctx.AdjacentBusyUntil
+	}
+	return true, 0
+}

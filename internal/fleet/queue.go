@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"time"
+
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// eventKind discriminates the scheduler's event types.
+type eventKind uint8
+
+const (
+	// evStep schedules one protocol step of a reader.
+	evStep eventKind = iota + 1
+	// evDepart schedules a tag leaving its current zone (migration hop or
+	// fleet exit).
+	evDepart
+	// evArrive schedules a migrated tag's admission into its destination
+	// zone. Arrivals are pushed at the epoch barrier by the source zone's
+	// commit, so they always execute in a later scheduling window than the
+	// departure that produced them.
+	evArrive
+)
+
+// event is one entry of a zone's discrete-event queue.
+type event struct {
+	// at is the fleet wall-clock time the event is due.
+	at time.Duration
+	// seq is the queue-local push counter; it breaks ties between events
+	// due at the same instant, so the pop order is a total order and the
+	// schedule is deterministic.
+	seq uint64
+
+	kind   eventKind
+	reader int      // evStep: reader index
+	tag    int      // evDepart/evArrive: index into the fleet's tag table
+	id     tagid.ID // evDepart/evArrive: the tag itself
+	from   int      // evArrive: source zone; -1 otherwise
+}
+
+// before is the heap ordering: earliest due time first, push order breaking
+// ties.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventQueue is a binary min-heap of events keyed by (at, seq). It is the
+// per-zone spine of the discrete-event scheduler: hand-rolled sift
+// operations (no container/heap boxing) keep pushes and pops
+// allocation-free once the backing array has grown.
+type eventQueue struct {
+	h    []event
+	next uint64 // next push's seq
+}
+
+// Len returns the number of queued events.
+func (q *eventQueue) Len() int { return len(q.h) }
+
+// push enqueues an event, stamping its tie-break sequence number.
+func (q *eventQueue) push(e event) {
+	e.seq = q.next
+	q.next++
+	q.h = append(q.h, e)
+	q.siftUp(len(q.h) - 1)
+}
+
+// peek returns the earliest event without removing it.
+func (q *eventQueue) peek() (event, bool) {
+	if len(q.h) == 0 {
+		return event{}, false
+	}
+	return q.h[0], true
+}
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() (event, bool) {
+	if len(q.h) == 0 {
+		return event{}, false
+	}
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	return top, true
+}
+
+func (q *eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.h[i].before(q.h[parent]) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && q.h[l].before(q.h[least]) {
+			least = l
+		}
+		if r < n && q.h[r].before(q.h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
+}

@@ -22,6 +22,7 @@ const (
 	kindFaultInjected
 	kindRecordQuarantined
 	kindReaderRestart
+	kindFleetActivity
 )
 
 // Buffer is a Tracer that records a run's event stream in memory and plays
@@ -55,6 +56,7 @@ type Buffer struct {
 	faults      []FaultEvent
 	quarantines []QuarantineEvent
 	restarts    []RestartEvent
+	fleets      []FleetEvent
 }
 
 var _ Tracer = (*Buffer)(nil)
@@ -82,6 +84,7 @@ func (b *Buffer) Reset() {
 	b.faults = b.faults[:0]
 	b.quarantines = b.quarantines[:0]
 	b.restarts = b.restarts[:0]
+	b.fleets = b.fleets[:0]
 }
 
 // Replay delivers every buffered event to t in recorded order. A nil t is
@@ -90,7 +93,7 @@ func (b *Buffer) Replay(t Tracer) {
 	if t == nil {
 		return
 	}
-	var cursor [kindReaderRestart + 1]int
+	var cursor [kindFleetActivity + 1]int
 	for _, k := range b.order {
 		i := cursor[k]
 		cursor[k]++
@@ -129,6 +132,8 @@ func (b *Buffer) Replay(t Tracer) {
 			t.RecordQuarantined(b.quarantines[i])
 		case kindReaderRestart:
 			t.ReaderRestart(b.restarts[i])
+		case kindFleetActivity:
+			t.FleetActivity(b.fleets[i])
 		}
 	}
 }
@@ -216,4 +221,9 @@ func (b *Buffer) RecordQuarantined(ev QuarantineEvent) {
 func (b *Buffer) ReaderRestart(ev RestartEvent) {
 	b.order = append(b.order, kindReaderRestart)
 	b.restarts = append(b.restarts, ev)
+}
+
+func (b *Buffer) FleetActivity(ev FleetEvent) {
+	b.order = append(b.order, kindFleetActivity)
+	b.fleets = append(b.fleets, ev)
 }

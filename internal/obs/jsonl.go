@@ -294,3 +294,22 @@ func (j *JSONL) ReaderRestart(ev RestartEvent) {
 	j.int("checkpoint", int64(ev.Checkpoint))
 	j.close()
 }
+
+func (j *JSONL) FleetActivity(ev FleetEvent) {
+	if j.err != nil {
+		return
+	}
+	j.open("fleet")
+	j.int("reader", int64(ev.Reader))
+	j.int("zone", int64(ev.Zone))
+	j.str("kind", ev.Kind.String())
+	var zero tagid.ID
+	if ev.ID != zero {
+		j.id("id", ev.ID)
+	}
+	if ev.From >= 0 {
+		j.int("from", int64(ev.From))
+	}
+	j.int("t_us", ev.At.Microseconds())
+	j.close()
+}

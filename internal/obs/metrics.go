@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strconv"
 	"time"
 
 	"github.com/ancrfid/ancrfid/internal/channel"
@@ -63,6 +64,13 @@ const (
 	MetricFaultsPrefix       = "faults." // + FaultKind.String()
 	MetricRecordsQuarantined = "records.quarantined"
 	MetricReaderRestarts     = "reader.restarts"
+
+	// Fleet-scheduler counter families (see internal/fleet). Like the
+	// fault-path counters these are created lazily, on the first fleet
+	// event, so single-reader campaigns keep byte-identical metrics dumps.
+	// Each fleet event feeds a per-kind total ("fleet.<kind>") and a
+	// reader-labelled family member ("fleet.<kind>.reader<i>").
+	MetricFleetPrefix = "fleet." // + FleetKind.String() [+ ".reader<i>"]
 )
 
 // MetricsTracer feeds a Registry from the event stream. The counter handles
@@ -93,6 +101,11 @@ type MetricsTracer struct {
 	faultKinds  [FaultCrash + 1]*Counter
 	quarantined *Counter
 	restarts    *Counter
+
+	// fleetTotals and fleetReaders back the lazily created fleet counter
+	// families, keyed by kind and by (kind, reader) respectively.
+	fleetTotals  [FleetMigration + 1]*Counter
+	fleetReaders map[uint32]*Counter
 }
 
 var _ Tracer = (*MetricsTracer)(nil)
@@ -100,28 +113,28 @@ var _ Tracer = (*MetricsTracer)(nil)
 // NewMetricsTracer returns a tracer that accumulates into reg.
 func NewMetricsTracer(reg *Registry) *MetricsTracer {
 	return &MetricsTracer{
-		runsStarted:      reg.Counter(MetricRunsStarted),
-		runsCompleted:    reg.Counter(MetricRunsCompleted),
-		runsFailed:       reg.Counter(MetricRunsFailed),
-		slotsEmpty:       reg.Counter(MetricSlotsEmpty),
-		slotsSingleton:   reg.Counter(MetricSlotsSingleton),
-		slotsCollision:   reg.Counter(MetricSlotsCollision),
-		frames:           reg.Counter(MetricFrames),
-		adverts:          reg.Counter(MetricAdverts),
-		txTotal:          reg.Counter(MetricTxTotal),
-		idsDirect:        reg.Counter(MetricIDsDirect),
-		idsResolved:      reg.Counter(MetricIDsResolved),
-		acksSent:         reg.Counter(MetricAcksSent),
-		acksLost:         reg.Counter(MetricAcksLost),
-		recCreated:       reg.Counter(MetricRecordsCreated),
-		recResolved:      reg.Counter(MetricRecordsResolved),
-		recSpent:         reg.Counter(MetricRecordsSpent),
-		cascadeSteps:     reg.Counter(MetricCascadeSteps),
-		estimatorUpdates: reg.Counter(MetricEstimatorUpdates),
-		tagsArrived:      reg.Counter(MetricTagsArrived),
-		tagsDeparted:     reg.Counter(MetricTagsDeparted),
-		departedUnread:   reg.Counter(MetricTagsDepartedUnread),
-		checkpoints:      reg.Counter(MetricCheckpoints),
+		runsStarted:        reg.Counter(MetricRunsStarted),
+		runsCompleted:      reg.Counter(MetricRunsCompleted),
+		runsFailed:         reg.Counter(MetricRunsFailed),
+		slotsEmpty:         reg.Counter(MetricSlotsEmpty),
+		slotsSingleton:     reg.Counter(MetricSlotsSingleton),
+		slotsCollision:     reg.Counter(MetricSlotsCollision),
+		frames:             reg.Counter(MetricFrames),
+		adverts:            reg.Counter(MetricAdverts),
+		txTotal:            reg.Counter(MetricTxTotal),
+		idsDirect:          reg.Counter(MetricIDsDirect),
+		idsResolved:        reg.Counter(MetricIDsResolved),
+		acksSent:           reg.Counter(MetricAcksSent),
+		acksLost:           reg.Counter(MetricAcksLost),
+		recCreated:         reg.Counter(MetricRecordsCreated),
+		recResolved:        reg.Counter(MetricRecordsResolved),
+		recSpent:           reg.Counter(MetricRecordsSpent),
+		cascadeSteps:       reg.Counter(MetricCascadeSteps),
+		estimatorUpdates:   reg.Counter(MetricEstimatorUpdates),
+		tagsArrived:        reg.Counter(MetricTagsArrived),
+		tagsDeparted:       reg.Counter(MetricTagsDeparted),
+		departedUnread:     reg.Counter(MetricTagsDepartedUnread),
+		checkpoints:        reg.Counter(MetricCheckpoints),
 		txPerSlot:          reg.Histogram(HistTxPerSlot),
 		cascadeDepth:       reg.Histogram(HistCascadeDepth),
 		recordMult:         reg.Histogram(HistRecordMult),
@@ -244,4 +257,30 @@ func (t *MetricsTracer) ReaderRestart(RestartEvent) {
 		t.restarts = t.reg.Counter(MetricReaderRestarts)
 	}
 	t.restarts.Inc()
+}
+
+func (t *MetricsTracer) FleetActivity(ev FleetEvent) {
+	k := ev.Kind
+	if int(k) >= len(t.fleetTotals) {
+		k = 0
+	}
+	c := t.fleetTotals[k]
+	if c == nil {
+		c = t.reg.Counter(MetricFleetPrefix + ev.Kind.String())
+		t.fleetTotals[k] = c
+	}
+	c.Inc()
+	if ev.Reader < 0 || ev.Reader > 0xffff {
+		return
+	}
+	key := uint32(k)<<16 | uint32(ev.Reader)
+	rc := t.fleetReaders[key]
+	if rc == nil {
+		if t.fleetReaders == nil {
+			t.fleetReaders = make(map[uint32]*Counter)
+		}
+		rc = t.reg.Counter(MetricFleetPrefix + ev.Kind.String() + ".reader" + strconv.Itoa(ev.Reader))
+		t.fleetReaders[key] = rc
+	}
+	rc.Inc()
 }

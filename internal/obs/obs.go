@@ -355,6 +355,57 @@ type RestartEvent struct {
 	Checkpoint int
 }
 
+// FleetKind classifies multi-reader scheduler activity (see internal/fleet).
+type FleetKind uint8
+
+const (
+	// FleetSlotBlocked marks a transmission grant denied by the fleet's
+	// coordination policy (TDMA out-of-phase, listen-before-talk deferral).
+	FleetSlotBlocked FleetKind = iota + 1
+	// FleetSlotInterfered marks a slot spoiled by a reader transmitting in
+	// an adjacent interrogation zone (reader-to-reader interference).
+	FleetSlotInterfered
+	// FleetMigration marks a tag leaving one interrogation zone and being
+	// admitted into the next.
+	FleetMigration
+)
+
+// String returns the fleet-activity-kind name.
+func (k FleetKind) String() string {
+	switch k {
+	case FleetSlotBlocked:
+		return "blocked"
+	case FleetSlotInterfered:
+		return "interfered"
+	case FleetMigration:
+		return "migration"
+	default:
+		return "unknown"
+	}
+}
+
+// FleetEvent reports multi-reader scheduler activity: policy slot denials,
+// reader-to-reader interference, and inter-zone tag migrations. Only fleet
+// runs (see internal/fleet) emit it; single-reader campaigns produce
+// byte-identical traces to earlier releases.
+type FleetEvent struct {
+	// Reader is the index of the reader the activity belongs to.
+	Reader int
+	// Zone is the zone of the activity; for migrations it is the
+	// destination zone.
+	Zone int
+	// Kind is the activity class.
+	Kind FleetKind
+	// ID is the migrating tag; the zero ID for slot-scoped activity.
+	ID tagid.ID
+	// From is the migration's source zone; -1 for slot-scoped activity.
+	From int
+	// At is the fleet's wall-clock simulated time of the activity (readers
+	// whose policy defers transmissions accumulate less air time than wall
+	// time, so this is distinct from the reader-stream At stamps).
+	At time.Duration
+}
+
 // Tracer receives the typed event stream of a protocol run. Implementations
 // must tolerate events from any protocol (a DFSA run emits no record or
 // estimator events, a tree run emits only run/slot events, and so on).
@@ -379,6 +430,7 @@ type Tracer interface {
 	FaultInjected(FaultEvent)
 	RecordQuarantined(QuarantineEvent)
 	ReaderRestart(RestartEvent)
+	FleetActivity(FleetEvent)
 }
 
 // NopTracer implements Tracer with no-ops; embed it to build partial
@@ -387,23 +439,24 @@ type NopTracer struct{}
 
 var _ Tracer = NopTracer{}
 
-func (NopTracer) RunStart(RunStartEvent)        {}
-func (NopTracer) RunEnd(RunEndEvent)            {}
-func (NopTracer) FrameStart(FrameEvent)         {}
-func (NopTracer) Advertisement(AdvertEvent)     {}
-func (NopTracer) SlotDone(SlotEvent)            {}
-func (NopTracer) TagIdentified(IdentifyEvent)   {}
-func (NopTracer) AckSent(AckEvent)              {}
-func (NopTracer) RecordCreated(RecordEvent)     {}
-func (NopTracer) CascadeStep(CascadeEvent)      {}
-func (NopTracer) RecordResolved(ResolveEvent)      {}
-func (NopTracer) EstimatorUpdate(EstimateEvent)    {}
-func (NopTracer) TagArrival(ArrivalEvent)          {}
-func (NopTracer) TagDeparture(DepartureEvent)      {}
+func (NopTracer) RunStart(RunStartEvent)            {}
+func (NopTracer) RunEnd(RunEndEvent)                {}
+func (NopTracer) FrameStart(FrameEvent)             {}
+func (NopTracer) Advertisement(AdvertEvent)         {}
+func (NopTracer) SlotDone(SlotEvent)                {}
+func (NopTracer) TagIdentified(IdentifyEvent)       {}
+func (NopTracer) AckSent(AckEvent)                  {}
+func (NopTracer) RecordCreated(RecordEvent)         {}
+func (NopTracer) CascadeStep(CascadeEvent)          {}
+func (NopTracer) RecordResolved(ResolveEvent)       {}
+func (NopTracer) EstimatorUpdate(EstimateEvent)     {}
+func (NopTracer) TagArrival(ArrivalEvent)           {}
+func (NopTracer) TagDeparture(DepartureEvent)       {}
 func (NopTracer) SessionCheckpoint(CheckpointEvent) {}
 func (NopTracer) FaultInjected(FaultEvent)          {}
 func (NopTracer) RecordQuarantined(QuarantineEvent) {}
 func (NopTracer) ReaderRestart(RestartEvent)        {}
+func (NopTracer) FleetActivity(FleetEvent)          {}
 
 // Hooks adapts plain functions into a Tracer; nil fields are skipped. It is
 // the quickest way to observe a run ad hoc:
@@ -431,6 +484,7 @@ type Hooks struct {
 	OnFaultInjected     func(FaultEvent)
 	OnRecordQuarantined func(QuarantineEvent)
 	OnReaderRestart     func(RestartEvent)
+	OnFleetActivity     func(FleetEvent)
 }
 
 var _ Tracer = (*Hooks)(nil)
@@ -534,6 +588,12 @@ func (h *Hooks) RecordQuarantined(ev QuarantineEvent) {
 func (h *Hooks) ReaderRestart(ev RestartEvent) {
 	if h.OnReaderRestart != nil {
 		h.OnReaderRestart(ev)
+	}
+}
+
+func (h *Hooks) FleetActivity(ev FleetEvent) {
+	if h.OnFleetActivity != nil {
+		h.OnFleetActivity(ev)
 	}
 }
 
@@ -656,5 +716,11 @@ func (m multi) RecordQuarantined(ev QuarantineEvent) {
 func (m multi) ReaderRestart(ev RestartEvent) {
 	for _, t := range m {
 		t.ReaderRestart(ev)
+	}
+}
+
+func (m multi) FleetActivity(ev FleetEvent) {
+	for _, t := range m {
+		t.FleetActivity(ev)
 	}
 }

@@ -32,6 +32,7 @@ const (
 	SpanFault
 	SpanQuarantine
 	SpanRestart
+	SpanFleet
 )
 
 // spanKindNames backs String; the names double as Chrome-trace event names.
@@ -54,6 +55,7 @@ var spanKindNames = [...]string{
 	SpanFault:      "fault",
 	SpanQuarantine: "quarantine",
 	SpanRestart:    "restart",
+	SpanFleet:      "fleet",
 }
 
 // String returns the span-kind name.
@@ -108,6 +110,7 @@ type Span struct {
 	//   fault      N1=FaultKind           N2=0
 	//   quarantine N1=members             N2=0
 	//   restart    N1=wall slots          N2=0
+	//   fleet      N1=FleetKind           N2=zone
 	N1, N2 int
 }
 
@@ -416,6 +419,14 @@ func (b *SpanBuilder) ReaderRestart(ev RestartEvent) {
 	b.closePending()
 	b.cursor = ev.At
 	b.instant(SpanRestart, b.runParent(), ev.Checkpoint, int(ev.Wall), 0)
+}
+
+// FleetActivity implements Tracer: fleet-scheduler instants carry a
+// wall-clock timestamp that can run ahead of the reader's air clock, so
+// they are stamped at the builder's cursor (like record-store events)
+// rather than advancing it. Seq carries the reader index.
+func (b *SpanBuilder) FleetActivity(ev FleetEvent) {
+	b.instant(SpanFleet, b.parent(), ev.Reader, int(ev.Kind), ev.Zone)
 }
 
 // runParent returns the run span's ID (workload-level events never nest

@@ -155,3 +155,12 @@ func (t *Timeline) RecordQuarantined(ev QuarantineEvent) {
 func (t *Timeline) ReaderRestart(ev RestartEvent) {
 	t.printf("    RESTART at wall slot %d -> checkpoint %d (%v)\n", ev.Wall, ev.Checkpoint, ev.At)
 }
+
+func (t *Timeline) FleetActivity(ev FleetEvent) {
+	if ev.Kind == FleetMigration {
+		t.printf("    fleet reader=%d migrate %s zone %d -> %d at %v\n",
+			ev.Reader, ev.ID, ev.From, ev.Zone, ev.At)
+		return
+	}
+	t.printf("    fleet reader=%d zone=%d %s at %v\n", ev.Reader, ev.Zone, ev.Kind, ev.At)
+}

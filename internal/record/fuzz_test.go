@@ -22,14 +22,14 @@ import (
 // valid sequence, so the fuzzer explores deep interleavings (cyclic record
 // references, revoked-then-readmitted tags, duplicate members) for free.
 func FuzzCascade(f *testing.F) {
-	f.Add([]byte{0x00, 0x03, 0x10, 0x21})                         // add {0,1}, identify 0
-	f.Add([]byte{0x00, 0x03, 0x00, 0x06, 0x00, 0x05, 0x10})       // cycle {0,1},{1,2},{0,2}, identify 0
-	f.Add([]byte{0x20, 0x10, 0x00, 0x83, 0x10})                   // revoke 0, identify 0, add dup {0,0,1}
-	f.Add([]byte{0x20, 0x30, 0x00, 0x03, 0x10})                   // revoke 0, readmit 0, add {0,1}, identify 0
-	f.Add([]byte{0x10, 0x00, 0x83, 0x00, 0x83})                   // identify 1, then dup records {0,0,1}
-	f.Add([]byte{0x06, 0x00, 0x81})                               // identify 0, add dup record {0,0}
-	f.Add([]byte{0x10, 0x02, 0x00, 0x03})                         // identify 1, revoke 0, add {0,1}
-	f.Add([]byte{0x40, 0x00, 0x03, 0x40, 0x10, 0x40})             // clone swaps around a resolution
+	f.Add([]byte{0x00, 0x03, 0x10, 0x21})                   // add {0,1}, identify 0
+	f.Add([]byte{0x00, 0x03, 0x00, 0x06, 0x00, 0x05, 0x10}) // cycle {0,1},{1,2},{0,2}, identify 0
+	f.Add([]byte{0x20, 0x10, 0x00, 0x83, 0x10})             // revoke 0, identify 0, add dup {0,0,1}
+	f.Add([]byte{0x20, 0x30, 0x00, 0x03, 0x10})             // revoke 0, readmit 0, add {0,1}, identify 0
+	f.Add([]byte{0x10, 0x00, 0x83, 0x00, 0x83})             // identify 1, then dup records {0,0,1}
+	f.Add([]byte{0x06, 0x00, 0x81})                         // identify 0, add dup record {0,0}
+	f.Add([]byte{0x10, 0x02, 0x00, 0x03})                   // identify 1, revoke 0, add {0,1}
+	f.Add([]byte{0x40, 0x00, 0x03, 0x40, 0x10, 0x40})       // clone swaps around a resolution
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, quarantine := range []bool{false, true} {
 			runCascadeOps(t, data, quarantine)

@@ -176,8 +176,8 @@ func (h departureHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h departureHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *departureHeap) Push(x any)        { *h = append(*h, x.(departure)) }
+func (h departureHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x any)   { *h = append(*h, x.(departure)) }
 func (h *departureHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -191,6 +191,14 @@ func (h *departureHeap) Pop() any {
 func exp(wl *rng.Source, rate float64) time.Duration {
 	u := wl.Float64()
 	return time.Duration(-math.Log(1-u) / rate * float64(time.Second))
+}
+
+// Exp draws an exponential deviate with the given rate (events per second)
+// from wl — the same draw the arrival and dwell schedules use. Exported for
+// the fleet scheduler (internal/fleet), whose inter-zone migration dwell
+// times must match the single-reader workload's distribution exactly.
+func Exp(wl *rng.Source, rate float64) time.Duration {
+	return exp(wl, rate)
 }
 
 // Run drives a session of p over env's initial population with the
