@@ -291,12 +291,16 @@ func campaignWorkerCounts() []int {
 // is bit-identical across sub-benchmarks (see docs/parallelism.md); only
 // the wall clock may differ. tags/sec here is wall-clock campaign
 // throughput (population x runs / elapsed), not the protocol's reading
-// throughput.
+// throughput. Wired into the CI bench gate with a fixed iteration count
+// (-benchtime=3x -count=5, like BenchmarkFleetCampaign), so the gated
+// number is a min-over-reps of a fixed workload rather than whatever
+// iteration count the timer negotiated under ambient machine load.
 func BenchmarkCampaignWorkers(b *testing.B) {
 	p := ancrfid.NewFCAT(2)
 	for _, w := range campaignWorkerCounts() {
 		cfg := campaignBenchConfig(w)
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := ancrfid.Run(p, cfg); err != nil {
 					b.Fatal(err)

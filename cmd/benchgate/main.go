@@ -10,11 +10,15 @@
 //
 // Parsing keeps the minimum ns/op over the -count repetitions of each
 // benchmark (the least-noisy estimator of its true cost) and strips the
-// -GOMAXPROCS suffix from names so results compare across machines. The
-// gate fails (exit 1) when any baseline benchmark is missing from the
+// -GOMAXPROCS suffix from names so results compare across machines. When
+// the run was produced with -benchmem, allocs/op is captured the same way
+// (minimum over repetitions) into a separate "allocs" baseline section.
+// The gate fails (exit 1) when any baseline benchmark is missing from the
 // current run or slower than baseline by more than -tolerance (default
-// 15%). Benchmarks present only in the current run are reported but do not
-// fail the gate; add them to the baseline with -update.
+// 15%); an allocs baseline of 0 is exact — any measured allocation fails,
+// since 15% of zero would otherwise gate nothing. Benchmarks present only
+// in the current run are reported but do not fail the gate; add them to
+// the baseline with -update.
 package main
 
 import (
@@ -42,6 +46,9 @@ type Report struct {
 	// Benchmarks maps benchmark name (without the -GOMAXPROCS suffix) to
 	// its minimum ns/op across repetitions.
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Allocs maps benchmark name to its minimum allocs/op across
+	// repetitions; populated only for runs produced with -benchmem.
+	Allocs map[string]float64 `json:"allocs,omitempty"`
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -123,8 +130,13 @@ func readBaseline(path string) (Report, error) {
 // optional (sub-benchmarks of serial benchmarks may lack it).
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
-// Parse extracts benchmark results, keeping the minimum ns/op across
-// repeated runs of the same benchmark (go test -count=N emits N lines).
+// allocsField matches the allocs/op field -benchmem appends to a result
+// line.
+var allocsField = regexp.MustCompile(`\s([0-9.]+) allocs/op`)
+
+// Parse extracts benchmark results, keeping the minimum ns/op (and, when
+// present, the minimum allocs/op) across repeated runs of the same
+// benchmark (go test -count=N emits N lines).
 func Parse(r io.Reader) (Report, error) {
 	rep := Report{Benchmarks: map[string]float64{}}
 	sc := bufio.NewScanner(r)
@@ -140,6 +152,18 @@ func Parse(r io.Reader) (Report, error) {
 		}
 		if prev, ok := rep.Benchmarks[m[1]]; !ok || ns < prev {
 			rep.Benchmarks[m[1]] = ns
+		}
+		if am := allocsField.FindStringSubmatch(sc.Text()); am != nil {
+			allocs, err := strconv.ParseFloat(am[1], 64)
+			if err != nil {
+				return rep, fmt.Errorf("line %q: %w", sc.Text(), err)
+			}
+			if rep.Allocs == nil {
+				rep.Allocs = map[string]float64{}
+			}
+			if prev, ok := rep.Allocs[m[1]]; !ok || allocs < prev {
+				rep.Allocs[m[1]] = allocs
+			}
 		}
 	}
 	return rep, sc.Err()
@@ -177,6 +201,36 @@ func Gate(w io.Writer, base, cur Report, tolerance float64) error {
 			fmt.Fprintf(w, "%-50s not in baseline (add with -update)\n", name)
 		}
 	}
+
+	allocNames := make([]string, 0, len(base.Allocs))
+	for name := range base.Allocs {
+		allocNames = append(allocNames, name)
+	}
+	sort.Strings(allocNames)
+	for _, name := range allocNames {
+		want := base.Allocs[name]
+		got, ok := cur.Allocs[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op missing from current run (run with -benchmem)", name))
+			continue
+		}
+		status := "ok"
+		switch {
+		case want == 0:
+			// A zero-alloc baseline is exact: any allocation is a leak the
+			// fractional tolerance would wave through.
+			if got > 0 {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs baseline 0", name, got))
+			}
+		case got/want > 1+tolerance:
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (%+.1f%%, tolerance %.0f%%)",
+				name, got, want, (got/want-1)*100, tolerance*100))
+		}
+		fmt.Fprintf(w, "%-50s %12.0f allocs/op baseline %10.0f  %s\n", name, got, want, status)
+	}
+
 	if len(failures) > 0 {
 		return fmt.Errorf("benchmark gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}

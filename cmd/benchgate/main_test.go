@@ -41,6 +41,63 @@ func TestParseMinOverCountAndSuffixStrip(t *testing.T) {
 	}
 }
 
+const sampleBenchMem = `goos: linux
+goarch: amd64
+BenchmarkCampaign-4      	       1	 30000000 ns/op	  500000 B/op	    4000 allocs/op
+BenchmarkCampaign-4      	       1	 31000000 ns/op	  500000 B/op	    4100 allocs/op
+BenchmarkSlotLoop-4      	       1	  2000000 ns/op	      16 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseAllocs(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleBenchMem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Allocs["BenchmarkCampaign"]; got != 4000 {
+		t.Errorf("BenchmarkCampaign allocs = %v, want 4000 (min over reps)", got)
+	}
+	if got := rep.Allocs["BenchmarkSlotLoop"]; got != 0 {
+		t.Errorf("BenchmarkSlotLoop allocs = %v, want 0", got)
+	}
+	// Lines without -benchmem fields leave Allocs untouched.
+	plain, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Allocs != nil {
+		t.Errorf("plain run parsed allocs %v, want none", plain.Allocs)
+	}
+}
+
+func TestGateAllocs(t *testing.T) {
+	base := Report{
+		Benchmarks: map[string]float64{"BenchmarkA": 100},
+		Allocs:     map[string]float64{"BenchmarkA": 1000, "BenchmarkZero": 0},
+	}
+	cases := []struct {
+		name   string
+		bench  map[string]float64
+		allocs map[string]float64
+		ok     bool
+	}{
+		{"identical", map[string]float64{"BenchmarkA": 100, "BenchmarkZero": 5}, map[string]float64{"BenchmarkA": 1000, "BenchmarkZero": 0}, true},
+		{"within tolerance", map[string]float64{"BenchmarkA": 100, "BenchmarkZero": 5}, map[string]float64{"BenchmarkA": 1140, "BenchmarkZero": 0}, true},
+		{"alloc regression", map[string]float64{"BenchmarkA": 100, "BenchmarkZero": 5}, map[string]float64{"BenchmarkA": 1200, "BenchmarkZero": 0}, false},
+		{"zero baseline is exact", map[string]float64{"BenchmarkA": 100, "BenchmarkZero": 5}, map[string]float64{"BenchmarkA": 1000, "BenchmarkZero": 1}, false},
+		{"allocs missing", map[string]float64{"BenchmarkA": 100, "BenchmarkZero": 5}, map[string]float64{"BenchmarkZero": 0}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var sb strings.Builder
+			err := Gate(&sb, base, Report{Benchmarks: c.bench, Allocs: c.allocs}, 0.15)
+			if (err == nil) != c.ok {
+				t.Fatalf("Gate err = %v, want ok=%v\n%s", err, c.ok, sb.String())
+			}
+		})
+	}
+}
+
 func TestGate(t *testing.T) {
 	base := Report{Benchmarks: map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200}}
 	cases := []struct {

@@ -26,8 +26,16 @@
 // every output — metrics, traces, timelines — is bit-identical to a
 // sequential run (see docs/parallelism.md).
 //
+// -stream enables the streaming campaign mode for very large populations:
+// identified tags retire out of the reader's working set and resolved
+// collision recordings are recycled, bounding steady-state memory while
+// producing bit-identical results (see docs/performance.md).
+//
 // Profiling: -cpuprofile and -memprofile write pprof profiles of the
-// campaign for `go tool pprof` (see docs/performance.md).
+// campaign for `go tool pprof` (see docs/performance.md). -memprofile also
+// writes an in-flight snapshot at the campaign midpoint to <path>.mid, so
+// streaming-mode spill behaviour is visible instead of only the settled
+// end state.
 package main
 
 import (
@@ -71,6 +79,7 @@ func run(args []string) error {
 		timing    = fs.String("timing", "icode", "air interface: icode (53 kbit/s) or gen2 (128 kbit/s)")
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "Monte-Carlo worker goroutines (output is identical for any value)")
 		maxSlots  = fs.Int("max-slots", 0, "slot budget per run; a run that exhausts it fails with a no-progress error (0 = automatic)")
+		stream    = fs.Bool("stream", false, "streaming campaign mode: retire identified tags and recycle resolved collision records so mega-N populations run in bounded memory (results are bit-identical)")
 		tracePath = fs.String("trace", "", "write the campaign's JSONL event trace to this file (\"-\" = stdout)")
 		timeline  = fs.String("timeline", "", "write a human-readable slot timeline to this file (\"-\" = stdout)")
 		metrics   = fs.String("metrics", "", "write the aggregated metrics registry to this file (\"-\" = stdout)")
@@ -152,7 +161,7 @@ func run(args []string) error {
 		}
 	}
 
-	cfg := ancrfid.SimConfig{Tags: *tags, Runs: *runs, Seed: *seed, Lambda: lam, Timing: tm, PAckLoss: *ackloss, Workers: *workers, MaxSlots: *maxSlots}
+	cfg := ancrfid.SimConfig{Tags: *tags, Runs: *runs, Seed: *seed, Lambda: lam, Timing: tm, PAckLoss: *ackloss, Workers: *workers, MaxSlots: *maxSlots, Stream: *stream}
 	cfg.Faults = ancrfid.FaultConfig{
 		AckLoss:          *faultAckLoss,
 		Burst:            ancrfid.FaultBurstConfig{Duty: *faultBurstDuty, MeanBad: *faultBurstMean},
@@ -247,6 +256,33 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "run %d/%d: %d/%d tags in %d slots (%.1f tags/s, ident p50 %v p95 %v)\n",
 				run+1, *runs, m.Identified(), m.Tags, m.TotalSlots(), m.Throughput(),
 				p50.Round(100*time.Microsecond), p95.Round(100*time.Microsecond))
+		}
+	}
+	if *memprof != "" {
+		// Exit-time heap profiles only show the settled end state; snapshot
+		// the live heap mid-campaign too (after half the runs, while the
+		// runner's arenas and any streaming-mode spill state are hot) so
+		// the in-flight footprint is visible in pprof.
+		mid := (*runs - 1) / 2
+		midPath := *memprof + ".mid"
+		prev := cfg.Progress
+		cfg.Progress = func(run int, m ancrfid.Metrics, err error) {
+			if prev != nil {
+				prev(run, m, err)
+			}
+			if run != mid {
+				return
+			}
+			f, ferr := os.Create(midPath)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "rfidsim: midpoint heap profile:", ferr)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+				fmt.Fprintln(os.Stderr, "rfidsim: writing midpoint heap profile:", ferr)
+			}
 		}
 	}
 	switch *chanKind {

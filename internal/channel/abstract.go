@@ -43,9 +43,25 @@ type Abstract struct {
 	recs []abstractMixed
 	// memberPool is the current backing chunk for small member lists.
 	memberPool []tagid.ID
+
+	// usedRecs/usedPools retain filled chunks so Reset can rewind the
+	// arena for the next repetition instead of reallocating it; spareRecs/
+	// sparePools hold rewound chunks awaiting reuse.
+	usedRecs   [][]abstractMixed
+	spareRecs  [][]abstractMixed
+	usedPools  [][]tagid.ID
+	sparePools [][]tagid.ID
+
+	// free holds records released through ReleaseMixed (streaming mode),
+	// recycled — headers, member storage, big-record index maps — by the
+	// next collision instead of growing the arena.
+	free []*abstractMixed
 }
 
-var _ Channel = (*Abstract)(nil)
+var (
+	_ Channel  = (*Abstract)(nil)
+	_ Releaser = (*Abstract)(nil)
+)
 
 // recChunk and memberChunk size the arena blocks: large enough to amortise
 // the chunk allocation across many slots, small enough that a short run
@@ -89,15 +105,63 @@ func (a *Abstract) Observe(transmitters []tagid.ID) Observation {
 }
 
 func (a *Abstract) newMixed(transmitters []tagid.ID, resolvable bool) *abstractMixed {
+	n := len(transmitters)
+	var m *abstractMixed
+	if k := len(a.free); k > 0 {
+		// Streaming mode: recycle a released record. Its member storage,
+		// index map and bitset are dead, so reusing them cannot change any
+		// observable bit (the map is only ever looked up, never iterated).
+		m = a.free[k-1]
+		a.free[k-1] = nil
+		a.free = a.free[:k-1]
+		members := m.members
+		if cap(members) >= n {
+			members = members[:n]
+			copy(members, transmitters)
+		} else {
+			members = a.copyMembers(transmitters)
+		}
+		index, subBig := m.index, m.subBig
+		*m = abstractMixed{members: members, unknown: n, resolvable: resolvable}
+		if n > bigRecord {
+			if index == nil {
+				index = make(map[tagid.ID]int32, n)
+			} else {
+				clear(index)
+			}
+			for i, id := range members {
+				index[id] = int32(i)
+			}
+			m.index = index
+			words := (n + 63) / 64
+			if cap(subBig) >= words {
+				subBig = subBig[:words]
+				clear(subBig)
+			} else {
+				subBig = make([]uint64, words)
+			}
+			m.subBig = subBig
+		}
+		return m
+	}
 	if len(a.recs) == cap(a.recs) {
-		a.recs = make([]abstractMixed, 0, recChunk)
+		if a.recs != nil {
+			a.usedRecs = append(a.usedRecs, a.recs)
+		}
+		if k := len(a.spareRecs); k > 0 {
+			a.recs = a.spareRecs[k-1][:0]
+			a.spareRecs[k-1] = nil
+			a.spareRecs = a.spareRecs[:k-1]
+		} else {
+			a.recs = make([]abstractMixed, 0, recChunk)
+		}
 	}
 	a.recs = append(a.recs, abstractMixed{
 		members:    a.copyMembers(transmitters),
-		unknown:    len(transmitters),
+		unknown:    n,
 		resolvable: resolvable,
 	})
-	m := &a.recs[len(a.recs)-1]
+	m = &a.recs[len(a.recs)-1]
 	if len(m.members) > bigRecord {
 		m.index = make(map[tagid.ID]int32, len(m.members))
 		for i, id := range m.members {
@@ -106,6 +170,49 @@ func (a *Abstract) newMixed(transmitters []tagid.ID, resolvable bool) *abstractM
 		m.subBig = make([]uint64, (len(m.members)+63)/64)
 	}
 	return m
+}
+
+// ReleaseMixed implements Releaser: a fully-resolved record's header and
+// backing storage go onto the free list for the next collision to reuse.
+func (a *Abstract) ReleaseMixed(m Mixed) {
+	am, ok := m.(*abstractMixed)
+	if !ok || am.members == nil {
+		return
+	}
+	a.free = append(a.free, am)
+}
+
+// Reset rewinds the channel for a fresh repetition over a new RNG: all
+// arena chunks are retained and reused, so back-to-back runs allocate
+// records only while their live set exceeds every previous run's. The
+// caller must guarantee no record from the previous run is still
+// referenced (the per-run protocol state has been discarded).
+func (a *Abstract) Reset(r *rng.Source) {
+	a.rng = r
+	for i, c := range a.usedRecs {
+		a.spareRecs = append(a.spareRecs, c[:0])
+		a.usedRecs[i] = nil
+	}
+	a.usedRecs = a.usedRecs[:0]
+	if a.recs != nil {
+		a.spareRecs = append(a.spareRecs, a.recs[:0])
+		a.recs = nil
+	}
+	for i, c := range a.usedPools {
+		a.sparePools = append(a.sparePools, c[:0])
+		a.usedPools[i] = nil
+	}
+	a.usedPools = a.usedPools[:0]
+	if a.memberPool != nil {
+		a.sparePools = append(a.sparePools, a.memberPool[:0])
+		a.memberPool = nil
+	}
+	// Freed records point into the chunks just rewound; handing them out
+	// again would alias the arena cursor.
+	for i := range a.free {
+		a.free[i] = nil
+	}
+	a.free = a.free[:0]
 }
 
 // copyMembers snapshots the transmitter set (the caller reuses its buffer
@@ -121,7 +228,16 @@ func (a *Abstract) copyMembers(transmitters []tagid.ID) []tagid.ID {
 		return out
 	}
 	if len(a.memberPool)+n > cap(a.memberPool) {
-		a.memberPool = make([]tagid.ID, 0, memberChunk)
+		if a.memberPool != nil {
+			a.usedPools = append(a.usedPools, a.memberPool)
+		}
+		if k := len(a.sparePools); k > 0 {
+			a.memberPool = a.sparePools[k-1][:0]
+			a.sparePools[k-1] = nil
+			a.sparePools = a.sparePools[:k-1]
+		} else {
+			a.memberPool = make([]tagid.ID, 0, memberChunk)
+		}
 	}
 	base := len(a.memberPool)
 	a.memberPool = append(a.memberPool, transmitters...)

@@ -20,6 +20,7 @@
 package channel
 
 import (
+	"github.com/ancrfid/ancrfid/internal/rng"
 	"github.com/ancrfid/ancrfid/internal/tagid"
 )
 
@@ -140,6 +141,32 @@ type Stateful interface {
 	// RestoreState reinstalls a state previously returned by SnapshotState.
 	// The argument is copied, so one snapshot can be restored many times.
 	RestoreState(state any)
+}
+
+// Releaser is implemented by channels that can recycle the buffers behind
+// a Mixed recording once the reader is finished with it. The streaming
+// campaign mode (protocol.Env.Stream) hands fully-resolved collision
+// records back through this hook so mega-N inventories run in bounded
+// memory; see docs/performance.md. A released recording must never be
+// decoded again — the record store only releases entries it has marked
+// resolved, and stops releasing entirely once a checkpoint clone shares
+// its recordings.
+type Releaser interface {
+	// ReleaseMixed returns the recording's buffers to the channel for
+	// reuse. Recordings the channel does not recognise are ignored.
+	ReleaseMixed(m Mixed)
+}
+
+// Resettable is implemented by channels whose internal arenas can be
+// rewound for a fresh repetition instead of reallocated. The campaign
+// runner reuses one channel value across a worker's runs when the channel
+// was constructed by the runner itself (Config.NewChannel == nil), calling
+// Reset between runs; the reset must leave the channel observably
+// indistinguishable from a newly constructed one seeded with r.
+type Resettable interface {
+	// Reset rewinds all per-run state and installs the new run's RNG.
+	// Recordings handed out before the reset become invalid.
+	Reset(r *rng.Source)
 }
 
 // Observation is the outcome of one report segment.

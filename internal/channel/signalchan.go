@@ -60,27 +60,39 @@ func DefaultSignalConfig() SignalConfig {
 // collisions are sums, and collision resolution is genuine interference
 // cancellation with CRC verification.
 //
+// All waveform math runs on the batched structure-of-arrays kernels of
+// package signal (flat float64 I/Q planes, see signal/soa.go): synthesis
+// accumulates each transmitter straight into a reusable rx plane, and the
+// decoder's gain fits, cancellations and envelope tests are block loops
+// over the same planes. The kernels are bit-identical to the scalar
+// complex128 path, so the channel's observable behaviour is unchanged.
+//
 // The channel owns the scratch buffers of its hot paths: the received
-// waveform is synthesised directly into a reusable accumulator (handed off
-// to the collision record when a slot must be kept, lazily replaced), and
-// the decoder's reference list, least-squares system and residual buffer
-// are reused across cancellation attempts. A Signal is single-goroutine,
-// like the rng.Source it wraps.
+// plane is handed off to the collision record when a slot must be kept
+// (lazily replaced, or recycled through ReleaseMixed in streaming mode),
+// and the decoder's reference list, least-squares system and residual
+// plane are reused across cancellation attempts. A Signal is
+// single-goroutine, like the rng.Source it wraps.
 type Signal struct {
 	cfg     SignalConfig
 	rng     *rng.Source
 	gains   map[tagid.ID]complex128
 	offsets map[tagid.ID]float64
-	refs    map[tagid.ID]signal.Waveform
+	refs    map[tagid.ID]*signal.Plane
+	rots    map[tagid.ID]*signal.Plane // cached e^(i*dw*n) ramps, offset mode only
 
-	rxBuf    signal.Waveform // slot accumulator; nil after a collision keeps it
-	refsBuf  []signal.Waveform
+	rxBuf    *signal.Plane // slot accumulator; nil after a collision keeps it
+	freeRx   []*signal.Plane
+	refsBuf  []*signal.Plane
 	gainsBuf []complex128
 	ls       signal.GainScratch
-	resBuf   signal.Waveform // decoder residual
+	resBuf   signal.Plane // decoder residual
 }
 
-var _ Channel = (*Signal)(nil)
+var (
+	_ Channel  = (*Signal)(nil)
+	_ Releaser = (*Signal)(nil)
+)
 
 // NewSignal returns a physical-layer channel. Zero-valued config fields are
 // replaced with the defaults from DefaultSignalConfig.
@@ -103,8 +115,20 @@ func NewSignal(cfg SignalConfig, r *rng.Source) *Signal {
 		rng:     r,
 		gains:   make(map[tagid.ID]complex128),
 		offsets: make(map[tagid.ID]float64),
-		refs:    make(map[tagid.ID]signal.Waveform),
+		refs:    make(map[tagid.ID]*signal.Plane),
+		rots:    make(map[tagid.ID]*signal.Plane),
 	}
+}
+
+// Reset rewinds the channel for a fresh repetition over a new RNG. The
+// per-run draws (gains, offsets, offset-dependent rotation ramps) are
+// discarded; the reference-waveform cache is a pure function of the tag ID
+// and samples-per-bit, so it carries over, as do the recycled rx planes.
+func (c *Signal) Reset(r *rng.Source) {
+	c.rng = r
+	clear(c.gains)
+	clear(c.offsets)
+	clear(c.rots)
 }
 
 // gain returns the tag's static channel coefficient, drawing it on first
@@ -135,14 +159,29 @@ func (c *Signal) offset(id tagid.ID) float64 {
 	return dw
 }
 
-// reference returns the cached canonical (unit-gain) waveform of an ID.
-func (c *Signal) reference(id tagid.ID) signal.Waveform {
-	if w, ok := c.refs[id]; ok {
-		return w
+// reference returns the cached canonical (unit-gain) waveform plane of an
+// ID.
+func (c *Signal) reference(id tagid.ID) *signal.Plane {
+	if p, ok := c.refs[id]; ok {
+		return p
 	}
-	w := signal.ModulateID(id, c.cfg.SamplesPerBit)
-	c.refs[id] = w
-	return w
+	p := &signal.Plane{}
+	signal.ModulateIDInto(p, id, c.cfg.SamplesPerBit)
+	c.refs[id] = p
+	return p
+}
+
+// rotation returns the cached frequency-offset phase ramp of an ID. The
+// ramp is a pure function of the tag's static offset, so caching it cannot
+// change any bit of the synthesized waveform.
+func (c *Signal) rotation(id tagid.ID, dw float64, n int) *signal.Plane {
+	if p, ok := c.rots[id]; ok && p.Len() >= n {
+		return p
+	}
+	p := &signal.Plane{}
+	signal.RotationInto(p, dw, n)
+	c.rots[id] = p
+	return p
 }
 
 // Observe implements Channel: it synthesises the received waveform for the
@@ -158,11 +197,17 @@ func (c *Signal) Observe(transmitters []tagid.ID) Observation {
 		return Observation{Kind: Empty}
 	}
 	n := 1 + tagid.Bits*c.cfg.SamplesPerBit
-	if cap(c.rxBuf) < n {
-		c.rxBuf = make(signal.Waveform, n)
+	if c.rxBuf == nil {
+		if k := len(c.freeRx); k > 0 {
+			c.rxBuf = c.freeRx[k-1]
+			c.freeRx[k-1] = nil
+			c.freeRx = c.freeRx[:k-1]
+		} else {
+			c.rxBuf = &signal.Plane{}
+		}
 	}
-	rx := c.rxBuf[:n]
-	clear(rx)
+	rx := c.rxBuf
+	rx.Reset(n)
 	for _, id := range transmitters {
 		g := c.gain(id)
 		if c.cfg.PhaseJitter > 0 {
@@ -171,16 +216,12 @@ func (c *Signal) Observe(transmitters []tagid.ID) Observation {
 		}
 		ref := c.reference(id)
 		if dw := c.offset(id); dw != 0 {
-			for i, s := range ref {
-				rx[i] += s * cmplx.Exp(complex(0, dw*float64(i))) * g
-			}
+			rx.AccumulateScaledRotated(ref, c.rotation(id, dw, n), g)
 		} else {
-			for i, s := range ref {
-				rx[i] += s * g
-			}
+			rx.AccumulateScaled(ref, g)
 		}
 	}
-	received := signal.AddNoise(rx, c.cfg.NoiseSigma, c.rng)
+	signal.AddNoisePlane(rx, c.cfg.NoiseSigma, c.rng)
 
 	// The reader first attempts a plain single-ID decode; the CRC tells it
 	// whether the slot was a clean singleton (Section III-B).
@@ -192,19 +233,31 @@ func (c *Signal) Observe(transmitters []tagid.ID) Observation {
 	// the envelope is flat to within the noise floor. A much weaker
 	// interferer (below the envelope test's sensitivity) is genuinely
 	// captured: the reader reads the strong tag and the weak one retries.
-	if id, ok := signal.DecodeID(received, c.cfg.SamplesPerBit); ok &&
-		signal.EnvelopeFlat(received, c.cfg.NoiseSigma) {
+	if id, ok := signal.DecodeIDPlane(rx, c.cfg.SamplesPerBit); ok &&
+		signal.EnvelopeFlatPlane(rx, c.cfg.NoiseSigma) {
 		return Observation{Kind: Singleton, ID: id}
 	}
-	// The record keeps the received waveform, so the accumulator is handed
-	// off: the next Observe allocates a fresh one.
+	// The record keeps the received plane, so the accumulator is handed
+	// off: the next Observe grabs one from the free list or allocates.
 	c.rxBuf = nil
 	m := &signalMixed{
 		chan_:   c,
-		wave:    received,
+		wave:    rx,
 		members: append(make([]tagid.ID, 0, len(transmitters)), transmitters...),
 	}
 	return Observation{Kind: Collision, Mix: m}
+}
+
+// ReleaseMixed implements Releaser: a fully-resolved collision record hands
+// its plane back for reuse. Recycling only touches buffers whose contents
+// are dead, so it cannot change any observable bit.
+func (c *Signal) ReleaseMixed(m Mixed) {
+	sm, ok := m.(*signalMixed)
+	if !ok || sm.wave == nil {
+		return
+	}
+	c.freeRx = append(c.freeRx, sm.wave)
+	sm.wave = nil
 }
 
 // signalState is the persistent channel state captured by SnapshotState: the
@@ -255,7 +308,7 @@ func (c *Signal) RestoreState(state any) {
 // Decode runs.
 type signalMixed struct {
 	chan_   *Signal
-	wave    signal.Waveform
+	wave    *signal.Plane // nil once released back to the channel
 	members []tagid.ID
 	known   []tagid.ID
 }
@@ -285,7 +338,7 @@ func (m *signalMixed) Subtract(id tagid.ID) {
 // CRC-verified decode of the residual. This is the ANC resolution step of
 // Section IV-B performed on real samples.
 func (m *signalMixed) Decode() (tagid.ID, bool) {
-	if len(m.known) == 0 {
+	if len(m.known) == 0 || m.wave == nil {
 		return tagid.ID{}, false
 	}
 	if max := m.chan_.cfg.MaxCancel; max > 0 && len(m.known) > max-1 {
@@ -294,31 +347,29 @@ func (m *signalMixed) Decode() (tagid.ID, bool) {
 		return tagid.ID{}, false
 	}
 	c := m.chan_
-	var residual signal.Waveform
+	var residual *signal.Plane
 	if c.cfg.FrequencyOffsetMax > 0 {
 		// Free-running oscillators: peel the known constituents one at a
 		// time with the joint gain-and-offset estimator, cancelling in place
-		// in the channel's residual buffer after the first peel.
+		// in the channel's residual plane after the first peel.
 		residual = m.wave
 		for _, known := range m.known {
 			ref := c.reference(known)
-			gain, dw := signal.EstimateGainAndOffset(residual, ref, c.cfg.SamplesPerBit)
-			c.resBuf = signal.CancelWithOffsetInto(c.resBuf[:0], residual, ref, gain, dw)
-			residual = c.resBuf
+			gain, dw := signal.EstimateGainAndOffsetPlane(residual, ref, c.cfg.SamplesPerBit)
+			residual = signal.CancelWithOffsetIntoPlane(&c.resBuf, residual, ref, gain, dw)
 		}
 	} else {
 		c.refsBuf = c.refsBuf[:0]
 		for _, id := range m.known {
 			c.refsBuf = append(c.refsBuf, c.reference(id))
 		}
-		c.gainsBuf = c.ls.EstimateGains(c.gainsBuf[:0], m.wave, c.refsBuf)
+		c.gainsBuf = c.ls.EstimateGainsPlane(c.gainsBuf[:0], m.wave, c.refsBuf)
 		if c.gainsBuf == nil {
 			return tagid.ID{}, false
 		}
-		c.resBuf = signal.CancelInto(c.resBuf[:0], m.wave, c.refsBuf, c.gainsBuf)
-		residual = c.resBuf
+		residual = signal.CancelIntoPlane(&c.resBuf, m.wave, c.refsBuf, c.gainsBuf)
 	}
-	id, ok := signal.DecodeID(residual, c.cfg.SamplesPerBit)
+	id, ok := signal.DecodeIDPlane(residual, c.cfg.SamplesPerBit)
 	if !ok {
 		return tagid.ID{}, false
 	}

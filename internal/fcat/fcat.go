@@ -222,6 +222,20 @@ type session struct {
 
 var _ protocol.Session = (*session)(nil)
 
+// sessionScratch is the reusable core of a session (see protocol.Scratch):
+// the active set, the record store and the seen map are session-sized, so a
+// campaign worker reinitialises them in place between runs instead of
+// reallocating. The per-slot transmitter buffer stays per-session — its
+// slice header would go stale in the scratch as the session grows it.
+type sessionScratch struct {
+	active *protocol.ActiveSet
+	store  *record.Store
+	seen   map[tagid.ID]struct{}
+}
+
+// scratchKey namespaces this protocol's state in the shared container.
+const scratchKey = "fcat"
+
 // Begin implements protocol.SessionProtocol.
 func (p *Protocol) Begin(env *protocol.Env) protocol.Session {
 	s := &session{
@@ -229,15 +243,29 @@ func (p *Protocol) Begin(env *protocol.Env) protocol.Session {
 		cfg:     p.cfg,
 		env:     env,
 		m:       protocol.Metrics{Tags: len(env.Tags)},
-		active:  protocol.NewActiveSet(env.Tags),
-		store:   record.NewStore(),
-		seen:    make(map[tagid.ID]struct{}, len(env.Tags)),
 		buf:     make([]tagid.ID, 0, 64),
 		budget:  env.SlotBudget(),
 		oracleN: len(env.Tags),
 	}
+	if sc, _ := env.Scratch.Get(scratchKey).(*sessionScratch); sc != nil {
+		sc.active.ResetTags(env.Tags)
+		sc.store.Reset()
+		clear(sc.seen)
+		s.active, s.store, s.seen = sc.active, sc.store, sc.seen
+	} else {
+		s.active = protocol.NewActiveSet(env.Tags)
+		s.store = record.NewStore()
+		s.seen = make(map[tagid.ID]struct{}, len(env.Tags))
+		env.Scratch.Put(scratchKey, &sessionScratch{active: s.active, store: s.store, seen: s.seen})
+	}
 	s.store.Tracer = env.Tracer
 	s.store.Quarantine = env.Hardened()
+	if env.Stream {
+		s.active.SetStream(true)
+		if rel, ok := env.Channel.(channel.Releaser); ok {
+			s.store.SetReleaser(rel)
+		}
+	}
 	env.Clock = &s.clock
 	env.TraceRunStart(p.Name())
 	return s

@@ -22,6 +22,14 @@ type ActiveSet struct {
 	// idx is the reusable scratch for TxBinomial's distinct-index draws; it
 	// keeps steady-state slots allocation-free.
 	idx []int
+
+	// stream arms backing-array compaction on Remove (Env.Stream): once
+	// the live set falls below a quarter of capacity, the arrays and the
+	// position map are rebuilt at the live size, so a mega-N inventory's
+	// active-set memory shrinks with the outstanding population. Off by
+	// default: the steady-state zero-allocation guarantees of Remove/Add
+	// hold exactly when compaction is off.
+	stream bool
 }
 
 // NewActiveSet returns a set containing all given tags.
@@ -37,6 +45,34 @@ func NewActiveSet(tags []tagid.ID) *ActiveSet {
 		s.pos[id] = i
 	}
 	return s
+}
+
+// SetStream toggles streaming-mode compaction (see the stream field).
+func (s *ActiveSet) SetStream(on bool) { s.stream = on }
+
+// ResetTags reinitialises the set in place for a new repetition over a new
+// population, reusing the backing arrays and map storage of the previous
+// one. Equivalent to NewActiveSet(tags) in every observable way.
+func (s *ActiveSet) ResetTags(tags []tagid.ID) {
+	s.stream = false
+	n := len(tags)
+	if cap(s.ids) < n {
+		s.ids = make([]tagid.ID, n)
+		s.prefixes = make([]tagid.HashPrefix, n)
+	} else {
+		s.ids = s.ids[:n]
+		s.prefixes = s.prefixes[:n]
+	}
+	copy(s.ids, tags)
+	if s.pos == nil {
+		s.pos = make(map[tagid.ID]int, n)
+	} else {
+		clear(s.pos)
+	}
+	for i, id := range s.ids {
+		s.prefixes[i] = id.HashPrefix()
+		s.pos[id] = i
+	}
 }
 
 // Len returns the number of active tags.
@@ -95,7 +131,33 @@ func (s *ActiveSet) Remove(id tagid.ID) bool {
 	s.ids = s.ids[:last]
 	s.prefixes = s.prefixes[:last]
 	delete(s.pos, id)
+	if s.stream && cap(s.ids) >= 1024 && len(s.ids) < cap(s.ids)/4 {
+		s.compact()
+	}
 	return true
+}
+
+// compact rebuilds the backing arrays and position map at the live size
+// (with 2x headroom for re-admissions). Entry order is preserved, so
+// compaction is invisible to the transmitter draws.
+func (s *ActiveSet) compact() {
+	n := len(s.ids)
+	c := 2 * n
+	if c < 64 {
+		c = 64
+	}
+	ids := make([]tagid.ID, n, c)
+	prefixes := make([]tagid.HashPrefix, n, c)
+	copy(ids, s.ids)
+	copy(prefixes, s.prefixes)
+	s.ids, s.prefixes = ids, prefixes
+	// Rebuild the map from the slice (deterministic order) so its bucket
+	// storage, sized for the peak population, is released too.
+	pos := make(map[tagid.ID]int, n)
+	for i, id := range ids {
+		pos[id] = i
+	}
+	s.pos = pos
 }
 
 // Transmitters returns the tags that report in the given slot at report

@@ -85,6 +85,52 @@ type Env struct {
 	// the fault-free fast path: no extra RNG draws, no extra allocations,
 	// byte-identical behaviour to a build without the injector.
 	Faults *fault.Injector
+	// Stream enables the streaming campaign mode for mega-N populations:
+	// identified tags are compacted out of the active set's backing
+	// arrays, and fully-resolved collision records hand their recordings
+	// back to the channel for reuse (channel.Releaser), so steady-state
+	// memory tracks the outstanding population instead of the total one.
+	// Streaming changes memory management only — no RNG draw, decode
+	// decision or trace event moves — so a streaming run is bit-identical
+	// to a non-streaming one. See docs/performance.md.
+	Stream bool
+	// Scratch, when non-nil, is a container of protocol-owned reusable
+	// state. The campaign runner threads one container per worker through
+	// that worker's runs; protocols that support arena reuse (FCAT, SCAT)
+	// stash their session-sized structures here in Begin and reinitialise
+	// them in place on the next run instead of reallocating. Nil — e.g. a
+	// standalone RunOnce — allocates fresh structures; reuse never changes
+	// a run's draws or decisions.
+	Scratch *Scratch
+}
+
+// Scratch is a keyed container of protocol-owned reusable state (see
+// Env.Scratch). Each protocol namespaces its state under its own key, so a
+// mixed campaign threading one container through different protocols is
+// safe. The zero value is ready to use; all methods tolerate a nil
+// receiver (a no-op container).
+type Scratch struct {
+	m map[string]any
+}
+
+// Get returns the state stored under key, or nil when absent (or when the
+// container itself is nil).
+func (s *Scratch) Get(key string) any {
+	if s == nil {
+		return nil
+	}
+	return s.m[key]
+}
+
+// Put stores state under key. A nil container discards the state.
+func (s *Scratch) Put(key string, v any) {
+	if s == nil {
+		return
+	}
+	if s.m == nil {
+		s.m = make(map[string]any, 2)
+	}
+	s.m[key] = v
 }
 
 // Now returns the session's current simulated air time; 0 when no clock is

@@ -137,6 +137,16 @@ type Store struct {
 	total       int
 	quarantined int
 
+	// releaser, when armed via SetReleaser, receives each recording the
+	// moment its record is marked resolved (after any tracer event that
+	// inspects it), so the channel can recycle the buffers behind it —
+	// the record store's half of the streaming campaign mode. cloned
+	// sticky-disables releasing once a checkpoint clone shares this
+	// store's recordings: a clone's unresolved records alias the same
+	// waveform buffers, so recycling them would corrupt the checkpoint.
+	releaser channel.Releaser
+	cloned   bool
+
 	// Arena chunks and reusable cascade buffers. The queue and out slices
 	// back every cascade, so the slice returned by Add/OnIdentified is only
 	// valid until the next call on the store.
@@ -144,6 +154,13 @@ type Store struct {
 	nodes   []member
 	queue   []cascadeItem
 	out     []Resolved
+
+	// Filled arena chunks are parked on the used lists instead of being
+	// dropped, and Reset recycles them through the spare lists, so a store
+	// reused across campaign repetitions (protocol.Scratch) reaches a
+	// steady state with no arena allocation at all.
+	usedEntries, spareEntries [][]entry
+	usedNodes, spareNodes     [][]member
 }
 
 // NewStore returns an empty record store.
@@ -154,9 +171,38 @@ func NewStore() *Store {
 	}
 }
 
+// SetReleaser arms streaming-mode record spilling: every recording whose
+// record resolves (yields its ID, proves spent, or is quarantined) is
+// handed back to the channel for buffer reuse. Must be set before the
+// first Add; releasing stops permanently once Clone is called.
+func (s *Store) SetReleaser(r channel.Releaser) {
+	s.releaser = r
+}
+
+// release recycles a resolved entry's recording. Callers invoke it only
+// after every tracer event that reads the recording has fired.
+func (s *Store) release(e *entry) {
+	if s.releaser == nil || s.cloned || e.mix == nil {
+		return
+	}
+	s.releaser.ReleaseMixed(e.mix)
+	// Drop the reference: the buffers behind it now belong to the channel
+	// again, and any stray decode of a released record must fail loudly
+	// rather than read recycled memory.
+	e.mix = nil
+}
+
 func (s *Store) newEntry(slot uint64, mix channel.Mixed) *entry {
 	if len(s.entries) == cap(s.entries) {
-		s.entries = make([]entry, 0, entryChunk)
+		if cap(s.entries) != 0 {
+			s.usedEntries = append(s.usedEntries, s.entries)
+		}
+		if n := len(s.spareEntries); n > 0 {
+			s.entries = s.spareEntries[n-1]
+			s.spareEntries = s.spareEntries[:n-1]
+		} else {
+			s.entries = make([]entry, 0, entryChunk)
+		}
 	}
 	s.entries = append(s.entries, entry{slot: slot, mix: mix})
 	return &s.entries[len(s.entries)-1]
@@ -200,7 +246,15 @@ func (s *Store) memberFor(pre tagid.HashPrefix, id tagid.ID) *member {
 		}
 	}
 	if len(s.nodes) == cap(s.nodes) {
-		s.nodes = make([]member, 0, memberNodeChunk)
+		if cap(s.nodes) != 0 {
+			s.usedNodes = append(s.usedNodes, s.nodes)
+		}
+		if n := len(s.spareNodes); n > 0 {
+			s.nodes = s.spareNodes[n-1]
+			s.spareNodes = s.spareNodes[:n-1]
+		} else {
+			s.nodes = make([]member, 0, memberNodeChunk)
+		}
 	}
 	s.nodes = append(s.nodes, member{id: id, next: s.byMember[pre]})
 	m := &s.nodes[len(s.nodes)-1]
@@ -273,6 +327,7 @@ func (s *Store) Add(slot uint64, mix channel.Mixed, members []tagid.ID) []Resolv
 			if s.Tracer != nil {
 				s.Tracer.RecordResolved(obs.ResolveEvent{Slot: slot, ID: y, Dup: true})
 			}
+			s.release(e)
 			return nil
 		}
 		// All but one member were already known: the record resolves as it
@@ -281,6 +336,7 @@ func (s *Store) Add(slot uint64, mix channel.Mixed, members []tagid.ID) []Resolv
 		if s.Tracer != nil {
 			s.Tracer.RecordResolved(obs.ResolveEvent{Slot: slot, ID: y})
 		}
+		s.release(e)
 		s.out = append(s.out[:0], Resolved{ID: y, Slot: slot})
 		s.queue = append(s.queue[:0], cascadeItem{id: y, pre: y.HashPrefix()})
 		s.cascade()
@@ -289,6 +345,7 @@ func (s *Store) Add(slot uint64, mix channel.Mixed, members []tagid.ID) []Resolv
 	if unknown == 0 {
 		// Every member was a retransmitting known tag; nothing new here.
 		e.resolved = true
+		s.release(e)
 		return nil
 	}
 	if s.Quarantine {
@@ -304,6 +361,53 @@ func (s *Store) Add(slot uint64, mix channel.Mixed, members []tagid.ID) []Resolv
 	return nil
 }
 
+// Reset rewinds the store for a new run, retaining its arena chunks, map
+// bucket storage and cascade buffers. Equivalent to NewStore() in every
+// observable way: all counters, indexes, defenses and the streaming
+// releaser are cleared; chunks are zeroed so no recording from the
+// previous run stays pinned.
+func (s *Store) Reset() {
+	s.Tracer = nil
+	s.Quarantine = false
+	if s.byMember == nil {
+		s.byMember = make(map[tagid.HashPrefix]*member)
+	} else {
+		clear(s.byMember)
+	}
+	if s.known == nil {
+		s.known = make(map[tagid.HashPrefix]tagid.ID)
+	} else {
+		clear(s.known)
+	}
+	s.knownOverflow = nil
+	s.revoked = nil
+	s.active, s.total, s.quarantined = 0, 0, 0
+	s.releaser = nil
+	s.cloned = false
+	s.queue = s.queue[:0]
+	s.out = s.out[:0]
+
+	if cap(s.entries) != 0 {
+		s.usedEntries = append(s.usedEntries, s.entries)
+	}
+	s.entries = nil
+	for _, c := range s.usedEntries {
+		clear(c[:cap(c)])
+		s.spareEntries = append(s.spareEntries, c[:0])
+	}
+	s.usedEntries = s.usedEntries[:0]
+
+	if cap(s.nodes) != 0 {
+		s.usedNodes = append(s.usedNodes, s.nodes)
+	}
+	s.nodes = nil
+	for _, c := range s.usedNodes {
+		clear(c[:cap(c)])
+		s.spareNodes = append(s.spareNodes, c[:0])
+	}
+	s.usedNodes = s.usedNodes[:0]
+}
+
 // discard quarantines a freshly stored, never-counted record: it is marked
 // resolved so no cascade revisits it, and its surviving members fall back
 // to plain re-query.
@@ -315,6 +419,7 @@ func (s *Store) discard(e *entry, reason string) {
 			Slot: e.slot, Reason: reason, Members: e.mix.Multiplicity(),
 		})
 	}
+	s.release(e)
 }
 
 // Quarantined returns the number of records the store has quarantined.
@@ -435,6 +540,7 @@ func (s *Store) cascade() {
 						Slot: e.slot, ID: y, Trigger: x.id, Depth: x.depth + 1, Dup: true,
 					})
 				}
+				s.release(e)
 				continue
 			}
 			if s.isKnown(ypre, y) {
@@ -447,6 +553,7 @@ func (s *Store) cascade() {
 						Slot: e.slot, ID: y, Trigger: x.id, Depth: x.depth + 1, Dup: true,
 					})
 				}
+				s.release(e)
 				continue
 			}
 			s.markKnown(ypre, y)
@@ -455,6 +562,7 @@ func (s *Store) cascade() {
 					Slot: e.slot, ID: y, Trigger: x.id, Depth: x.depth + 1,
 				})
 			}
+			s.release(e)
 			s.out = append(s.out, Resolved{ID: y, Slot: e.slot})
 			s.queue = append(s.queue, cascadeItem{id: y, pre: ypre, depth: x.depth + 1})
 		}
@@ -475,6 +583,7 @@ func (s *Store) evict(e *entry, reason string) {
 			Slot: e.slot, Reason: reason, Members: e.mix.Multiplicity(),
 		})
 	}
+	s.release(e)
 }
 
 // Clone returns a deep copy of the store for a session checkpoint:
@@ -484,6 +593,11 @@ func (s *Store) evict(e *entry, reason string) {
 // It fails when the channel's Mixed implementation does not support
 // cloning. The clone carries the same Tracer.
 func (s *Store) Clone() (*Store, error) {
+	// From here on the clone's unresolved records share waveform buffers
+	// with ours, so recycling them is permanently off (see SetReleaser).
+	// Streaming memory bounds degrade gracefully under checkpointing; the
+	// replayed behaviour stays bit-identical either way.
+	s.cloned = true
 	c := &Store{
 		Tracer:      s.Tracer,
 		Quarantine:  s.Quarantine,

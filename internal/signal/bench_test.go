@@ -9,9 +9,39 @@ import (
 )
 
 // BenchmarkEstimateGains measures the joint least-squares gain fit at the
-// collision multiplicities the ANC decoder works at (lambda = 1..3), using
-// the reusable scratch the signal channel's decoder uses.
+// collision multiplicities the ANC decoder works at (lambda = 1..3), on
+// the batched SoA plane kernels the signal channel's decoder uses (see
+// soa.go; TestPlaneEstimateGainsBitIdentical pins them to the scalar
+// path).
 func BenchmarkEstimateGains(b *testing.B) {
+	r := rng.New(5)
+	for _, m := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("refs=%d", m), func(b *testing.B) {
+			refs := make([]*Plane, m)
+			mixed := &Plane{}
+			mixed.Reset(1 + tagid.Bits*DefaultSamplesPerBit)
+			for i := range refs {
+				refs[i] = &Plane{}
+				ModulateIDInto(refs[i], tagid.Random(r), DefaultSamplesPerBit)
+				mixed.AccumulateScaled(refs[i], 1)
+			}
+			var s GainScratch
+			var gains []complex128
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gains = s.EstimateGainsPlane(gains[:0], mixed, refs)
+				if gains == nil {
+					b.Fatal("singular system")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstimateGainsScalar keeps the legacy complex128 loop on the
+// board for comparison against the plane kernel above.
+func BenchmarkEstimateGainsScalar(b *testing.B) {
 	r := rng.New(5)
 	for _, m := range []int{1, 2, 3} {
 		b.Run(fmt.Sprintf("refs=%d", m), func(b *testing.B) {
@@ -34,9 +64,27 @@ func BenchmarkEstimateGains(b *testing.B) {
 	}
 }
 
-// BenchmarkEnvelopeFlat measures the single-pass envelope test on a
-// clean singleton waveform (the common, accepting case).
+// BenchmarkEnvelopeFlat measures the envelope test on a clean singleton
+// waveform (the common, accepting case) via the branchless plane fast
+// path.
 func BenchmarkEnvelopeFlat(b *testing.B) {
+	r := rng.New(6)
+	p := &Plane{}
+	ModulateIDInto(p, tagid.Random(r), DefaultSamplesPerBit)
+	w := &Plane{}
+	w.Reset(p.Len())
+	w.AccumulateScaled(p, complex(0.8, 0.3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !EnvelopeFlatPlane(w, 0.03) {
+			b.Fatal("singleton envelope not flat")
+		}
+	}
+}
+
+// BenchmarkEnvelopeFlatScalar is the legacy sqrt-per-sample loop, kept for
+// comparison.
+func BenchmarkEnvelopeFlatScalar(b *testing.B) {
 	r := rng.New(6)
 	w := Scale(ModulateID(tagid.Random(r), DefaultSamplesPerBit), complex(0.8, 0.3))
 	b.ReportAllocs()

@@ -56,6 +56,17 @@ type Config struct {
 	// PAckLoss is the probability a reader acknowledgement is lost (see
 	// protocol.Env.PAckLoss).
 	PAckLoss float64
+	// Stream enables the streaming campaign mode for mega-N populations:
+	// identified tags are compacted out of the active set, fully-resolved
+	// collision records hand their recordings back to the channel for
+	// reuse, and the runner recycles its per-run arenas (population
+	// buffer, channel state, protocol session structures) across
+	// repetitions, so steady-state memory tracks the outstanding
+	// population instead of the cumulative one. Streaming changes memory
+	// management only — no RNG draw, decode decision or trace event moves
+	// — so a streaming campaign is bit-identical to a non-streaming one.
+	// See docs/performance.md.
+	Stream bool
 	// Faults configures deterministic fault injection (see internal/fault).
 	// The zero value is the fault-free fast path: no wrapper channel, no
 	// extra RNG draws, bit-identical results and traces to earlier
@@ -120,8 +131,9 @@ func Run(p protocol.Protocol, cfg Config) (Result, error) {
 	}
 	res := Result{Protocol: p.Name(), Tags: cfg.Tags, Runs: make([]protocol.Metrics, 0, cfg.Runs)}
 
+	var sc runScratch
 	for i := 0; i < cfg.Runs; i++ {
-		m, err := RunOnce(p, cfg, i)
+		m, err := runOnce(p, cfg, i, &sc)
 		if cfg.Progress != nil {
 			cfg.Progress(i, m, err)
 		}
@@ -182,6 +194,7 @@ func runParallel(p protocol.Protocol, cfg Config) (Result, error) {
 
 	worker := func() {
 		defer wg.Done()
+		var sc runScratch
 		for {
 			mu.Lock()
 			if failed || next >= cfg.Runs {
@@ -200,7 +213,7 @@ func runParallel(p protocol.Protocol, cfg Config) (Result, error) {
 				buf = &obs.Buffer{}
 				runCfg.Tracer = buf
 			}
-			m, err := RunOnce(p, runCfg, i)
+			m, err := runOnce(p, runCfg, i, &sc)
 
 			mu.Lock()
 			outcomes[i] = &outcome{m: m, err: err, buf: buf}
@@ -256,13 +269,50 @@ merge:
 	return res, nil
 }
 
+// runScratch holds the arenas one campaign worker recycles across its
+// runs: the population buffer, the runner-constructed channel (rewound via
+// channel.Resettable instead of reallocated) and the protocol scratch
+// container. Reuse never changes a run's draws or decisions — the
+// scratch-free RunOnce and runOnce are bit-identical.
+type runScratch struct {
+	tags []tagid.ID
+	ch   channel.Channel
+	ps   protocol.Scratch
+}
+
 // RunOnce executes a single run of the campaign with the deterministic
 // generator derived from (cfg.Seed, run).
 func RunOnce(p protocol.Protocol, cfg Config, run int) (protocol.Metrics, error) {
+	return runOnce(p, cfg, run, nil)
+}
+
+// runOnce is RunOnce with an optional cross-run scratch (nil allocates
+// everything fresh).
+func runOnce(p protocol.Protocol, cfg Config, run int, sc *runScratch) (protocol.Metrics, error) {
 	cfg = cfg.withDefaults()
 	r := runRNG(cfg.Seed, run)
-	tags := tagid.Population(r, cfg.Tags)
-	ch := cfg.newChannel(r)
+	var tags []tagid.ID
+	if sc != nil {
+		sc.tags = tagid.PopulationAppend(sc.tags, r, cfg.Tags)
+		tags = sc.tags
+	} else {
+		tags = tagid.Population(r, cfg.Tags)
+	}
+	var ch channel.Channel
+	if sc != nil && cfg.NewChannel == nil {
+		// Only channels the runner built itself are reused: a NewChannel
+		// hook may capture per-run state the runner cannot see.
+		if rc, ok := sc.ch.(channel.Resettable); ok {
+			rc.Reset(r)
+			ch = sc.ch
+		}
+	}
+	if ch == nil {
+		ch = cfg.newChannel(r)
+		if sc != nil && cfg.NewChannel == nil {
+			sc.ch = ch
+		}
+	}
 	env := &protocol.Env{
 		RNG:      r,
 		Tags:     tags,
@@ -272,6 +322,10 @@ func RunOnce(p protocol.Protocol, cfg Config, run int) (protocol.Metrics, error)
 		MaxSlots: cfg.MaxSlots,
 		PAckLoss: cfg.PAckLoss,
 		Tracer:   cfg.tracer(),
+		Stream:   cfg.Stream,
+	}
+	if sc != nil {
+		env.Scratch = &sc.ps
 	}
 	if cfg.Faults.Enabled() {
 		inj := fault.New(cfg.Faults, cfg.Seed, run)

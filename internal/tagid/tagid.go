@@ -52,7 +52,18 @@ func Random(r *rng.Source) ID {
 
 // Population returns n distinct uniformly random IDs.
 func Population(r *rng.Source, n int) []ID {
-	ids := make([]ID, 0, n)
+	return PopulationAppend(nil, r, n)
+}
+
+// PopulationAppend draws n distinct uniformly random IDs into dst[:0],
+// reusing its backing array when large enough. The draw sequence is
+// identical to Population's, so campaigns that recycle a population buffer
+// across repetitions produce bit-identical runs.
+func PopulationAppend(dst []ID, r *rng.Source, n int) []ID {
+	ids := dst[:0]
+	if cap(ids) < n {
+		ids = make([]ID, 0, n)
+	}
 	seen := make(map[ID]struct{}, n)
 	for len(ids) < n {
 		id := Random(r)

@@ -1,0 +1,8 @@
+//go:build race
+
+package ancrfid_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// mega-N streaming smoke test skips under it (5-20x slowdown and memory
+// multiplication would dwarf its 10-minute budget).
+const raceEnabled = true
