@@ -48,7 +48,9 @@ import (
 	"github.com/ancrfid/ancrfid/internal/fault"
 	"github.com/ancrfid/ancrfid/internal/fcat"
 	"github.com/ancrfid/ancrfid/internal/fleet"
+	"github.com/ancrfid/ancrfid/internal/mdfsa"
 	"github.com/ancrfid/ancrfid/internal/obs"
+	"github.com/ancrfid/ancrfid/internal/praloha"
 	"github.com/ancrfid/ancrfid/internal/prestep"
 	"github.com/ancrfid/ancrfid/internal/protocol"
 	"github.com/ancrfid/ancrfid/internal/rng"
@@ -85,6 +87,14 @@ type (
 	AbstractChannelConfig = channel.AbstractConfig
 	// SignalChannelConfig parameterises the physical-layer channel.
 	SignalChannelConfig = channel.SignalConfig
+	// ChannelCapability is the unified decode-capability model shared by
+	// both channels: maximum resolvable collision order, capture-effect
+	// SINR threshold and the per-tag link budget behind it. The zero value
+	// is the degenerate capability (legacy Lambda semantics, no capture).
+	ChannelCapability = channel.Capability
+	// LinkBudget derives per-tag receive power from a deterministic
+	// hash-placed distance draw (see docs/decoding.md).
+	LinkBudget = tagid.LinkBudget
 	// FCATConfig parameterises FCAT beyond its lambda.
 	FCATConfig = fcat.Config
 	// SCATConfig parameterises SCAT beyond its lambda.
@@ -318,6 +328,31 @@ type CRDSAConfig = crdsa.Config
 // NewCRDSAWith returns a CRDSA instance with explicit configuration.
 func NewCRDSAWith(cfg CRDSAConfig) Protocol { return crdsa.New(cfg) }
 
+// MDFSAConfig parameterises MDFSA.
+type MDFSAConfig = mdfsa.Config
+
+// NewMDFSA returns multi-packet-reception DFSA: the framed-ALOHA baseline
+// upgraded with the ANC record store and the MPR-optimal frame-size rule
+// L = backlog/mu*_M for a decode stack that resolves collisions up to
+// order m. Pair it with a channel whose Lambda (or Capability.MaxOrder)
+// equals m.
+func NewMDFSA(m int) Protocol { return mdfsa.New(mdfsa.Config{M: m}) }
+
+// NewMDFSAWith returns an MDFSA instance with explicit configuration.
+func NewMDFSAWith(cfg MDFSAConfig) Protocol { return mdfsa.New(cfg) }
+
+// PRALOHAConfig parameterises pseudo-random ALOHA.
+type PRALOHAConfig = praloha.Config
+
+// NewPRALOHA returns pseudo-random framed ALOHA (Ricciato & Castiglione):
+// tags derive slot choices by hashing identity with the frame counter, so
+// the reader can replay the schedule of every tag it knows; frames are
+// sized by the MPR rule from the exactly-known outstanding count.
+func NewPRALOHA(m int) Protocol { return praloha.New(praloha.Config{M: m}) }
+
+// NewPRALOHAWith returns a PRALOHA instance with explicit configuration.
+func NewPRALOHAWith(cfg PRALOHAConfig) Protocol { return praloha.New(cfg) }
+
 // NewAQS returns the adaptive query splitting (tree) baseline as a plain
 // protocol (each Run is an independent round).
 func NewAQS() Protocol { return treeproto.NewAQS() }
@@ -332,7 +367,9 @@ type AQSReader = treeproto.AQS
 func NewAQSReader() *AQSReader { return treeproto.NewAQS() }
 
 // ByName builds a protocol from its table name: "FCAT-2", "SCAT-3",
-// "DFSA", "EDFSA", "ABS", "AQS" (case-insensitive).
+// "DFSA", "EDFSA", "MDFSA-3", "PRALOHA-2", "ABS", "AQS", "CRDSA"
+// (case-insensitive; the numeric suffix is the decode capability and
+// defaults to 2).
 func ByName(name string) (Protocol, error) {
 	n := strings.ToUpper(strings.TrimSpace(name))
 	switch {
@@ -346,7 +383,8 @@ func ByName(name string) (Protocol, error) {
 		return NewAQS(), nil
 	case n == "CRDSA":
 		return NewCRDSA(), nil
-	case strings.HasPrefix(n, "FCAT"), strings.HasPrefix(n, "SCAT"):
+	case strings.HasPrefix(n, "FCAT"), strings.HasPrefix(n, "SCAT"),
+		strings.HasPrefix(n, "MDFSA"), strings.HasPrefix(n, "PRALOHA"):
 		lambda := 2
 		if i := strings.IndexByte(n, '-'); i >= 0 {
 			if _, err := fmt.Sscanf(n[i+1:], "%d", &lambda); err != nil {
@@ -356,10 +394,16 @@ func ByName(name string) (Protocol, error) {
 		if lambda < 1 || lambda > 16 {
 			return nil, fmt.Errorf("ancrfid: lambda %d out of range in %q", lambda, name)
 		}
-		if strings.HasPrefix(n, "FCAT") {
+		switch {
+		case strings.HasPrefix(n, "FCAT"):
 			return NewFCAT(lambda), nil
+		case strings.HasPrefix(n, "MDFSA"):
+			return NewMDFSA(lambda), nil
+		case strings.HasPrefix(n, "PRALOHA"):
+			return NewPRALOHA(lambda), nil
+		default:
+			return NewSCAT(lambda), nil
 		}
-		return NewSCAT(lambda), nil
 	default:
 		return nil, fmt.Errorf("ancrfid: unknown protocol %q", name)
 	}

@@ -65,7 +65,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rfidsim", flag.ContinueOnError)
 	var (
-		protoName = fs.String("protocol", "FCAT-2", "protocol: FCAT-k, SCAT-k, DFSA, EDFSA, ABS, AQS")
+		protoName = fs.String("protocol", "FCAT-2", "protocol: FCAT-k, SCAT-k, DFSA, EDFSA, MDFSA-k, PRALOHA-k, CRDSA, ABS, AQS")
 		tags      = fs.Int("tags", 1000, "population size")
 		runs      = fs.Int("runs", 10, "Monte-Carlo runs")
 		seed      = fs.Uint64("seed", 1, "simulation seed")
@@ -75,6 +75,9 @@ func run(args []string) error {
 		jitter    = fs.Float64("jitter", 0, "signal channel: per-transmission phase jitter (radians)")
 		punres    = fs.Float64("punresolvable", 0, "abstract channel: probability a resolvable record is spoiled")
 		pcorrupt  = fs.Float64("pcorrupt", 0, "abstract channel: probability a singleton is corrupted")
+		capSINR   = fs.Float64("capture-sinr", 0, "capture-effect SINR threshold in dB (0 = capture off)")
+		maxOrder  = fs.Int("max-order", 0, "decode capability: max resolvable collision order (0 = lambda)")
+		plExp     = fs.Float64("pathloss-exp", 0, "link budget: path-loss exponent (0 = default 2.0)")
 		ackloss   = fs.Float64("ackloss", 0, "probability a reader acknowledgement is lost (tags retransmit)")
 		timing    = fs.String("timing", "icode", "air interface: icode (53 kbit/s) or gen2 (128 kbit/s)")
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "Monte-Carlo worker goroutines (output is identical for any value)")
@@ -158,10 +161,19 @@ func run(args []string) error {
 			lam = k
 		} else if _, err := fmt.Sscanf(p.Name(), "SCAT-%d", &k); err == nil {
 			lam = k
+		} else if _, err := fmt.Sscanf(p.Name(), "MDFSA-%d", &k); err == nil {
+			lam = k
+		} else if _, err := fmt.Sscanf(p.Name(), "PRALOHA-%d", &k); err == nil {
+			lam = k
 		}
 	}
+	capability := ancrfid.ChannelCapability{
+		MaxOrder:      *maxOrder,
+		CaptureSINRdB: *capSINR,
+		Budget:        ancrfid.LinkBudget{PathLossExp: *plExp},
+	}
 
-	cfg := ancrfid.SimConfig{Tags: *tags, Runs: *runs, Seed: *seed, Lambda: lam, Timing: tm, PAckLoss: *ackloss, Workers: *workers, MaxSlots: *maxSlots, Stream: *stream}
+	cfg := ancrfid.SimConfig{Tags: *tags, Runs: *runs, Seed: *seed, Lambda: lam, Capability: capability, Timing: tm, PAckLoss: *ackloss, Workers: *workers, MaxSlots: *maxSlots, Stream: *stream}
 	cfg.Faults = ancrfid.FaultConfig{
 		AckLoss:          *faultAckLoss,
 		Burst:            ancrfid.FaultBurstConfig{Duty: *faultBurstDuty, MeanBad: *faultBurstMean},
@@ -292,6 +304,7 @@ func run(args []string) error {
 			cfg.NewChannel = func(r *ancrfid.RNG) ancrfid.Channel {
 				return ancrfid.NewAbstractChannel(ancrfid.AbstractChannelConfig{
 					Lambda:            lam,
+					Capability:        capability,
 					PUnresolvable:     *punres,
 					PCorruptSingleton: *pcorrupt,
 				}, r)
@@ -303,6 +316,7 @@ func run(args []string) error {
 				NoiseSigma:  *noise,
 				PhaseJitter: *jitter,
 				MaxCancel:   lam,
+				Capability:  capability,
 			}
 			return ancrfid.NewSignalChannel(scfg, r)
 		}

@@ -23,6 +23,14 @@ type AbstractConfig struct {
 	// (unresolvable) collision and the tag retries later, exactly the
 	// retransmit-until-acknowledged behaviour of Section IV-E.
 	PCorruptSingleton float64
+
+	// Capability is the power-aware decode model layered over the slot
+	// channel. Its MaxOrder, when set, overrides Lambda; its capture
+	// threshold, when positive, lets the strongest constituent of a
+	// collision decode through (Kind Captured). The zero value is the
+	// degenerate capture-free capability: behaviour — including the RNG
+	// draw sequence — is bit-identical to a config that predates the field.
+	Capability Capability
 }
 
 // Abstract is the slot-level channel used by the paper's evaluation.
@@ -56,6 +64,12 @@ type Abstract struct {
 	// recycled — headers, member storage, big-record index maps — by the
 	// next collision instead of growing the arena.
 	free []*abstractMixed
+
+	// Capture-decision constants, precomputed so the per-slot test is pure
+	// float arithmetic: the linear SINR threshold (0 = capture off) and the
+	// reader noise floor in mW.
+	captureLinear float64
+	noiseMW       float64
 }
 
 var (
@@ -80,10 +94,13 @@ const bigRecord = 16
 // NewAbstract returns the paper's channel model. The rng drives the noise
 // processes; it may be shared with the protocol simulation.
 func NewAbstract(cfg AbstractConfig, r *rng.Source) *Abstract {
-	if cfg.Lambda < 1 {
-		cfg.Lambda = 1
+	cfg.Lambda = cfg.Capability.order(cfg.Lambda)
+	a := &Abstract{cfg: cfg, rng: r}
+	if cfg.Capability.CaptureEnabled() {
+		a.captureLinear = cfg.Capability.captureLinear()
+		a.noiseMW = cfg.Capability.Budget.NoiseMW()
 	}
-	return &Abstract{cfg: cfg, rng: r}
+	return a
 }
 
 // Observe implements Channel.
@@ -99,9 +116,41 @@ func (a *Abstract) Observe(transmitters []tagid.ID) Observation {
 		}
 		return Observation{Kind: Singleton, ID: transmitters[0]}
 	default:
+		if a.captureLinear > 0 {
+			if id, ok := a.capture(transmitters); ok {
+				// The captured tag peels off for free; the recording's
+				// residual is a (k-1)-collision, so resolvability is judged
+				// against one fewer constituent.
+				resolvable := len(transmitters)-1 <= a.cfg.Lambda && !a.rng.Bool(a.cfg.PUnresolvable)
+				return Observation{Kind: Captured, ID: id, Mix: a.newMixed(transmitters, resolvable)}
+			}
+		}
 		resolvable := len(transmitters) <= a.cfg.Lambda && !a.rng.Bool(a.cfg.PUnresolvable)
 		return Observation{Kind: Collision, Mix: a.newMixed(transmitters, resolvable)}
 	}
+}
+
+// capture applies the capture-effect test to a collision: it computes every
+// constituent's link-budget receive power and reports the strongest tag if
+// its SINR against the rest of the mix plus noise clears the configured
+// threshold. Powers are pure hashes of tag identity — no RNG draw, no
+// allocation — so enabling capture perturbs nothing downstream of the
+// slots it actually changes.
+func (a *Abstract) capture(transmitters []tagid.ID) (tagid.ID, bool) {
+	var sum, max float64
+	var strongest tagid.ID
+	for _, id := range transmitters {
+		p := a.cfg.Capability.Budget.RxPowerMW(id.HashPrefix())
+		sum += p
+		if p > max {
+			max = p
+			strongest = id
+		}
+	}
+	if max < a.captureLinear*(sum-max+a.noiseMW) {
+		return tagid.ID{}, false
+	}
+	return strongest, true
 }
 
 func (a *Abstract) newMixed(transmitters []tagid.ID, resolvable bool) *abstractMixed {

@@ -1,0 +1,71 @@
+package channel
+
+import (
+	"math"
+
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// Capability is the unified decode-capability model of an ANC reader: how
+// many colliding signals its decoder can peel apart, whether a strong
+// constituent can be captured straight through a collision, and the
+// link-budget draw that gives every tag the receive power those decisions
+// are made from.
+//
+// It replaces the bare "Lambda int" that used to be threaded separately
+// through the abstract channel, the signal channel and the record store.
+// The zero value is deliberately degenerate: MaxOrder 0 defers to the
+// channel's legacy Lambda field and CaptureSINRdB 0 disables capture, so a
+// config that never mentions Capability behaves — bit for bit, RNG draw for
+// RNG draw — exactly as before the model existed.
+type Capability struct {
+	// MaxOrder is M, the largest collision multiplicity the decoder can
+	// resolve by successive cancellation (the paper's lambda). Zero means
+	// "inherit the channel config's Lambda".
+	MaxOrder int
+
+	// CaptureSINRdB enables the capture effect when positive: in a
+	// collision slot whose strongest constituent has
+	//
+	//	SINR = P_max / (sum(P_others) + N) >= 10^(CaptureSINRdB/10)
+	//
+	// the strongest tag's ID decodes immediately (Kind Captured) and the
+	// full recording is kept as a residual for the cascade. Typical
+	// monostatic-reader thresholds are 3-10 dB. Zero or negative disables
+	// capture entirely.
+	CaptureSINRdB float64
+
+	// Budget supplies the per-tag receive powers the capture decision is
+	// computed from (and, in the signal channel, the amplitude scaling of
+	// each tag's waveform). The zero value uses the documented LinkBudget
+	// defaults.
+	Budget tagid.LinkBudget
+}
+
+// CaptureEnabled reports whether the capability models the capture effect.
+func (c Capability) CaptureEnabled() bool {
+	return c.CaptureSINRdB > 0
+}
+
+// captureLinear returns the linear SINR threshold, or 0 when capture is
+// disabled.
+func (c Capability) captureLinear() float64 {
+	if !c.CaptureEnabled() {
+		return 0
+	}
+	return math.Pow(10, c.CaptureSINRdB/10)
+}
+
+// order resolves the effective max decode order against a legacy Lambda
+// field: the capability wins when set, the legacy field otherwise, floored
+// at 1 (a reader that cannot decode even a singleton is not a reader).
+func (c Capability) order(legacyLambda int) int {
+	m := c.MaxOrder
+	if m == 0 {
+		m = legacyLambda
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}

@@ -1,0 +1,197 @@
+package channel
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// TestCapabilityDegeneracy is the refactor's safety net: a bare
+// AbstractConfig{Lambda: k} and the equivalent capture-free
+// Capability{MaxOrder: k} must classify every slot identically, draw for
+// draw — otherwise the capability model silently changes legacy campaigns.
+func TestCapabilityDegeneracy(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		for _, seed := range []uint64{1, 7, 42, 1001} {
+			legacy := NewAbstract(AbstractConfig{
+				Lambda:            k,
+				PUnresolvable:     0.1,
+				PCorruptSingleton: 0.05,
+			}, rng.New(seed))
+			capable := NewAbstract(AbstractConfig{
+				PUnresolvable:     0.1,
+				PCorruptSingleton: 0.05,
+				Capability:        Capability{MaxOrder: k},
+			}, rng.New(seed))
+
+			popRNG := rng.New(seed ^ 0xabcdef)
+			ids := tagid.Population(popRNG, 16)
+			sizeRNG := rng.New(seed ^ 0x123456)
+			for slot := 0; slot < 2000; slot++ {
+				n := sizeRNG.Intn(7) // 0..6 transmitters
+				tx := ids[:n]
+				a := legacy.Observe(tx)
+				b := capable.Observe(tx)
+				if a.Kind != b.Kind || a.ID != b.ID {
+					t.Fatalf("k=%d seed=%d slot=%d: legacy (%v, %v) vs capability (%v, %v)",
+						k, seed, slot, a.Kind, a.ID, b.Kind, b.ID)
+				}
+				if (a.Mix == nil) != (b.Mix == nil) {
+					t.Fatalf("k=%d seed=%d slot=%d: Mix presence diverged", k, seed, slot)
+				}
+				if a.Mix != nil {
+					ida, oka := drain(a.Mix, tx)
+					idb, okb := drain(b.Mix, tx)
+					if oka != okb || ida != idb {
+						t.Fatalf("k=%d seed=%d slot=%d: decode diverged (%v,%v) vs (%v,%v)",
+							k, seed, slot, ida, oka, idb, okb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// drain subtracts all but the last transmitter and attempts a decode,
+// exercising the resolvability bit the two configs must agree on.
+func drain(m Mixed, tx []tagid.ID) (tagid.ID, bool) {
+	for _, id := range tx[:len(tx)-1] {
+		m.Subtract(id)
+	}
+	return m.Decode()
+}
+
+// TestCaptureStrongestDecodes checks the capture path end to end: with a
+// permissive threshold the strongest constituent (nearest tag under the
+// link budget) decodes through the collision, and the residual recording
+// still resolves by cancelling the captured tag.
+func TestCaptureStrongestDecodes(t *testing.T) {
+	cap_ := Capability{MaxOrder: 2, CaptureSINRdB: 0.5}
+	ch := NewAbstract(AbstractConfig{Capability: cap_}, rng.New(3))
+	ids := tagid.Population(rng.New(9), 64)
+
+	captured := 0
+	for i := 0; i+2 <= len(ids); i += 2 {
+		tx := ids[i : i+2]
+		ob := ch.Observe(tx)
+		switch ob.Kind {
+		case Captured:
+			captured++
+			// The strongest tag by the budget draw must be the one captured.
+			want := tx[0]
+			if cap_.Budget.RxPowerMW(tx[1].HashPrefix()) > cap_.Budget.RxPowerMW(tx[0].HashPrefix()) {
+				want = tx[1]
+			}
+			if ob.ID != want {
+				t.Fatalf("captured %v, want strongest %v", ob.ID, want)
+			}
+			if ob.Mix == nil {
+				t.Fatal("Captured observation missing residual Mix")
+			}
+			// Subtracting the captured tag must leave a decodable residual.
+			ob.Mix.Subtract(ob.ID)
+			got, ok := ob.Mix.Decode()
+			other := tx[0]
+			if other == ob.ID {
+				other = tx[1]
+			}
+			if !ok || got != other {
+				t.Fatalf("residual decode = (%v, %v), want (%v, true)", got, ok, other)
+			}
+		case Collision:
+			// Below-threshold pair: fine.
+		default:
+			t.Fatalf("unexpected kind %v for a 2-collision", ob.Kind)
+		}
+	}
+	if captured == 0 {
+		t.Fatal("0.5 dB threshold never captured across 32 pairs; capture path dead")
+	}
+}
+
+// TestCaptureHighThresholdNeverFires pins the other side: an absurd
+// threshold must leave every collision a plain Collision.
+func TestCaptureHighThresholdNeverFires(t *testing.T) {
+	ch := NewAbstract(AbstractConfig{
+		Capability: Capability{MaxOrder: 2, CaptureSINRdB: 80},
+	}, rng.New(3))
+	ids := tagid.Population(rng.New(9), 64)
+	for i := 0; i+2 <= len(ids); i += 2 {
+		if ob := ch.Observe(ids[i : i+2]); ob.Kind != Collision {
+			t.Fatalf("80 dB threshold produced %v", ob.Kind)
+		}
+	}
+}
+
+// TestCaptureDecisionZeroAlloc pins the per-slot capture decision at zero
+// allocations: the power draws are pure hashes and the SINR test is float
+// arithmetic, so turning capture on must not add a single allocation to
+// the slot loop's steady state.
+func TestCaptureDecisionZeroAlloc(t *testing.T) {
+	ch := NewAbstract(AbstractConfig{
+		Capability: Capability{MaxOrder: 2, CaptureSINRdB: 6},
+	}, rng.New(5))
+	ids := tagid.Population(rng.New(6), 8)
+	// Warm the arena so measurement sees the steady state, then release
+	// each record (streaming discipline) so newMixed recycles instead of
+	// growing chunks.
+	for i := 0; i < recChunk; i++ {
+		ob := ch.Observe(ids[:3])
+		ch.ReleaseMixed(ob.Mix)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ob := ch.Observe(ids[:3])
+		ch.ReleaseMixed(ob.Mix)
+	})
+	if allocs != 0 {
+		t.Fatalf("capture-enabled Observe allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestLinkBudgetDeterminism: the power draw is a pure function of
+// (identity, seed) — repeated calls agree, and different seeds decorrelate.
+func TestLinkBudgetDeterminism(t *testing.T) {
+	var b tagid.LinkBudget
+	ids := tagid.Population(rng.New(17), 32)
+	for _, id := range ids {
+		p := id.HashPrefix()
+		if b.RxPowerMW(p) != b.RxPowerMW(p) {
+			t.Fatalf("power draw for %v not deterministic", id)
+		}
+		d := b.Distance(p)
+		if d < 1 || d > 10 {
+			t.Fatalf("default-budget distance %v outside [1, 10] m", d)
+		}
+	}
+	seeded := tagid.LinkBudget{Seed: 99}
+	moved := 0
+	for _, id := range ids {
+		if seeded.Distance(id.HashPrefix()) != b.Distance(id.HashPrefix()) {
+			moved++
+		}
+	}
+	if moved < len(ids)/2 {
+		t.Fatalf("reseeding moved only %d/%d tags", moved, len(ids))
+	}
+}
+
+// BenchmarkCaptureDecode measures the per-slot capture decision on a
+// 3-collision: three link-budget power draws plus the SINR test and the
+// residual recording. Gated in CI for both ns/op and allocs/op.
+func BenchmarkCaptureDecode(b *testing.B) {
+	ch := NewAbstract(AbstractConfig{
+		Capability: Capability{MaxOrder: 3, CaptureSINRdB: 6},
+	}, rng.New(5))
+	ids := tagid.Population(rng.New(6), 3)
+	for i := 0; i < recChunk; i++ {
+		ob := ch.Observe(ids)
+		ch.ReleaseMixed(ob.Mix)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ob := ch.Observe(ids)
+		ch.ReleaseMixed(ob.Mix)
+	}
+}

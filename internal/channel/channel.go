@@ -34,6 +34,13 @@ const (
 	Singleton
 	// Collision: the decode failed; the reader records the mixed signal.
 	Collision
+	// Captured: two or more tags transmitted but the strongest constituent's
+	// SINR cleared the capture threshold, so its ID decoded through the
+	// collision (Fyhn et al., "Multipacket Reception of Passive UHF RFID
+	// Tags"). The observation carries both the decoded ID and a recorded
+	// residual mix for the ANC cascade. Only channels configured with a
+	// capturing Capability emit this kind.
+	Captured
 )
 
 // String returns the slot-kind name.
@@ -45,6 +52,8 @@ func (k Kind) String() string {
 		return "singleton"
 	case Collision:
 		return "collision"
+	case Captured:
+		return "captured"
 	default:
 		return "unknown"
 	}
@@ -172,10 +181,13 @@ type Resettable interface {
 // Observation is the outcome of one report segment.
 type Observation struct {
 	Kind Kind
-	// ID is the decoded tag ID; valid only for Singleton observations.
-	ID tagid.ID
-	// Mix is the recorded mixed signal; non-nil only for Collision
+	// ID is the decoded tag ID; valid for Singleton and Captured
 	// observations.
+	ID tagid.ID
+	// Mix is the recorded mixed signal; non-nil only for Collision and
+	// Captured observations. For Captured it still contains every
+	// constituent including the captured tag — the reader subtracts the
+	// captured ID like any other identified tag before cascading.
 	Mix Mixed
 }
 

@@ -1,0 +1,88 @@
+package channel
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+// TestSignalCaptureClassification runs 2-collisions through the
+// physical-layer channel with the capability model on: amplitudes follow
+// the link budget, so pairs with a dominant constituent should sometimes
+// decode through the collision and be reported as Captured, carrying both
+// the decoded ID and a residual recording.
+func TestSignalCaptureClassification(t *testing.T) {
+	cfg := SignalConfig{
+		NoiseSigma: 0.01,
+		Capability: Capability{MaxOrder: 2, CaptureSINRdB: 3},
+	}
+	ch := NewSignal(cfg, rng.New(21))
+	ids := tagid.Population(rng.New(22), 40)
+
+	captured := 0
+	for i := 0; i+2 <= len(ids); i += 2 {
+		tx := ids[i : i+2]
+		ob := ch.Observe(tx)
+		switch ob.Kind {
+		case Captured:
+			captured++
+			if ob.ID != tx[0] && ob.ID != tx[1] {
+				t.Fatalf("captured ID %v not a transmitter", ob.ID)
+			}
+			if ob.Mix == nil || !ob.Mix.Contains(ob.ID) {
+				t.Fatal("Captured observation must carry a residual containing the captured tag")
+			}
+		case Singleton:
+			// A vastly dominant constituent can bury the interferer below the
+			// envelope test entirely; the reader cannot tell it from a clean
+			// singleton. Acceptable.
+		case Collision:
+			// Comparable powers: no capture.
+		default:
+			t.Fatalf("unexpected kind %v", ob.Kind)
+		}
+		if ob.Mix != nil {
+			ch.ReleaseMixed(ob.Mix)
+		}
+	}
+	if captured == 0 {
+		t.Fatal("link-budget amplitudes never produced a Captured observation over 20 pairs")
+	}
+}
+
+// TestSignalCapabilityOverridesMaxCancel: MaxOrder takes precedence over
+// the legacy MaxCancel knob.
+func TestSignalCapabilityOverridesMaxCancel(t *testing.T) {
+	ch := NewSignal(SignalConfig{MaxCancel: 7, Capability: Capability{MaxOrder: 2}}, rng.New(1))
+	if got := ch.cfg.MaxCancel; got != 2 {
+		t.Fatalf("MaxCancel = %d after MaxOrder override, want 2", got)
+	}
+}
+
+// TestSignalZeroCapabilityUnchanged: a zero Capability must leave the
+// classification and the RNG draw sequence bit-identical to the legacy
+// config — the same observations in the same order.
+func TestSignalZeroCapabilityUnchanged(t *testing.T) {
+	mk := func() *Signal {
+		return NewSignal(SignalConfig{NoiseSigma: 0.03, MaxCancel: 2}, rng.New(77))
+	}
+	a, b := mk(), mk()
+	// b gets an explicitly zero Capability (a no-op by construction).
+	b.cfg.Capability = Capability{}
+	ids := tagid.Population(rng.New(78), 12)
+	szRNG := rng.New(79)
+	for slot := 0; slot < 200; slot++ {
+		n := szRNG.Intn(4)
+		oa, ob := a.Observe(ids[:n]), b.Observe(ids[:n])
+		if oa.Kind != ob.Kind || oa.ID != ob.ID {
+			t.Fatalf("slot %d: (%v,%v) vs (%v,%v)", slot, oa.Kind, oa.ID, ob.Kind, ob.ID)
+		}
+		if oa.Mix != nil {
+			a.ReleaseMixed(oa.Mix)
+		}
+		if ob.Mix != nil {
+			b.ReleaseMixed(ob.Mix)
+		}
+	}
+}

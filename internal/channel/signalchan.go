@@ -43,6 +43,15 @@ type SignalConfig struct {
 	// slot-level model. Zero means unlimited (cancellation is attempted and
 	// succeeds or fails on the CRC alone).
 	MaxCancel int
+
+	// Capability is the power-aware decode model. When its MaxOrder is set
+	// it overrides MaxCancel; when its capture threshold is positive, tag
+	// amplitudes become deterministic link-budget draws (scaled into
+	// [0, MaxAmplitude]) instead of uniform random, and a collision whose
+	// dominant constituent still decodes with a valid CRC is reported as
+	// Captured rather than silently treated as a clean singleton or lost.
+	// The zero value changes nothing, including the RNG draw sequence.
+	Capability Capability
 }
 
 // DefaultSignalConfig returns a configuration representative of a quiet
@@ -110,6 +119,9 @@ func NewSignal(cfg SignalConfig, r *rng.Source) *Signal {
 	if cfg.MaxAmplitude < cfg.MinAmplitude {
 		cfg.MaxAmplitude = cfg.MinAmplitude
 	}
+	if cfg.Capability.MaxOrder > 0 {
+		cfg.MaxCancel = cfg.Capability.MaxOrder
+	}
 	return &Signal{
 		cfg:     cfg,
 		rng:     r,
@@ -138,7 +150,15 @@ func (c *Signal) gain(id tagid.ID) complex128 {
 	if g, ok := c.gains[id]; ok {
 		return g
 	}
-	amp := c.cfg.MinAmplitude + (c.cfg.MaxAmplitude-c.cfg.MinAmplitude)*c.rng.Float64()
+	var amp float64
+	if c.cfg.Capability.CaptureEnabled() {
+		// Link-budget mode: the amplitude is a pure hash of the tag's
+		// placement, so the sample-domain power ratios in a collision match
+		// the capability model's SINR arithmetic. Only the phase is random.
+		amp = c.cfg.MaxAmplitude * c.cfg.Capability.Budget.Amplitude(id.HashPrefix())
+	} else {
+		amp = c.cfg.MinAmplitude + (c.cfg.MaxAmplitude-c.cfg.MinAmplitude)*c.rng.Float64()
+	}
 	phase := 2 * math.Pi * c.rng.Float64()
 	g := cmplx.Rect(amp, phase)
 	c.gains[id] = g
@@ -233,8 +253,8 @@ func (c *Signal) Observe(transmitters []tagid.ID) Observation {
 	// the envelope is flat to within the noise floor. A much weaker
 	// interferer (below the envelope test's sensitivity) is genuinely
 	// captured: the reader reads the strong tag and the weak one retries.
-	if id, ok := signal.DecodeIDPlane(rx, c.cfg.SamplesPerBit); ok &&
-		signal.EnvelopeFlatPlane(rx, c.cfg.NoiseSigma) {
+	id, decoded := signal.DecodeIDPlane(rx, c.cfg.SamplesPerBit)
+	if decoded && signal.EnvelopeFlatPlane(rx, c.cfg.NoiseSigma) {
 		return Observation{Kind: Singleton, ID: id}
 	}
 	// The record keeps the received plane, so the accumulator is handed
@@ -244,6 +264,13 @@ func (c *Signal) Observe(transmitters []tagid.ID) Observation {
 		chan_:   c,
 		wave:    rx,
 		members: append(make([]tagid.ID, 0, len(transmitters)), transmitters...),
+	}
+	if decoded && len(transmitters) > 1 && c.cfg.Capability.CaptureEnabled() && m.Contains(id) {
+		// The demodulator pulled a valid ID out of a non-flat envelope: the
+		// dominant constituent was captured through the collision. With the
+		// capability model on, that is a first-class observation — the ID is
+		// delivered and the recording stays as the cascade's residual.
+		return Observation{Kind: Captured, ID: id, Mix: m}
 	}
 	return Observation{Kind: Collision, Mix: m}
 }

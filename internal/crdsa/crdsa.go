@@ -218,6 +218,29 @@ func (s *session) Step() (bool, error) {
 		for _, res := range s.store.Add(uint64(j), obs.Mix, tx) {
 			s.countResolved(j, res.ID)
 		}
+	case channel.Captured:
+		// Capture effect: the slot collided but the strongest replica
+		// decoded. Treat the captured ID as a direct read feeding the
+		// end-of-frame cancellation queue, and keep the recording — with
+		// the captured tag known, Add subtracts it on arrival.
+		s.m.CollisionSlots++
+		if _, dup := s.seen[obs.ID]; !dup {
+			s.seen[obs.ID] = struct{}{}
+			s.m.DirectIDs++
+			s.env.NotifyIdentified(obs.ID, false)
+			s.queue = append(s.queue, obs.ID)
+		}
+		delivered := s.env.AckDelivered()
+		s.env.TraceAck(obsev.AckEvent{
+			Seq: j, ID: obs.ID, Kind: obsev.AckDirect, Delivered: delivered,
+		})
+		if delivered {
+			s.read[obs.ID] = struct{}{}
+		}
+		s.store.MarkKnown(obs.ID)
+		for _, res := range s.store.Add(uint64(j), obs.Mix, tx) {
+			s.countResolved(j, res.ID)
+		}
 	}
 	s.m.TagTransmissions += len(tx)
 	s.env.NotifySlot(protocol.SlotEvent{

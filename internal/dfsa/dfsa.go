@@ -178,6 +178,25 @@ func (s *session) Step() (bool, error) {
 		// here and retries next frame.
 		s.m.CollisionSlots++
 		s.collisions++
+	case channel.Captured:
+		// Capture effect: the slot collided but the strongest tag decoded
+		// anyway. A plain DFSA reader has no record store, so it simply
+		// acknowledges the captured read; the other colliders retry next
+		// frame. Schoute's estimator still counts the slot as a collision.
+		s.m.CollisionSlots++
+		s.collisions++
+		if _, dup := s.seen[obs.ID]; !dup {
+			s.seen[obs.ID] = struct{}{}
+			s.m.DirectIDs++
+			s.env.NotifyIdentified(obs.ID, false)
+		}
+		delivered := s.env.AckDelivered()
+		s.env.TraceAck(obsev.AckEvent{
+			Seq: s.m.TotalSlots() - 1, ID: obs.ID, Kind: obsev.AckDirect, Delivered: delivered,
+		})
+		if delivered {
+			s.read[obs.ID] = struct{}{}
+		}
 	}
 	s.m.TagTransmissions += len(tx)
 	s.env.NotifySlot(protocol.SlotEvent{

@@ -208,6 +208,23 @@ func (s *session) Step() (bool, error) {
 	case channel.Collision:
 		s.m.CollisionSlots++
 		s.collisions++
+	case channel.Captured:
+		// Capture effect: the collision still counts for Vogt's estimator,
+		// but the captured ID is read and acknowledged like a singleton.
+		s.m.CollisionSlots++
+		s.collisions++
+		if _, dup := s.seen[obs.ID]; !dup {
+			s.seen[obs.ID] = struct{}{}
+			s.m.DirectIDs++
+			s.env.NotifyIdentified(obs.ID, false)
+		}
+		delivered := s.env.AckDelivered()
+		s.env.TraceAck(obsev.AckEvent{
+			Seq: s.m.TotalSlots() - 1, ID: obs.ID, Kind: obsev.AckDirect, Delivered: delivered,
+		})
+		if delivered {
+			s.read[obs.ID] = struct{}{}
+		}
 	}
 	s.m.TagTransmissions += len(tx)
 	s.env.NotifySlot(protocol.SlotEvent{

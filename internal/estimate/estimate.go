@@ -38,10 +38,20 @@ func ClosedForm(nc, f int, p, omega float64) (est float64, ok bool) {
 
 // Exact inverts E(n_c) = f*(1 - (1-p)^(N-1)*(1-p+Np)) for N by bisection,
 // avoiding the omega ~= Np approximation baked into the closed form. The
-// expectation is strictly increasing in N, so the root is unique. ok is
-// false under the same degenerate conditions as ClosedForm.
+// expectation is strictly increasing in N for N >= 1, so the root is
+// unique.
+//
+// Contract (matching ClosedForm): nc == 0 is a valid observation, not a
+// degenerate one — zero collisions is exactly what a population of at most
+// one tag produces, so Exact(0, f, p) returns an estimate of ~1, the
+// largest population whose expected collision count is zero. ok is false
+// only for truly uninformative inputs: nc < 0, nc >= f (every slot
+// collided; the inversion diverges and the caller should grow its guess),
+// or out-of-range f/p. ClosedForm shares this contract except that its
+// log-domain algebra cannot represent nc == 0 exactly when omega is large;
+// both reject the same nc >= f saturation.
 func Exact(nc, f int, p float64) (est float64, ok bool) {
-	if f <= 0 || p <= 0 || p >= 1 || nc <= 0 {
+	if f <= 0 || p <= 0 || p >= 1 || nc < 0 {
 		return 0, false
 	}
 	if nc >= f {

@@ -77,8 +77,23 @@ func TestExactDegenerateInputs(t *testing.T) {
 	if _, ok := Exact(30, 30, 0.001); ok {
 		t.Error("saturated frame should not estimate")
 	}
-	if _, ok := Exact(0, 30, 0.001); ok {
-		t.Error("nc=0 carries no collision information for Exact")
+	if _, ok := Exact(-1, 30, 0.001); ok {
+		t.Error("negative nc should not estimate")
+	}
+}
+
+// TestExactZeroCollisions pins the nc == 0 contract shared with
+// ClosedForm: zero observed collisions is a valid observation meaning "at
+// most ~1 tag", not a degenerate input.
+func TestExactZeroCollisions(t *testing.T) {
+	for _, p := range []float64{0.001, 0.1, 0.5, 0.9} {
+		est, ok := Exact(0, 30, p)
+		if !ok {
+			t.Fatalf("Exact(0, 30, %v) not ok; nc=0 is a valid observation", p)
+		}
+		if est < 0 || est > 1.5 {
+			t.Fatalf("Exact(0, 30, %v) = %v, want a zero-ish estimate in [0, 1.5]", p, est)
+		}
 	}
 }
 

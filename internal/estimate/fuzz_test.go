@@ -1,0 +1,72 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEstimateInvert round-trips the collision-count estimator: pick a
+// population N, compute the expected collision count E(n_c) under (f, p),
+// invert it with Exact, and require the forward map of the inverted
+// estimate to land back on E(n_c). Checking the round trip in count space
+// (rather than |N^ - N|) keeps the tolerance meaningful near saturation,
+// where dE/dN flattens and tiny count noise legitimately moves N^ a lot.
+// The MPR frame rule is exercised on the inverted estimate as well: it
+// must stay positive and monotone in capability for any backlog the
+// estimator can produce.
+func FuzzEstimateInvert(f *testing.F) {
+	f.Add(uint16(100), uint16(64), uint16(30000), uint8(2))
+	f.Add(uint16(1), uint16(1), uint16(1), uint8(1))
+	f.Add(uint16(5000), uint16(4096), uint16(65535), uint8(4))
+	f.Add(uint16(0), uint16(30), uint16(100), uint8(3))
+	f.Fuzz(func(t *testing.T, rawN, rawF, rawP uint16, rawM uint8) {
+		n := float64(rawN % 5001)          // population 0..5000
+		frame := int(rawF%4096) + 1        // frame size 1..4096
+		p := (float64(rawP) + 1) / 65537.0 // report probability in (0, 1)
+		m := int(rawM%8) + 1               // capability 1..8
+
+		// Forward: expected collision count, clamped to a realisable one.
+		expect := float64(frame) * (1 - math.Pow(1-p, n-1)*(1-p+n*p))
+		if n == 0 {
+			expect = 0
+		}
+		nc := int(math.Round(expect))
+		if nc < 0 {
+			nc = 0
+		}
+		est, ok := Exact(nc, frame, p)
+		if nc >= frame {
+			if ok {
+				t.Fatalf("Exact accepted saturated nc=%d >= f=%d", nc, frame)
+			}
+			return
+		}
+		if !ok {
+			t.Fatalf("Exact(%d, %d, %v) rejected a realisable observation", nc, frame, p)
+		}
+		if est < 0 || math.IsNaN(est) || math.IsInf(est, 0) {
+			t.Fatalf("Exact(%d, %d, %v) = %v, not a population", nc, frame, p, est)
+		}
+
+		// Round trip: E(n_c) at the estimate must match the observed count
+		// to within the rounding we injected plus bisection slop.
+		back := float64(frame) * (1 - math.Pow(1-p, est-1)*(1-p+est*p))
+		if math.Abs(back-float64(nc)) > 0.5+1e-6*float64(frame) {
+			t.Fatalf("round trip: Exact(%d, %d, %v) = %v maps back to %v collisions",
+				nc, frame, p, est, back)
+		}
+
+		// The MPR frame rule must accept anything the estimator emits.
+		prev := math.MaxInt
+		for mm := 1; mm <= m; mm++ {
+			l := MPRFrameSize(est, mm)
+			if l < 1 {
+				t.Fatalf("MPRFrameSize(%v, %d) = %d", est, mm, l)
+			}
+			if l > prev {
+				t.Fatalf("MPRFrameSize(%v, %d) = %d grew over M-1's %d", est, mm, l, prev)
+			}
+			prev = l
+		}
+	})
+}

@@ -1,0 +1,83 @@
+// MPR frame sizing for multi-packet-reception readers.
+//
+// A framed-ALOHA reader whose ANC decoder resolves collisions of
+// multiplicity up to M (the capability model's max order) should not run
+// its frames at the classic one-tag-per-slot load: a slot holding k <= M
+// tags yields all k of them, so the reader wants *denser* frames. Pudasaini
+// et al. ("Optimum Frame Size Analysis of Framed Slotted ALOHA with
+// Multi-Packet Reception Capability", arXiv:1311.7458) show the per-slot
+// efficiency under Poisson load mu is
+//
+//	g_M(mu) = sum_{k=1..M} k * e^-mu * mu^k / k!
+//
+// and the optimal operating load mu*_M is its unique maximiser; the
+// MPR-optimal frame size for a backlog of N tags is then L* = N / mu*_M.
+// For M = 1 this degenerates to mu* = 1 and the textbook L = N rule.
+package estimate
+
+import "math"
+
+// MPRThroughput returns g_M(mu): the expected number of tags resolved per
+// slot when slots receive Poisson(mu) tags and every slot of multiplicity
+// k <= m decodes completely. m < 1 is treated as 1.
+func MPRThroughput(mu float64, m int) float64 {
+	if mu <= 0 {
+		return 0
+	}
+	if m < 1 {
+		m = 1
+	}
+	// Accumulate k * P(K = k) with the Poisson pmf built incrementally:
+	// term_k = e^-mu mu^k / k!.
+	term := math.Exp(-mu) * mu // k = 1
+	sum := term
+	for k := 2; k <= m; k++ {
+		term *= mu / float64(k)
+		sum += float64(k) * term
+	}
+	return sum
+}
+
+// MPROptimalLoad returns mu*_M, the per-slot load maximising g_M. The
+// value is found by golden-section search (g_M is unimodal on (0, inf):
+// it rises from 0 and decays like a polynomial times e^-mu); M = 1 returns
+// exactly 1 so legacy single-reception sizing is bit-stable.
+func MPROptimalLoad(m int) float64 {
+	if m <= 1 {
+		return 1
+	}
+	// The maximiser sits between 1 (M = 1) and M + 1 (the mode of the
+	// k = M term's weight grows like M).
+	lo, hi := 1.0, float64(m)+2
+	const phi = 0.6180339887498949 // (sqrt(5)-1)/2
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, f2 := MPRThroughput(x1, m), MPRThroughput(x2, m)
+	for i := 0; i < 120 && hi-lo > 1e-10; i++ {
+		if f1 < f2 {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2 = MPRThroughput(x2, m)
+		} else {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1 = MPRThroughput(x1, m)
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MPRFrameSize returns the MPR-optimal frame length for the given backlog
+// estimate: round(backlog / mu*_M), floored at 1. Callers feed it the
+// population estimate from Exact/ClosedForm (or an exact outstanding count
+// when the roster is known, as in the pseudo-random session).
+func MPRFrameSize(backlog float64, m int) int {
+	if backlog <= 0 {
+		return 1
+	}
+	l := int(math.Round(backlog / MPROptimalLoad(m)))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}

@@ -1,0 +1,110 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/rng"
+)
+
+func TestMPROptimalLoadM1(t *testing.T) {
+	if got := MPROptimalLoad(1); got != 1 {
+		t.Fatalf("MPROptimalLoad(1) = %v, want exactly 1", got)
+	}
+	if got := MPROptimalLoad(0); got != 1 {
+		t.Fatalf("MPROptimalLoad(0) = %v, want 1", got)
+	}
+}
+
+func TestMPROptimalLoadIsStationary(t *testing.T) {
+	for m := 2; m <= 8; m++ {
+		mu := MPROptimalLoad(m)
+		g := MPRThroughput(mu, m)
+		for _, eps := range []float64{0.01, 0.05} {
+			if MPRThroughput(mu-eps, m) > g || MPRThroughput(mu+eps, m) > g {
+				t.Fatalf("M=%d: mu*=%v is not a local max of g", m, mu)
+			}
+		}
+		if mu <= MPROptimalLoad(m-1) {
+			t.Fatalf("mu*_%d = %v not increasing in M", m, mu)
+		}
+	}
+}
+
+func TestMPRFrameSize(t *testing.T) {
+	if got := MPRFrameSize(100, 1); got != 100 {
+		t.Fatalf("M=1 backlog 100: frame %d, want classic 100", got)
+	}
+	if got := MPRFrameSize(0, 3); got != 1 {
+		t.Fatalf("empty backlog: frame %d, want 1", got)
+	}
+	// Denser frames as capability grows.
+	prev := MPRFrameSize(240, 1)
+	for m := 2; m <= 4; m++ {
+		l := MPRFrameSize(240, m)
+		if l >= prev {
+			t.Fatalf("M=%d frame %d not smaller than M=%d frame %d", m, l, m-1, prev)
+		}
+		prev = l
+	}
+}
+
+// TestMPREmpiricalOptimum is the tentpole's acceptance check for the frame
+// rule: for M in {2,3,4}, Monte-Carlo simulate framed ALOHA where every
+// slot of multiplicity k <= M resolves completely, sweep the frame size,
+// and require the empirically best frame to sit within 5% (plus one grid
+// step) of the analytic N / mu*_M.
+func TestMPREmpiricalOptimum(t *testing.T) {
+	const n = 240
+	const trials = 1500
+	r := rng.New(0xA11CE)
+	counts := make([]int, 0, 512)
+	for m := 2; m <= 4; m++ {
+		analytic := float64(n) / MPROptimalLoad(m)
+		step := int(math.Max(1, math.Round(analytic/50))) // ~2% grid
+		bestL, bestEff := 0, -1.0
+		for l := int(0.5 * analytic); l <= int(1.7*analytic); l += step {
+			counts = counts[:l]
+			var resolved int64
+			for trial := 0; trial < trials; trial++ {
+				for i := range counts {
+					counts[i] = 0
+				}
+				for tag := 0; tag < n; tag++ {
+					counts[r.Intn(l)]++
+				}
+				for _, k := range counts {
+					if k >= 1 && k <= m {
+						resolved += int64(k)
+					}
+				}
+			}
+			if eff := float64(resolved) / float64(l); eff > bestEff {
+				bestEff, bestL = eff, l
+			}
+		}
+		tol := 0.05*analytic + float64(step)
+		if math.Abs(float64(bestL)-analytic) > tol {
+			t.Fatalf("M=%d: empirical optimum L=%d vs analytic %.1f (tolerance %.1f)",
+				m, bestL, analytic, tol)
+		}
+		t.Logf("M=%d: empirical L*=%d, analytic %.1f, efficiency %.3f tags/slot",
+			m, bestL, analytic, bestEff/float64(trials))
+	}
+}
+
+// BenchmarkMPREstimate measures one backlog-estimation step of an MPR
+// frame boundary: invert the collision count to a population estimate and
+// size the next frame by the MPR rule. Gated in CI (ns/op + allocs/op).
+func BenchmarkMPREstimate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		est, ok := Exact(37, 96, 0.8)
+		if !ok {
+			b.Fatal("Exact failed")
+		}
+		if MPRFrameSize(est, 3) < 1 {
+			b.Fatal("bad frame size")
+		}
+	}
+}

@@ -139,6 +139,19 @@ func (c *Channel) Observe(transmitters []tagid.ID) channel.Observation {
 			c.emit(obs.FaultEvent{Slot: slot, Kind: obs.FaultCorruptDecode})
 			ob.Mix = &corruptMixed{inner: ob.Mix, bit: bit}
 		}
+	case channel.Captured:
+		if bad {
+			// The burst buries the capture margin: the strong constituent is
+			// lost along with everyone else, and the recording is spoiled.
+			c.emit(obs.FaultEvent{Slot: slot, Kind: obs.FaultBurst})
+			return channel.Observation{Kind: channel.Collision, Mix: &spoiledMixed{inner: ob.Mix}}
+		}
+		if bit, ok := c.inj.CorruptDecodeBit(slot); ok {
+			// The captured ID already decoded off the air; the corruption
+			// lands on the stored residual.
+			c.emit(obs.FaultEvent{Slot: slot, Kind: obs.FaultCorruptDecode})
+			ob.Mix = &corruptMixed{inner: ob.Mix, bit: bit}
+		}
 	}
 	return ob
 }

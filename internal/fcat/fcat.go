@@ -309,7 +309,7 @@ func (r *session) Step() (bool, error) {
 			if err != nil {
 				return r.fail(err)
 			}
-			if kind == channel.Collision {
+			if kind == channel.Collision || kind == channel.Captured {
 				if r.bootP < 1e-9 {
 					return r.fail(protocol.ErrNoProgress)
 				}
@@ -364,7 +364,9 @@ func (r *session) Step() (bool, error) {
 			switch kind {
 			case channel.Empty:
 				r.n0++
-			case channel.Collision:
+			case channel.Collision, channel.Captured:
+				// A captured slot was still a multi-tag slot on the air, so
+				// the collision-count estimator counts it as one.
 				r.nc++
 			}
 			r.frameJ++
@@ -726,6 +728,28 @@ func (r *session) doSlot(p float64) (channel.Kind, error) {
 		r.m.CollisionSlots++
 		// Storing the record can resolve it immediately when all but one
 		// member are known retransmitters (lost-acknowledgement recovery).
+		for _, res := range r.store.Add(slot, obs.Mix, r.buf) {
+			r.countResolved(res)
+		}
+	case channel.Captured:
+		// Capture effect: the strongest constituent decoded through the
+		// collision. The slot still counts as a collision (it occupied the
+		// air as one), the captured ID is acknowledged like a singleton
+		// decode, and the recording joins the store as a residual — Add
+		// subtracts the now-known captured tag, so a 2-collision capture
+		// resolves its partner on the spot.
+		r.m.CollisionSlots++
+		r.countDirect(obs.ID)
+		delivered := r.env.AckDelivered()
+		r.env.TraceAck(obsev.AckEvent{
+			Seq: int(slot), ID: obs.ID, Kind: obsev.AckDirect, Delivered: delivered,
+		})
+		if delivered {
+			r.active.Remove(obs.ID)
+		}
+		for _, res := range r.store.OnIdentified(obs.ID) {
+			r.countResolved(res)
+		}
 		for _, res := range r.store.Add(slot, obs.Mix, r.buf) {
 			r.countResolved(res)
 		}

@@ -169,7 +169,10 @@ func (t *MetricsTracer) SlotDone(ev SlotEvent) {
 		t.slotsEmpty.Inc()
 	case channel.Singleton:
 		t.slotsSingleton.Inc()
-	case channel.Collision:
+	case channel.Collision, channel.Captured:
+		// A captured slot still occupied the air as a collision; counting
+		// it there keeps the registry's counter set (and the golden hashes
+		// over its dump) stable whether or not capture is enabled.
 		t.slotsCollision.Inc()
 	}
 	t.txTotal.Add(int64(ev.Transmitters))

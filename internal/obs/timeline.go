@@ -79,6 +79,8 @@ func glyph(k channel.Kind) byte {
 		return 'S'
 	case channel.Collision:
 		return 'C'
+	case channel.Captured:
+		return 'P'
 	default:
 		return '?'
 	}

@@ -1,0 +1,172 @@
+package praloha
+
+import (
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/air"
+	"github.com/ancrfid/ancrfid/internal/channel"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/rng"
+	"github.com/ancrfid/ancrfid/internal/tagid"
+)
+
+func env(seed uint64, tags int, cfg channel.AbstractConfig) *protocol.Env {
+	r := rng.New(seed)
+	return &protocol.Env{
+		RNG:     r,
+		Tags:    tagid.Population(r, tags),
+		Channel: channel.NewAbstract(cfg, r),
+		Timing:  air.ICode(),
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(Config{}).Name() != "PRALOHA-2" {
+		t.Fatal("wrong default name")
+	}
+	if New(Config{M: 4}).Name() != "PRALOHA-4" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestIdentifiesEveryTag(t *testing.T) {
+	for _, n := range []int{1, 5, 200, 4000} {
+		m, err := New(Config{}).Run(env(uint64(n), n, channel.AbstractConfig{Lambda: 2}))
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if m.Identified() != n {
+			t.Fatalf("N=%d: identified %d", n, m.Identified())
+		}
+	}
+}
+
+func TestEmptyPopulation(t *testing.T) {
+	m, err := New(Config{}).Run(env(1, 0, channel.AbstractConfig{Lambda: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 0 {
+		t.Fatal("identified tags in empty field")
+	}
+}
+
+func TestBucketingDrawsNoRandomness(t *testing.T) {
+	// The whole point of the pseudo-random schedule is that slot choices
+	// are hash replay, not RNG draws. On a loss-free abstract channel
+	// (whose degenerate probability draws also consume nothing) an entire
+	// run must leave the run RNG untouched.
+	e := env(3, 500, channel.AbstractConfig{Lambda: 2})
+	before := *e.RNG
+	m, err := New(Config{}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 500 {
+		t.Fatalf("identified %d", m.Identified())
+	}
+	if *e.RNG != before {
+		t.Fatal("run consumed RNG draws; slot schedule is not pure hash replay")
+	}
+}
+
+func TestScheduleVariesAcrossFrames(t *testing.T) {
+	// Two tags colliding in one frame must separate in later frames: the
+	// frame counter feeds the hash. Every population finishes (previous
+	// test), but also check no single frame repeats the exact bucket
+	// pattern of its predecessor for a small stuck population.
+	e := env(4, 2, channel.AbstractConfig{Lambda: 1})
+	m, err := New(Config{M: 1}).Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 2 {
+		t.Fatalf("identified %d of 2", m.Identified())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	a, err := New(Config{}).Run(env(8, 300, channel.AbstractConfig{Lambda: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{}).Run(env(8, 300, channel.AbstractConfig{Lambda: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.OnAir, b.OnAir = 0, 0
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestResolvesCollisions(t *testing.T) {
+	m, err := New(Config{}).Run(env(7, 3000, channel.AbstractConfig{Lambda: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ResolvedIDs == 0 {
+		t.Fatal("no collision-resolved identifications; the record store is not wired")
+	}
+}
+
+func TestCaptureDoesNotRegress(t *testing.T) {
+	const n = 2000
+	cfg := channel.AbstractConfig{Lambda: 2}
+	plain, err := New(Config{}).Run(env(9, n, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Capability = channel.Capability{MaxOrder: 2, CaptureSINRdB: 3}
+	capm, err := New(Config{}).Run(env(9, n, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capm.Identified() != n || plain.Identified() != n {
+		t.Fatal("incomplete read")
+	}
+	if capm.TotalSlots() > plain.TotalSlots() {
+		t.Errorf("capture-enabled run used %d slots, capture-free %d", capm.TotalSlots(), plain.TotalSlots())
+	}
+}
+
+func TestMaxFrameCap(t *testing.T) {
+	// A modest cap forces early overloaded frames but must not wedge the
+	// session (a pathologically tight cap saturates, the same documented
+	// failure mode as capped DFSA).
+	m, err := New(Config{MaxFrame: 48}).Run(env(10, 150, channel.AbstractConfig{Lambda: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Identified() != 150 {
+		t.Fatalf("identified %d of 150 under a frame cap", m.Identified())
+	}
+}
+
+func TestAdmitRevoke(t *testing.T) {
+	e := env(13, 50, channel.AbstractConfig{Lambda: 2})
+	extra := tagid.Population(rng.New(99), 10)
+	s := New(Config{}).Begin(e)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Admit(extra)
+	s.Revoke(extra[:5])
+	for {
+		done, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	if m := s.Metrics(); m.Identified() < 50 {
+		t.Fatalf("identified %d of at least 50", m.Identified())
+	}
+	if s.Outstanding() != 0 {
+		t.Fatalf("outstanding %d after done", s.Outstanding())
+	}
+}

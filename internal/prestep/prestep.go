@@ -226,7 +226,9 @@ func probeFrame(env *protocol.Env, f int, p float64, seq int) (n0, nc int) {
 		switch obs.Kind {
 		case channel.Empty:
 			n0++
-		case channel.Collision:
+		case channel.Collision, channel.Captured:
+			// A captured slot held multiple responders; the pre-estimator
+			// counts multiplicity, not decode success.
 			nc++
 		}
 		if env.Tracer != nil {

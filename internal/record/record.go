@@ -115,6 +115,18 @@ type Store struct {
 	// runs keep their historical, bit-reproducible behaviour.
 	Quarantine bool
 
+	// DropAbove, when positive, makes Add discard any record whose
+	// multiplicity exceeds it without indexing its members: the entry is
+	// never stored, its recording is released immediately in streaming
+	// mode, and no cascade will ever visit it. This is the roster-aware
+	// session's cheap-cascade lever — a pseudo-random ALOHA reader replays
+	// every tag's slot choices, so it knows a slot's exact multiplicity up
+	// front and can prove a record beyond the decode capability (k > M, or
+	// k > M+1 with capture) is dead weight. Only set it to a bound at or
+	// above the channel's decode order; 0 (the default) disables pruning
+	// and preserves historical behaviour bit for bit.
+	DropAbove int
+
 	byMember map[tagid.HashPrefix]*member
 	// known records every ID the reader has learned, keyed by hash prefix
 	// with the exact ID as the value. A tag whose acknowledgement was lost
@@ -136,6 +148,7 @@ type Store struct {
 	active      int
 	total       int
 	quarantined int
+	dropped     int
 
 	// releaser, when armed via SetReleaser, receives each recording the
 	// moment its record is marked resolved (after any tracer event that
@@ -294,6 +307,23 @@ func (s *Store) takeMember(pre tagid.HashPrefix, id tagid.ID) *member {
 // The returned slice is reused: it is valid until the next Add or
 // OnIdentified call on this store.
 func (s *Store) Add(slot uint64, mix channel.Mixed, members []tagid.ID) []Resolved {
+	if s.DropAbove > 0 && len(members) > s.DropAbove {
+		// Provably-dead record: its multiplicity exceeds the capability
+		// bound the caller vouched for, so no sequence of subtractions can
+		// ever decode it. Skip the member index entirely and hand the
+		// recording straight back to the channel.
+		s.total++
+		s.dropped++
+		if s.Tracer != nil {
+			s.Tracer.RecordQuarantined(obs.QuarantineEvent{
+				Slot: slot, Reason: "order", Members: len(members),
+			})
+		}
+		if s.releaser != nil && !s.cloned && mix != nil {
+			s.releaser.ReleaseMixed(mix)
+		}
+		return nil
+	}
 	e := s.newEntry(slot, mix)
 	unknown := 0
 	for _, id := range members {
@@ -369,6 +399,7 @@ func (s *Store) Add(slot uint64, mix channel.Mixed, members []tagid.ID) []Resolv
 func (s *Store) Reset() {
 	s.Tracer = nil
 	s.Quarantine = false
+	s.DropAbove = 0
 	if s.byMember == nil {
 		s.byMember = make(map[tagid.HashPrefix]*member)
 	} else {
@@ -381,7 +412,7 @@ func (s *Store) Reset() {
 	}
 	s.knownOverflow = nil
 	s.revoked = nil
-	s.active, s.total, s.quarantined = 0, 0, 0
+	s.active, s.total, s.quarantined, s.dropped = 0, 0, 0, 0
 	s.releaser = nil
 	s.cloned = false
 	s.queue = s.queue[:0]
@@ -424,6 +455,9 @@ func (s *Store) discard(e *entry, reason string) {
 
 // Quarantined returns the number of records the store has quarantined.
 func (s *Store) Quarantined() int { return s.quarantined }
+
+// Dropped returns the number of records discarded by the DropAbove bound.
+func (s *Store) Dropped() int { return s.dropped }
 
 // Revoke removes a departed tag from the store's outstanding bookkeeping:
 // its member-index node is unlinked — invalidating every pending
@@ -601,11 +635,13 @@ func (s *Store) Clone() (*Store, error) {
 	c := &Store{
 		Tracer:      s.Tracer,
 		Quarantine:  s.Quarantine,
+		DropAbove:   s.DropAbove,
 		byMember:    make(map[tagid.HashPrefix]*member, len(s.byMember)),
 		known:       make(map[tagid.HashPrefix]tagid.ID, len(s.known)),
 		active:      s.active,
 		total:       s.total,
 		quarantined: s.quarantined,
+		dropped:     s.dropped,
 	}
 	for k, v := range s.known {
 		c.known[k] = v

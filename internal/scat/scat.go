@@ -459,6 +459,46 @@ func (r *session) doSlot(slot uint64) (done bool) {
 			r.consecutiveCollisions = 0
 			env.TraceEstimate(obsev.EstimateEvent{Estimate: float64(r.n), Identified: r.m.Identified()})
 		}
+	case channel.Captured:
+		// Capture effect: a collision on the air whose strongest member
+		// decoded anyway. Acknowledge the captured ID like a direct read,
+		// then store the residual recording; Add subtracts the captured tag
+		// and can resolve the rest immediately.
+		r.m.CollisionSlots++
+		r.consecutiveEmpty = 0
+		r.consecutiveCollisions++
+		r.countDirect(obs.ID)
+		delivered := env.AckDelivered()
+		env.TraceAck(obsev.AckEvent{
+			Seq: int(slot), ID: obs.ID, Kind: obsev.AckDirect, Delivered: delivered,
+		})
+		if delivered {
+			r.active.Remove(obs.ID)
+		}
+		for _, res := range r.store.OnIdentified(obs.ID) {
+			r.countResolved(res)
+			delivered := env.AckDelivered()
+			env.TraceAck(obsev.AckEvent{
+				Seq: int(slot), ID: res.ID, Kind: obsev.AckResolvedID, Delivered: delivered,
+			})
+			if delivered {
+				r.active.Remove(res.ID)
+			}
+		}
+		for _, res := range r.store.Add(slot, obs.Mix, r.buf) {
+			r.countResolved(res)
+			delivered := env.AckDelivered()
+			env.TraceAck(obsev.AckEvent{
+				Seq: int(slot), ID: res.ID, Kind: obsev.AckResolvedID, Delivered: delivered,
+			})
+			if delivered {
+				r.active.Remove(res.ID)
+			}
+		}
+		if probe && remaining <= 0 {
+			r.n = r.m.Identified() + 2
+			env.TraceEstimate(obsev.EstimateEvent{Estimate: float64(r.n), Identified: r.m.Identified()})
+		}
 	}
 	r.m.TagTransmissions += len(r.buf)
 	env.NotifySlot(protocol.SlotEvent{

@@ -46,6 +46,12 @@ type Config struct {
 	// Lambda is the ANC capability of the default abstract channel
 	// (ignored when NewChannel is set); zero selects 2.
 	Lambda int
+	// Capability extends the default abstract channel with the unified
+	// decode-capability model: MaxOrder overrides Lambda and CaptureSINRdB
+	// enables capture-effect decoding over the link budget (ignored when
+	// NewChannel is set). The zero value is the degenerate capability —
+	// campaigns are bit-identical to earlier releases.
+	Capability channel.Capability
 	// Timing is the air-interface model; the zero value selects Philips
 	// I-Code.
 	Timing air.Timing
@@ -352,7 +358,7 @@ func (c Config) newChannel(r *rng.Source) channel.Channel {
 	if c.NewChannel != nil {
 		return c.NewChannel(r)
 	}
-	return channel.NewAbstract(channel.AbstractConfig{Lambda: c.Lambda}, r)
+	return channel.NewAbstract(channel.AbstractConfig{Lambda: c.Lambda, Capability: c.Capability}, r)
 }
 
 // runRNG derives the run's generator: a SplitMix-style mix of the campaign

@@ -1,0 +1,170 @@
+package tagid
+
+import "math"
+
+// LinkBudget models the per-tag downlink power a reader receives from a
+// backscattering tag: each tag sits at a deterministic pseudo-random
+// distance from the reader and its receive power follows a log-distance
+// path-loss law. The draw is a pure hash of the tag's identity (its report
+// hash prefix) and the budget seed — no RNG stream is consumed — so the
+// channel, the record store and any replaying reader all agree on a tag's
+// power without coordinating, and legacy runs that never consult the budget
+// keep bit-identical RNG draw sequences.
+//
+// The zero value is usable: Distance, RxPowerDBm and friends normalise zero
+// fields to the defaults below on every call (the methods are pure, so
+// there is no state to pre-normalise).
+type LinkBudget struct {
+	// TxPowerDBm is the effective radiated power reaching a tag at the
+	// reference distance, in dBm. Default 30 dBm (1 W, the EPC Gen2
+	// regulatory ceiling in most regions).
+	TxPowerDBm float64
+	// PathLossExp is the path-loss exponent eta of the log-distance model.
+	// Default 2 (free space); indoor RFID deployments measure 1.6-3.
+	PathLossExp float64
+	// RefDistance is d0, the reference distance of the path-loss model in
+	// metres. Default 1 m.
+	RefDistance float64
+	// MinDistance and MaxDistance bound the annulus tags are placed in,
+	// in metres. Tags are uniform over the annulus area (not the radius),
+	// matching a reader in the middle of a flat tag field. Defaults 1-10 m.
+	MinDistance float64
+	MaxDistance float64
+	// NoiseFloorDBm is the reader's noise floor in dBm. Default -90 dBm.
+	NoiseFloorDBm float64
+	// Seed decorrelates the placement draw between campaigns; two budgets
+	// with different seeds place the same tag at different distances.
+	Seed uint64
+}
+
+// Defaults for zero LinkBudget fields.
+const (
+	defaultTxPowerDBm    = 30.0
+	defaultPathLossExp   = 2.0
+	defaultRefDistance   = 1.0
+	defaultMinDistance   = 1.0
+	defaultMaxDistance   = 10.0
+	defaultNoiseFloorDBm = -90.0
+)
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix used
+// everywhere the simulation needs a decision that is deterministic in some
+// identity but independent of the RNG draw sequence (fault schedules,
+// pseudo-random slot choice, tag placement).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to a float64 in [0, 1) using the top 53 bits.
+func unit(h uint64) float64 {
+	return float64(h>>11) * 0x1p-53
+}
+
+// linkSalt separates the placement hash domain from FrameSlot's.
+const linkSalt = 0x9d8f31c04be65a27
+
+// Distance returns the tag's deterministic distance from the reader in
+// metres: uniform over the annulus area between MinDistance and
+// MaxDistance, drawn by hashing (prefix, Seed).
+func (b LinkBudget) Distance(p HashPrefix) float64 {
+	dmin, dmax := b.MinDistance, b.MaxDistance
+	if dmin <= 0 {
+		dmin = defaultMinDistance
+	}
+	if dmax < dmin {
+		dmax = defaultMaxDistance
+	}
+	u := unit(splitmix64(uint64(p) ^ b.Seed ^ linkSalt))
+	// Area-uniform: P(d <= x) proportional to x^2 - dmin^2.
+	return math.Sqrt(dmin*dmin + u*(dmax*dmax-dmin*dmin))
+}
+
+// RxPowerDBm returns the receive power of the tag's backscatter at the
+// reader in dBm under the log-distance path-loss model:
+//
+//	P_rx(d) = P_tx - 10 eta log10(d / d0)
+func (b LinkBudget) RxPowerDBm(p HashPrefix) float64 {
+	tx := b.TxPowerDBm
+	if tx == 0 {
+		tx = defaultTxPowerDBm
+	}
+	eta := b.PathLossExp
+	if eta <= 0 {
+		eta = defaultPathLossExp
+	}
+	d0 := b.RefDistance
+	if d0 <= 0 {
+		d0 = defaultRefDistance
+	}
+	return tx - 10*eta*math.Log10(b.Distance(p)/d0)
+}
+
+// RxPowerMW returns the tag's receive power in linear milliwatts.
+func (b LinkBudget) RxPowerMW(p HashPrefix) float64 {
+	return dbmToMW(b.RxPowerDBm(p))
+}
+
+// PeakRxPowerMW returns the receive power of a tag at MinDistance — the
+// strongest any tag can be under this budget — in linear milliwatts.
+func (b LinkBudget) PeakRxPowerMW() float64 {
+	tx := b.TxPowerDBm
+	if tx == 0 {
+		tx = defaultTxPowerDBm
+	}
+	eta := b.PathLossExp
+	if eta <= 0 {
+		eta = defaultPathLossExp
+	}
+	d0 := b.RefDistance
+	if d0 <= 0 {
+		d0 = defaultRefDistance
+	}
+	dmin := b.MinDistance
+	if dmin <= 0 {
+		dmin = defaultMinDistance
+	}
+	return dbmToMW(tx - 10*eta*math.Log10(dmin/d0))
+}
+
+// Amplitude returns the tag's waveform amplitude relative to the strongest
+// possible tag under this budget: sqrt(P / P_peak), in (0, 1]. The signal
+// channel uses it to scale each tag's unit-gain reference waveform so that
+// sample-domain power ratios reproduce the link-budget power ratios.
+func (b LinkBudget) Amplitude(p HashPrefix) float64 {
+	return math.Sqrt(b.RxPowerMW(p) / b.PeakRxPowerMW())
+}
+
+// NoiseMW returns the reader noise floor in linear milliwatts.
+func (b LinkBudget) NoiseMW() float64 {
+	n := b.NoiseFloorDBm
+	if n == 0 {
+		n = defaultNoiseFloorDBm
+	}
+	return dbmToMW(n)
+}
+
+// dbmToMW converts dBm to linear milliwatts.
+func dbmToMW(dbm float64) float64 {
+	return math.Pow(10, dbm/10)
+}
+
+// frameSalt separates FrameSlot's hash domain from the placement hash.
+const frameSalt = 0x6a09e667f3bcc909
+
+// FrameSlot returns the slot in [0, frameSize) a tag with this hash prefix
+// transmits in during the given frame of a pseudo-random ALOHA session.
+// The choice is a pure hash of (identity, frame) — per Ricciato &
+// Castiglione, the tag's "random" draw is a deterministic PRNG the reader
+// can replay, so a reader that knows an ID can reconstruct every slot that
+// tag ever picked without having observed it.
+func (p HashPrefix) FrameSlot(frame uint64, frameSize int) int {
+	if frameSize <= 1 {
+		return 0
+	}
+	h := splitmix64(uint64(p) ^ splitmix64(frame^frameSalt))
+	// Fixed-point multiply avoids modulo bias without a divide.
+	return int(((h >> 32) * uint64(frameSize)) >> 32)
+}

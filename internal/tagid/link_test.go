@@ -1,0 +1,85 @@
+package tagid
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/rng"
+)
+
+func TestLinkBudgetPathLoss(t *testing.T) {
+	// A tag at the reference distance receives exactly TxPowerDBm; doubling
+	// the distance under eta=2 costs 10*2*log10(2) ~ 6.02 dB.
+	b := LinkBudget{TxPowerDBm: 30, PathLossExp: 2, RefDistance: 1, MinDistance: 2, MaxDistance: 2}
+	ids := Population(rng.New(1), 4)
+	for _, id := range ids {
+		got := b.RxPowerDBm(id.HashPrefix())
+		want := 30 - 20*math.Log10(2)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("RxPowerDBm at pinned d=2: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestLinkBudgetAreaUniform(t *testing.T) {
+	// Under area-uniform placement over [dmin, dmax], the median distance
+	// satisfies d_med^2 = (dmin^2 + dmax^2)/2.
+	var b LinkBudget
+	ids := Population(rng.New(2), 4000)
+	inInner := 0
+	med := math.Sqrt((1*1 + 10*10) / 2)
+	for _, id := range ids {
+		if b.Distance(id.HashPrefix()) < med {
+			inInner++
+		}
+	}
+	frac := float64(inInner) / float64(len(ids))
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("area-uniform median split = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestFrameSlotRange(t *testing.T) {
+	ids := Population(rng.New(3), 200)
+	for _, f := range []int{1, 2, 7, 64, 1000} {
+		for frame := uint64(0); frame < 5; frame++ {
+			for _, id := range ids {
+				s := id.HashPrefix().FrameSlot(frame, f)
+				if s < 0 || s >= f {
+					t.Fatalf("FrameSlot(%d, %d) = %d out of range", frame, f, s)
+				}
+				if s != id.HashPrefix().FrameSlot(frame, f) {
+					t.Fatal("FrameSlot not deterministic")
+				}
+			}
+		}
+	}
+}
+
+func TestFrameSlotUniform(t *testing.T) {
+	// Chi-square-ish sanity: 6400 tags over 64 slots, every slot should be
+	// within a generous band of the expected 100.
+	ids := Population(rng.New(4), 6400)
+	var counts [64]int
+	for _, id := range ids {
+		counts[id.HashPrefix().FrameSlot(11, 64)]++
+	}
+	for s, c := range counts {
+		if c < 50 || c > 160 {
+			t.Fatalf("slot %d count %d far from expected 100", s, c)
+		}
+	}
+}
+
+func TestFrameSlotVariesAcrossFrames(t *testing.T) {
+	// A tag must re-draw its slot every frame: across 32 frames of size 16,
+	// a stuck mapping would repeat one value.
+	p := Population(rng.New(5), 1)[0].HashPrefix()
+	seen := map[int]bool{}
+	for frame := uint64(0); frame < 32; frame++ {
+		seen[p.FrameSlot(frame, 16)] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("slot choice across 32 frames hit only %d/16 slots", len(seen))
+	}
+}

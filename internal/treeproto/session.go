@@ -110,12 +110,14 @@ func (s *absSession) Step() (bool, error) {
 			s.seen[obs.ID] = struct{}{}
 			s.env.NotifyIdentified(obs.ID, false)
 		}
-	case channel.Collision:
-		s.m.CollisionSlots++
+	case channel.Collision, channel.Captured:
 		// Each colliding tag draws a random bit; the zero-subset
 		// transmits in the next slot. Tags are exchangeable under the
 		// random draw, so splitting by a binomial count is equivalent to
-		// per-tag draws.
+		// per-tag draws. A Captured observation is handled as a plain
+		// collision: the splitting protocol has no acknowledgement for an
+		// out-of-turn decode, so the captured tag re-contends like the rest.
+		s.m.CollisionSlots++
 		k := s.env.RNG.Binomial(len(group), 0.5)
 		zero, one := group[:k], group[k:]
 		s.stack = append(s.stack, one, zero)
@@ -380,7 +382,10 @@ func (s *aqsSession) Step() (bool, error) {
 			s.env.NotifyIdentified(obs.ID, false)
 		}
 		s.nextLeaves = append(s.nextLeaves, leaf{depth: q.depth, prefix: q.prefix, hasTag: true})
-	case channel.Collision:
+	case channel.Collision, channel.Captured:
+		// A Captured observation splits like a plain collision: the query
+		// tree has no acknowledgement path for an out-of-turn decode, so
+		// the captured tag is re-read at a deeper prefix.
 		s.m.CollisionSlots++
 		if q.depth >= tagid.Bits {
 			// Identical 96-bit IDs cannot be split further; with the

@@ -11,7 +11,7 @@ import (
 
 // allProtocols is the differential-determinism roster: every protocol
 // family the module implements.
-var allProtocols = []string{"FCAT-2", "SCAT-2", "DFSA", "EDFSA", "CRDSA", "ABS", "AQS"}
+var allProtocols = []string{"FCAT-2", "SCAT-2", "DFSA", "EDFSA", "CRDSA", "ABS", "AQS", "MDFSA-2", "PRALOHA-2"}
 
 // runInstrumented runs a campaign and captures everything observable about
 // it: the aggregated Result, the full JSONL trace, and the metrics
