@@ -36,7 +36,8 @@ package ancrfid
 import (
 	"fmt"
 	"io"
-	"strings"
+	"net"
+	"net/http"
 	"time"
 
 	"github.com/ancrfid/ancrfid/internal/air"
@@ -53,8 +54,10 @@ import (
 	"github.com/ancrfid/ancrfid/internal/praloha"
 	"github.com/ancrfid/ancrfid/internal/prestep"
 	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/registry"
 	"github.com/ancrfid/ancrfid/internal/rng"
 	"github.com/ancrfid/ancrfid/internal/scat"
+	"github.com/ancrfid/ancrfid/internal/server"
 	"github.com/ancrfid/ancrfid/internal/sim"
 	"github.com/ancrfid/ancrfid/internal/tagid"
 	"github.com/ancrfid/ancrfid/internal/treeproto"
@@ -371,42 +374,11 @@ func NewAQSReader() *AQSReader { return treeproto.NewAQS() }
 // (case-insensitive; the numeric suffix is the decode capability and
 // defaults to 2).
 func ByName(name string) (Protocol, error) {
-	n := strings.ToUpper(strings.TrimSpace(name))
-	switch {
-	case n == "DFSA":
-		return NewDFSA(), nil
-	case n == "EDFSA":
-		return NewEDFSA(), nil
-	case n == "ABS":
-		return NewABS(), nil
-	case n == "AQS":
-		return NewAQS(), nil
-	case n == "CRDSA":
-		return NewCRDSA(), nil
-	case strings.HasPrefix(n, "FCAT"), strings.HasPrefix(n, "SCAT"),
-		strings.HasPrefix(n, "MDFSA"), strings.HasPrefix(n, "PRALOHA"):
-		lambda := 2
-		if i := strings.IndexByte(n, '-'); i >= 0 {
-			if _, err := fmt.Sscanf(n[i+1:], "%d", &lambda); err != nil {
-				return nil, fmt.Errorf("ancrfid: bad lambda in protocol name %q", name)
-			}
-		}
-		if lambda < 1 || lambda > 16 {
-			return nil, fmt.Errorf("ancrfid: lambda %d out of range in %q", lambda, name)
-		}
-		switch {
-		case strings.HasPrefix(n, "FCAT"):
-			return NewFCAT(lambda), nil
-		case strings.HasPrefix(n, "MDFSA"):
-			return NewMDFSA(lambda), nil
-		case strings.HasPrefix(n, "PRALOHA"):
-			return NewPRALOHA(lambda), nil
-		default:
-			return NewSCAT(lambda), nil
-		}
-	default:
-		return nil, fmt.Errorf("ancrfid: unknown protocol %q", name)
+	p, err := registry.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("ancrfid: %w", err)
 	}
+	return p, nil
 }
 
 // Run executes a Monte-Carlo campaign of the protocol.
@@ -700,4 +672,36 @@ func AlohaBound(t Timing) float64 { return analysis.AlohaBound(t.Slot().Seconds(
 // of capability lambda at the given slot duration.
 func ANCBound(t Timing, lambda int) float64 {
 	return analysis.ANCBound(t.Slot().Seconds(), lambda)
+}
+
+// Fault-tolerant inventory session server (the runtime behind
+// cmd/rfidserver): thousands of concurrent protocol sessions behind an
+// HTTP API, with durable replay checkpoints, crash recovery that
+// quarantines damaged files instead of dying, bounded-queue backpressure,
+// per-client rate limits, supervised panic isolation and graceful drain.
+// See docs/server.md.
+type (
+	// ServerConfig tunes an inventory session server.
+	ServerConfig = server.Config
+	// Server hosts concurrent inventory sessions; mount Handler on an
+	// http.Server and stop with Drain.
+	Server = server.Server
+	// ServerSpec is the deterministic creation recipe of a hosted session.
+	ServerSpec = server.Spec
+	// DiskFaultConfig injects deterministic checkpoint-write faults
+	// (chaos drills).
+	DiskFaultConfig = fault.DiskConfig
+	// GracefulOptions tunes ServeUntilSignal.
+	GracefulOptions = server.GracefulOptions
+)
+
+// NewServer opens the checkpoint store, recovers every surviving session
+// by deterministic replay, and starts the shard workers.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// ServeUntilSignal serves srv on ln until SIGINT/SIGTERM, then drains
+// gracefully — the shared shutdown path of cmd/rfidserver and
+// rfidsim -serve.
+func ServeUntilSignal(srv *http.Server, ln net.Listener, opts GracefulOptions) error {
+	return server.ServeUntilSignal(srv, ln, opts)
 }

@@ -1,0 +1,89 @@
+// Command rfidserver hosts concurrent RFID inventory sessions over HTTP
+// with durable checkpoints and crash recovery.
+//
+//	rfidserver -addr :8080 -data /var/lib/rfidserver
+//
+// Sessions are created, stepped and mutated through the /v1/sessions API
+// (see docs/server.md); every admission and revocation is durable before
+// its response, step progress is checkpointed on a cadence, and a restart
+// — graceful or kill -9 — recovers every checkpointed session by
+// deterministic replay. Damaged checkpoint files are quarantined, never
+// fatal, and surface on /metrics as the rfid_server_recovery_* families.
+//
+// SIGINT/SIGTERM drains gracefully: the listener stops accepting, in-
+// flight requests finish, and every live session is checkpointed before
+// exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/ancrfid/ancrfid/internal/fault"
+	"github.com/ancrfid/ancrfid/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rfidserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rfidserver", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		dataDir   = fs.String("data", "rfidserver-data", "durable checkpoint directory")
+		shards    = fs.Int("shards", 8, "worker-pool width (sessions hash onto shards)")
+		queue     = fs.Int("queue", 128, "per-shard request queue depth (full queue = HTTP 429)")
+		ckptEvery = fs.Int("checkpoint-every", 4096, "steps between cadence checkpoints (ops always checkpoint eagerly)")
+		idleEvict = fs.Duration("idle-evict", 10*time.Minute, "passivate sessions idle this long (0 disables)")
+		stepDL    = fs.Duration("step-deadline", 2*time.Second, "wall-time bound on one step request")
+		rate      = fs.Float64("rate", 0, "per-client request rate limit, tokens/second (0 disables)")
+		burst     = fs.Int("burst", 0, "rate-limit burst (default 2x rate)")
+		maxSess   = fs.Int("max-sessions", 0, "cap on live in-memory sessions (0 = unlimited)")
+		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown window on SIGINT/SIGTERM")
+		// Chaos drill knobs: deterministic checkpoint-write fault injection.
+		faultShort = fs.Float64("fault-short-write", 0, "probability a checkpoint write is truncated (chaos drills)")
+		faultTorn  = fs.Float64("fault-torn-write", 0, "probability a checkpoint write has a bit flipped (chaos drills)")
+		faultErr   = fs.Float64("fault-write-err", 0, "probability a checkpoint write fails outright (chaos drills)")
+		faultSeed  = fs.Uint64("fault-seed", 1, "fault-injection seed")
+	)
+	fs.Parse(args)
+
+	logger := log.New(os.Stderr, "rfidserver: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		Dir:             *dataDir,
+		Shards:          *shards,
+		QueueDepth:      *queue,
+		CheckpointEvery: *ckptEvery,
+		IdleAfter:       *idleEvict,
+		StepDeadline:    *stepDL,
+		RateLimit:       *rate,
+		RateBurst:       *burst,
+		MaxSessions:     *maxSess,
+		DiskFaults:      fault.DiskConfig{ShortWrite: *faultShort, Torn: *faultTorn, WriteErr: *faultErr},
+		FaultSeed:       *faultSeed,
+		Logf:            logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving %d recovered sessions on http://%s (data %s)", srv.Live(), ln.Addr(), *dataDir)
+	return server.ServeUntilSignal(&http.Server{Handler: srv.Handler()}, ln, server.GracefulOptions{
+		DrainTimeout: *drainTO,
+		OnShutdown:   srv.Drain,
+		Logf:         logger.Printf,
+	})
+}

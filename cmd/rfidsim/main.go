@@ -53,6 +53,7 @@ import (
 
 	"github.com/ancrfid/ancrfid"
 	"github.com/ancrfid/ancrfid/internal/obs"
+	"github.com/ancrfid/ancrfid/internal/server"
 )
 
 func main() {
@@ -88,6 +89,7 @@ func run(args []string) error {
 		metrics   = fs.String("metrics", "", "write the aggregated metrics registry to this file (\"-\" = stdout)")
 		spansPath = fs.String("spans", "", "write the hierarchical span timeline as Chrome trace-event JSON (Perfetto-loadable) to this file (\"-\" = stdout)")
 		serveAddr = fs.String("serve", "", "serve live telemetry over HTTP at this address (/metrics Prometheus exposition, /healthz, /debug/vars)")
+		drainTO   = fs.Duration("drain-timeout", 5*time.Second, "graceful drain window for -serve on SIGINT/SIGTERM")
 		progress  = fs.Bool("progress", false, "report per-run completion with live latency percentiles on stderr")
 		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memprof   = fs.String("memprofile", "", "write a heap profile (after the campaign) to this file")
@@ -102,6 +104,11 @@ func run(args []string) error {
 		readerPower = fs.String("reader-power", "", "fleet: comma-separated per-reader transmit power in dBm (default 30)")
 		migrate     = fs.Float64("migrate", 0, "fleet: per-tag zone-migration hazard in 1/s (uses -duration as horizon, default 10s)")
 
+		loadgenURL      = fs.String("loadgen", "", "load-generator mode: drive an rfidserver at this base URL instead of simulating locally")
+		loadgenSessions = fs.Int("loadgen-sessions", 32, "loadgen: concurrent sessions to create and drive")
+		loadgenSteps    = fs.Int("loadgen-steps", 2000, "loadgen: step budget per session")
+		loadgenVerify   = fs.Bool("loadgen-verify", false, "loadgen: verify existing sessions instead of driving load (accounting identity, zero duplicate idents)")
+
 		faultAckLoss   = fs.Float64("fault-ack-loss", 0, "fault injection: probability an acknowledgement is dropped (deterministic, seed-split)")
 		faultBurstDuty = fs.Float64("fault-burst-duty", 0, "fault injection: Gilbert-Elliott burst-noise duty cycle (fraction of slots spoiled)")
 		faultBurstMean = fs.Float64("fault-burst-mean", 0, "fault injection: mean burst length in slots (default 8)")
@@ -114,6 +121,18 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *loadgenURL != "" {
+		return runLoadgen(loadgenConfig{
+			base:     strings.TrimRight(*loadgenURL, "/"),
+			sessions: *loadgenSessions,
+			steps:    *loadgenSteps,
+			verify:   *loadgenVerify,
+			protocol: *protoName,
+			tags:     *tags,
+			seed:     *seed,
+			workers:  *workers,
+		})
 	}
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -250,8 +269,31 @@ func run(args []string) error {
 			return fmt.Errorf("telemetry listener: %w", err)
 		}
 		srv := &http.Server{Handler: newTelemetryServer(reg, health)}
-		go srv.Serve(ln)
-		defer srv.Close()
+		// The telemetry server shares the binary's signal handling: SIGINT
+		// or SIGTERM drains in-flight scrapes through http.Server.Shutdown
+		// instead of resetting them. On a signal the campaign itself cannot
+		// be cancelled mid-run, so once the drain completes the process
+		// exits with the conventional interrupted status; on normal
+		// campaign completion the deferred close triggers the same drain.
+		campaignDone := make(chan struct{})
+		defer close(campaignDone)
+		go func() {
+			err := server.ServeUntilSignal(srv, ln, server.GracefulOptions{
+				DrainTimeout: *drainTO,
+				Trigger:      campaignDone,
+				Logf: func(format string, a ...any) {
+					fmt.Fprintf(os.Stderr, "rfidsim: telemetry: "+format+"\n", a...)
+				},
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rfidsim: telemetry server:", err)
+			}
+			select {
+			case <-campaignDone:
+			default:
+				os.Exit(130)
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "rfidsim: telemetry on http://%s (/metrics, /healthz, /debug/vars)\n", ln.Addr())
 	}
 	if *progress {

@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Disk fault salts, independent of the channel/reader fault streams.
+const (
+	saltDiskKind = 0x4449534b_00000008
+	saltDiskPos  = 0x4449534b_00000009
+	saltDiskBit  = 0x4449534b_0000000a
+)
+
+// ErrDiskFull is the error an injected write failure surfaces, standing in
+// for ENOSPC and its kin. Callers match it with errors.Is.
+var ErrDiskFull = errors.New("fault: injected disk write failure (no space left on device)")
+
+// DiskConfig composes the durable-storage fault shapes: the ways a
+// checkpoint write can betray the reader that later recovers from it. The
+// zero value injects nothing.
+type DiskConfig struct {
+	// ShortWrite is the probability a write is truncated at a
+	// position-derived offset — the classic crash-during-write artefact
+	// (the file made it to its final name, but only a prefix of the
+	// payload did).
+	ShortWrite float64
+	// Torn is the probability a write lands whole but with a
+	// position-derived bit flipped — a torn sector or a cable that lies,
+	// the case CRC framing exists for.
+	Torn float64
+	// WriteErr is the probability the write call itself fails with
+	// ErrDiskFull before anything reaches the disk; the previous
+	// checkpoint must survive such a failure untouched.
+	WriteErr float64
+}
+
+// Enabled reports whether any disk fault shape is configured.
+func (c DiskConfig) Enabled() bool {
+	return c.ShortWrite > 0 || c.Torn > 0 || c.WriteErr > 0
+}
+
+// Disk draws deterministic disk-write fault decisions. Like Injector,
+// every decision is a pure hash of (seed, write position): the nth write
+// of a store seeded identically always meets the same fate, regardless of
+// what was written before it or by whom. It is safe for concurrent use —
+// it holds no mutable state at all.
+type Disk struct {
+	cfg  DiskConfig
+	salt uint64
+}
+
+// NewDisk derives a disk-fault injector from a seed. A nil *Disk injects
+// nothing.
+func NewDisk(cfg DiskConfig, seed uint64) *Disk {
+	return &Disk{cfg: cfg, salt: mix64(seed ^ saltRoot ^ saltDiskKind)}
+}
+
+// Config returns the injector's configuration.
+func (d *Disk) Config() DiskConfig { return d.cfg }
+
+func (d *Disk) chance(stream, pos uint64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	h := mix64(d.salt ^ stream ^ mix64(pos))
+	return float64(h>>11)*(1.0/(1<<53)) < p
+}
+
+// Corrupt decides the fate of write seq carrying data. It returns the
+// bytes that actually reach the disk and a nil error, or no bytes and an
+// error when the write call itself must fail. The input slice is never
+// mutated: a corrupted outcome returns a fresh slice. The decision ladder
+// is write-error, then short write, then torn write — at most one shape
+// fires per write, each drawn from its own hash stream.
+func (d *Disk) Corrupt(seq uint64, data []byte) ([]byte, error) {
+	if d == nil || !d.cfg.Enabled() {
+		return data, nil
+	}
+	if d.chance(saltDiskKind, seq, d.cfg.WriteErr) {
+		return nil, fmt.Errorf("write %d: %w", seq, ErrDiskFull)
+	}
+	if len(data) == 0 {
+		return data, nil
+	}
+	if d.chance(saltDiskPos, seq, d.cfg.ShortWrite) {
+		// Truncate at a hash-derived fraction of the payload, always
+		// strictly short so the damage is guaranteed.
+		cut := int(mix64(d.salt^saltDiskPos^mix64(seq)) % uint64(len(data)))
+		return append([]byte(nil), data[:cut]...), nil
+	}
+	if d.chance(saltDiskBit, seq, d.cfg.Torn) {
+		bit := mix64(d.salt^saltDiskBit^mix64(seq)) % uint64(len(data)*8)
+		out := append([]byte(nil), data...)
+		out[bit/8] ^= 1 << (bit % 8)
+		return out, nil
+	}
+	return data, nil
+}

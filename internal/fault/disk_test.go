@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// Disk decisions must be pure functions of (seed, write position): the
+// same seq always meets the same fate, independent of call order.
+func TestDiskDeterministicByPosition(t *testing.T) {
+	cfg := DiskConfig{ShortWrite: 0.2, Torn: 0.2, WriteErr: 0.2}
+	data := bytes.Repeat([]byte{0xa5}, 256)
+
+	a := NewDisk(cfg, 42)
+	b := NewDisk(cfg, 42)
+
+	// Drive a forward, b in reverse: outcomes must agree per position.
+	const n = 200
+	type outcome struct {
+		data []byte
+		err  error
+	}
+	fwd := make([]outcome, n)
+	for i := 0; i < n; i++ {
+		d, err := a.Corrupt(uint64(i), data)
+		fwd[i] = outcome{d, err}
+	}
+	for i := n - 1; i >= 0; i-- {
+		d, err := b.Corrupt(uint64(i), data)
+		if (err == nil) != (fwd[i].err == nil) || !bytes.Equal(d, fwd[i].data) {
+			t.Fatalf("write %d: order-dependent disk fault decision", i)
+		}
+	}
+}
+
+func TestDiskShapes(t *testing.T) {
+	data := bytes.Repeat([]byte{0x5a}, 512)
+
+	t.Run("write-error", func(t *testing.T) {
+		d := NewDisk(DiskConfig{WriteErr: 1}, 1)
+		if _, err := d.Corrupt(0, data); !errors.Is(err, ErrDiskFull) {
+			t.Fatalf("want ErrDiskFull, got %v", err)
+		}
+	})
+	t.Run("short-write", func(t *testing.T) {
+		d := NewDisk(DiskConfig{ShortWrite: 1}, 1)
+		out, err := d.Corrupt(0, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) >= len(data) {
+			t.Fatalf("short write kept %d of %d bytes", len(out), len(data))
+		}
+		if !bytes.Equal(out, data[:len(out)]) {
+			t.Fatal("short write is not a prefix")
+		}
+	})
+	t.Run("torn-write", func(t *testing.T) {
+		d := NewDisk(DiskConfig{Torn: 1}, 1)
+		out, err := d.Corrupt(0, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(data) {
+			t.Fatalf("torn write changed length: %d != %d", len(out), len(data))
+		}
+		diff := 0
+		for i := range out {
+			if out[i] != data[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("torn write flipped %d bytes, want exactly 1", diff)
+		}
+	})
+	t.Run("input-never-mutated", func(t *testing.T) {
+		orig := append([]byte(nil), data...)
+		d := NewDisk(DiskConfig{ShortWrite: 0.5, Torn: 0.5}, 7)
+		for i := 0; i < 64; i++ {
+			_, _ = d.Corrupt(uint64(i), data)
+		}
+		if !bytes.Equal(orig, data) {
+			t.Fatal("Corrupt mutated its input")
+		}
+	})
+	t.Run("empty-data", func(t *testing.T) {
+		d := NewDisk(DiskConfig{ShortWrite: 1, Torn: 1}, 1)
+		if out, err := d.Corrupt(0, nil); err != nil || len(out) != 0 {
+			t.Fatalf("empty write: out=%v err=%v", out, err)
+		}
+	})
+}
+
+// A nil or zero-config Disk is the fault-free fast path.
+func TestDiskDisabled(t *testing.T) {
+	data := []byte{1, 2, 3}
+	var nilDisk *Disk
+	if out, err := nilDisk.Corrupt(0, data); err != nil || &out[0] != &data[0] {
+		t.Fatal("nil Disk must pass data through untouched")
+	}
+	d := NewDisk(DiskConfig{}, 9)
+	if out, err := d.Corrupt(0, data); err != nil || &out[0] != &data[0] {
+		t.Fatal("zero-config Disk must pass data through untouched")
+	}
+	if (DiskConfig{}).Enabled() {
+		t.Fatal("zero DiskConfig reports enabled")
+	}
+}
+
+// Fault rates must land near their configured probabilities.
+func TestDiskRates(t *testing.T) {
+	const n = 20000
+	cfg := DiskConfig{ShortWrite: 0.1, Torn: 0.1, WriteErr: 0.1}
+	d := NewDisk(cfg, 3)
+	data := bytes.Repeat([]byte{0xff}, 64)
+	var short, torn, werr int
+	for i := 0; i < n; i++ {
+		out, err := d.Corrupt(uint64(i), data)
+		switch {
+		case err != nil:
+			werr++
+		case len(out) < len(data):
+			short++
+		case !bytes.Equal(out, data):
+			torn++
+		}
+	}
+	check := func(name string, got int, p float64) {
+		f := float64(got) / n
+		if f < p*0.7 || f > p*1.3 {
+			t.Errorf("%s rate %.3f, want ~%.3f", name, f, p)
+		}
+	}
+	check("write-error", werr, 0.1)
+	// Short and torn are drawn after the error gate, so their marginal
+	// rates are p*(1-0.1) and p*(1-0.1)*(1-0.1).
+	check("short-write", short, 0.1*0.9)
+	check("torn-write", torn, 0.1*0.9*0.9)
+}

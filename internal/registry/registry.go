@@ -1,0 +1,78 @@
+// Package registry resolves protocol display names ("FCAT-2", "AQS", …)
+// to constructed protocol instances. It is the single name→protocol table
+// shared by the public facade (ancrfid.ByName) and the inventory session
+// server (internal/server), which must build sessions from persisted
+// checkpoint specs without importing the facade.
+package registry
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ancrfid/ancrfid/internal/crdsa"
+	"github.com/ancrfid/ancrfid/internal/dfsa"
+	"github.com/ancrfid/ancrfid/internal/edfsa"
+	"github.com/ancrfid/ancrfid/internal/fcat"
+	"github.com/ancrfid/ancrfid/internal/mdfsa"
+	"github.com/ancrfid/ancrfid/internal/praloha"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+	"github.com/ancrfid/ancrfid/internal/scat"
+	"github.com/ancrfid/ancrfid/internal/treeproto"
+)
+
+// ByName builds a protocol from its table name: "FCAT-2", "SCAT-3",
+// "DFSA", "EDFSA", "MDFSA-3", "PRALOHA-2", "ABS", "AQS", "CRDSA"
+// (case-insensitive; the numeric suffix is the decode capability and
+// defaults to 2).
+func ByName(name string) (protocol.Protocol, error) {
+	n := strings.ToUpper(strings.TrimSpace(name))
+	switch {
+	case n == "DFSA":
+		return dfsa.New(dfsa.Config{}), nil
+	case n == "EDFSA":
+		return edfsa.New(edfsa.Config{}), nil
+	case n == "ABS":
+		return treeproto.NewABS(), nil
+	case n == "AQS":
+		return treeproto.NewAQS(), nil
+	case n == "CRDSA":
+		return crdsa.New(crdsa.Config{}), nil
+	case strings.HasPrefix(n, "FCAT"), strings.HasPrefix(n, "SCAT"),
+		strings.HasPrefix(n, "MDFSA"), strings.HasPrefix(n, "PRALOHA"):
+		lambda := 2
+		if i := strings.IndexByte(n, '-'); i >= 0 {
+			if _, err := fmt.Sscanf(n[i+1:], "%d", &lambda); err != nil {
+				return nil, fmt.Errorf("bad lambda in protocol name %q", name)
+			}
+		}
+		if lambda < 1 || lambda > 16 {
+			return nil, fmt.Errorf("lambda %d out of range in %q", lambda, name)
+		}
+		switch {
+		case strings.HasPrefix(n, "FCAT"):
+			return fcat.New(fcat.Config{Lambda: lambda}), nil
+		case strings.HasPrefix(n, "MDFSA"):
+			return mdfsa.New(mdfsa.Config{M: lambda}), nil
+		case strings.HasPrefix(n, "PRALOHA"):
+			return praloha.New(praloha.Config{M: lambda}), nil
+		default:
+			return scat.New(scat.Config{Lambda: lambda}), nil
+		}
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+// Session resolves name and asserts the stepwise session contract every
+// in-tree protocol satisfies.
+func Session(name string) (protocol.SessionProtocol, error) {
+	p, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	sp, ok := p.(protocol.SessionProtocol)
+	if !ok {
+		return nil, fmt.Errorf("protocol %q does not support sessions", name)
+	}
+	return sp, nil
+}

@@ -1,0 +1,47 @@
+package registry
+
+import "testing"
+
+func TestByNameRoster(t *testing.T) {
+	cases := map[string]string{
+		"fcat-3":    "FCAT-3",
+		"FCAT":      "FCAT-2",
+		"scat-2":    "SCAT-2",
+		"dfsa":      "DFSA",
+		"edfsa":     "EDFSA",
+		"abs":       "ABS",
+		"aqs":       "AQS",
+		"crdsa":     "CRDSA",
+		"mdfsa-3":   "MDFSA-3",
+		"praloha-2": "PRALOHA-2",
+	}
+	for in, want := range cases {
+		p, err := ByName(in)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", in, err)
+		}
+		if got := p.Name(); got != want {
+			t.Errorf("ByName(%q).Name() = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	for _, in := range []string{"", "GEN2", "FCAT-x", "FCAT-0", "SCAT-17"} {
+		if _, err := ByName(in); err == nil {
+			t.Errorf("ByName(%q): expected error", in)
+		}
+	}
+}
+
+func TestSessionRoster(t *testing.T) {
+	for _, name := range []string{"FCAT-2", "SCAT-2", "DFSA", "EDFSA", "ABS", "AQS", "CRDSA", "MDFSA-2", "PRALOHA-2"} {
+		sp, err := Session(name)
+		if err != nil {
+			t.Fatalf("Session(%q): %v", name, err)
+		}
+		if sp.Name() != name {
+			t.Errorf("Session(%q).Name() = %q", name, sp.Name())
+		}
+	}
+}

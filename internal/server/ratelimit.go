@@ -1,0 +1,89 @@
+// Per-client token-bucket rate limiting. Clients are keyed by the
+// X-Client-ID header when present (load generators and fleet controllers
+// set it), else by the remote address's host part, so one greedy client
+// throttles itself without starving its neighbours.
+package server
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a classic token bucket per client key: rate tokens
+// refill per second up to burst. A zero rate disables limiting.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	// lastSweep drives opportunistic expiry of idle buckets so the map
+	// does not grow without bound under rotating client keys.
+	lastSweep time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// bucketIdleExpiry is how long an untouched bucket survives; by then it
+// has long since refilled to burst, so dropping it loses nothing.
+const bucketIdleExpiry = 5 * time.Minute
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow consumes one token for key, reporting whether the request may
+// proceed and, when it may not, how long until a token is available.
+func (rl *rateLimiter) allow(key string, now time.Time) (bool, time.Duration) {
+	if rl == nil || rl.rate <= 0 {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	if now.Sub(rl.lastSweep) > bucketIdleExpiry {
+		for k, b := range rl.buckets {
+			if now.Sub(b.last) > bucketIdleExpiry {
+				delete(rl.buckets, k)
+			}
+		}
+		rl.lastSweep = now
+	}
+	b, ok := rl.buckets[key]
+	if !ok {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rl.rate
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	return false, wait
+}
+
+// clientKey extracts the rate-limit key from a request's identity.
+func clientKey(clientID, remoteAddr string) string {
+	if clientID != "" {
+		return clientID
+	}
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}

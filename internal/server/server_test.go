@@ -1,0 +1,523 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ancrfid/ancrfid/internal/obs"
+	"github.com/ancrfid/ancrfid/internal/protocol"
+)
+
+// testServer boots a server over a fresh directory and mounts its API on
+// an httptest server. Cleanup drains it.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	cfg.NoSync = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func createSession(t *testing.T, ts *httptest.Server, id string, spec Spec) status {
+	t.Helper()
+	code, body := doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]any{"id": id, "spec": spec})
+	if code != http.StatusCreated {
+		t.Fatalf("create %s: HTTP %d: %s", id, code, body)
+	}
+	var st status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) (int, status) {
+	t.Helper()
+	code, body := doJSON(t, "GET", ts.URL+"/v1/sessions/"+id, nil)
+	var st status
+	if code == http.StatusOK {
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return code, st
+}
+
+func stepSession(t *testing.T, ts *httptest.Server, id string, n int) stepResponse {
+	t.Helper()
+	code, body := doJSON(t, "POST", ts.URL+"/v1/sessions/"+id+"/step", map[string]any{"steps": n})
+	if code != http.StatusOK {
+		t.Fatalf("step %s: HTTP %d: %s", id, code, body)
+	}
+	var resp stepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func checkAccounting(t *testing.T, st status) {
+	t.Helper()
+	if st.Admitted != st.Identified+st.Departed+st.Active {
+		t.Fatalf("accounting broken: %d admitted != %d identified + %d departed + %d active",
+			st.Admitted, st.Identified, st.Departed, st.Active)
+	}
+	if st.DupIdents != 0 || st.Phantoms != 0 {
+		t.Fatalf("invariants broken: %d dup idents, %d phantoms", st.DupIdents, st.Phantoms)
+	}
+}
+
+func TestServerLifecycle(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	st := createSession(t, ts, "life-1", Spec{Protocol: "FCAT-2", Seed: 11, Tags: 40})
+	if st.Admitted != 40 || st.Steps != 0 {
+		t.Fatalf("fresh session: %+v", st)
+	}
+	// Step to completion.
+	var done bool
+	for i := 0; i < 100 && !done; i++ {
+		done = stepSession(t, ts, "life-1", 500).Done
+	}
+	if !done {
+		t.Fatal("session never completed")
+	}
+	code, st := getStatus(t, ts, "life-1")
+	if code != http.StatusOK {
+		t.Fatalf("status: HTTP %d", code)
+	}
+	checkAccounting(t, st)
+	if st.Identified != 40 {
+		t.Fatalf("identified %d of 40", st.Identified)
+	}
+	// Ident list: unique, count matches.
+	code, body := doJSON(t, "GET", ts.URL+"/v1/sessions/life-1/idents", nil)
+	if code != http.StatusOK {
+		t.Fatalf("idents: HTTP %d", code)
+	}
+	var il struct {
+		Idents []string `json:"idents"`
+	}
+	if err := json.Unmarshal(body, &il); err != nil {
+		t.Fatal(err)
+	}
+	if len(il.Idents) != 40 {
+		t.Fatalf("%d idents, want 40", len(il.Idents))
+	}
+	seen := map[string]bool{}
+	for _, h := range il.Idents {
+		if seen[h] {
+			t.Fatalf("duplicate ident %s", h)
+		}
+		seen[h] = true
+	}
+	// Admit new tags, step, revoke one.
+	extra := []string{"aaaaaaaaaaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbbbbbbbbbb"}
+	code, body = doJSON(t, "POST", ts.URL+"/v1/sessions/life-1/admit", map[string]any{"ids": extra})
+	if code != http.StatusOK {
+		t.Fatalf("admit: HTTP %d: %s", code, body)
+	}
+	code, _ = doJSON(t, "POST", ts.URL+"/v1/sessions/life-1/revoke", map[string]any{"ids": extra[:1]})
+	if code != http.StatusOK {
+		t.Fatalf("revoke: HTTP %d", code)
+	}
+	_, st = getStatus(t, ts, "life-1")
+	checkAccounting(t, st)
+	if st.Admitted != 42 || st.Departed != 1 {
+		t.Fatalf("after churn: %+v", st)
+	}
+	// Delete, then 404 and 409-free re-create.
+	code, _ = doJSON(t, "DELETE", ts.URL+"/v1/sessions/life-1", nil)
+	if code != http.StatusNoContent {
+		t.Fatalf("delete: HTTP %d", code)
+	}
+	if code, _ := getStatus(t, ts, "life-1"); code != http.StatusNotFound {
+		t.Fatalf("status after delete: HTTP %d", code)
+	}
+	createSession(t, ts, "life-1", Spec{Protocol: "DFSA", Seed: 1, Tags: 5})
+}
+
+func TestServerCreateValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader("}{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: HTTP %d, want 400", resp.StatusCode)
+	}
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"unknown field", map[string]any{"nope": 1}, http.StatusBadRequest},
+		{"bad id", map[string]any{"id": "../etc", "spec": Spec{Protocol: "DFSA", Tags: 5}}, http.StatusBadRequest},
+		{"unknown protocol", map[string]any{"id": "x1", "spec": Spec{Protocol: "NOPE", Tags: 5}}, http.StatusBadRequest},
+		{"bad spec", map[string]any{"id": "x2", "spec": map[string]any{"protocol": "DFSA", "tags": -3}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _ := doJSON(t, "POST", ts.URL+"/v1/sessions", tc.body)
+			if code != tc.want {
+				t.Fatalf("HTTP %d, want %d", code, tc.want)
+			}
+		})
+	}
+	createSession(t, ts, "dup-1", Spec{Protocol: "DFSA", Seed: 1, Tags: 5})
+	code, _ := doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]any{"id": "dup-1", "spec": Spec{Protocol: "DFSA", Tags: 5}})
+	if code != http.StatusConflict {
+		t.Fatalf("duplicate create: HTTP %d, want 409", code)
+	}
+}
+
+// TestServerBackpressure wedges the single shard worker and checks that a
+// full queue turns into 429 + Retry-After, not blocking or memory growth.
+func TestServerBackpressure(t *testing.T) {
+	s, ts := testServer(t, Config{Shards: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	sh := s.shards[0]
+	go sh.do("wedge", func() (any, error) {
+		close(blocked)
+		<-release
+		return nil, nil
+	})
+	<-blocked
+	// The worker is busy; fill the queue slot, then the next request must
+	// bounce.
+	filled := make(chan struct{})
+	go func() {
+		sh.do("fill", func() (any, error) { return nil, nil })
+		close(filled)
+	}()
+	// Wait until the queued call occupies the slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(sh.queue) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/sessions", strings.NewReader(`{"id":"bp-1","spec":{"protocol":"DFSA","tags":5}}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	close(release)
+	<-filled
+	if s.reg.Value(obs.MetricServerRejectBackpressure) == 0 {
+		t.Fatal("backpressure rejection not counted")
+	}
+}
+
+func TestServerRateLimit(t *testing.T) {
+	_, ts := testServer(t, Config{RateLimit: 0.001, RateBurst: 2})
+	client := func() (int, http.Header) {
+		req, _ := http.NewRequest("GET", ts.URL+"/v1/sessions", nil)
+		req.Header.Set("X-Client-ID", "greedy")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header
+	}
+	if code, _ := client(); code != http.StatusOK {
+		t.Fatalf("first request: HTTP %d", code)
+	}
+	if code, _ := client(); code != http.StatusOK {
+		t.Fatalf("second request (burst): HTTP %d", code)
+	}
+	code, hdr := client()
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("third request: HTTP %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("rate-limit 429 without Retry-After")
+	}
+	// A different client is unaffected.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/sessions", nil)
+	req.Header.Set("X-Client-ID", "patient")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other client: HTTP %d", resp.StatusCode)
+	}
+}
+
+// panicSession panics on its nth Step — the hostile payload for the
+// supervision test.
+type panicSession struct {
+	protocol.Session
+	fuse *int
+}
+
+func (p panicSession) Step() (bool, error) {
+	*p.fuse--
+	if *p.fuse <= 0 {
+		panic("protocol bug: deliberate test detonation")
+	}
+	return p.Session.Step()
+}
+
+// TestServerPanicIsolation detonates one session and checks the blast
+// radius: that session 500s and stays quarantined, every other session
+// keeps serving, the process lives, and a restart recovers the poisoned
+// session from its last good checkpoint.
+func TestServerPanicIsolation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Dir: dir,
+		newSession: func(id string, spec Spec, tracer obs.Tracer) (*hosted, error) {
+			h, err := newHosted(id, spec, tracer)
+			if err != nil {
+				return nil, err
+			}
+			if id == "bomb" {
+				fuse := 10
+				h.sess = panicSession{Session: h.sess, fuse: &fuse}
+			}
+			return h, nil
+		},
+	}
+	s, ts := testServer(t, cfg)
+	createSession(t, ts, "bomb", Spec{Protocol: "DFSA", Seed: 5, Tags: 20})
+	createSession(t, ts, "bystander", Spec{Protocol: "DFSA", Seed: 6, Tags: 20})
+
+	code, body := doJSON(t, "POST", ts.URL+"/v1/sessions/bomb/step", map[string]any{"steps": 50})
+	if code != http.StatusInternalServerError {
+		t.Fatalf("stepping the bomb: HTTP %d: %s", code, body)
+	}
+	// Quarantined, not gone — and sticky.
+	if code, _ := getStatus(t, ts, "bomb"); code != http.StatusInternalServerError {
+		t.Fatalf("poisoned status: HTTP %d, want 500", code)
+	}
+	// The bystander on the same server is untouched.
+	if resp := stepSession(t, ts, "bystander", 100); resp.Executed == 0 {
+		t.Fatal("bystander stopped stepping")
+	}
+	if s.reg.Value(obs.MetricServerSessionsPoisoned) != 1 {
+		t.Fatal("poisoning not counted")
+	}
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+
+	// Restart without the detonator: the bomb's create-time checkpoint
+	// recovers cleanly.
+	s2, err := New(Config{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Kill()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	code, st := getStatus(t, ts2, "bomb")
+	if code != http.StatusOK {
+		t.Fatalf("recovered bomb: HTTP %d", code)
+	}
+	checkAccounting(t, st)
+}
+
+// TestServerIdleEvictionReactivation passivates an idle session and
+// checks a later request transparently reactivates it, state intact.
+func TestServerIdleEvictionReactivation(t *testing.T) {
+	s, ts := testServer(t, Config{
+		Shards:        1,
+		IdleAfter:     30 * time.Millisecond,
+		EvictInterval: 10 * time.Millisecond,
+	})
+	createSession(t, ts, "ev-1", Spec{Protocol: "FCAT-2", Seed: 3, Tags: 30})
+	before := stepSession(t, ts, "ev-1", 200)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Live() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.Live() != 0 {
+		t.Fatal("session never evicted")
+	}
+	code, st := getStatus(t, ts, "ev-1")
+	if code != http.StatusOK {
+		t.Fatalf("reactivation: HTTP %d", code)
+	}
+	if st.Steps != before.Steps {
+		t.Fatalf("reactivated at step %d, passivated at %d", st.Steps, before.Steps)
+	}
+	checkAccounting(t, st)
+	if s.reg.Value(obs.MetricServerSessionsReactivated) == 0 {
+		t.Fatal("reactivation not counted")
+	}
+	if s.reg.Value(obs.MetricServerEvictIdle) == 0 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+// TestServerDrainDurability checks the graceful path: Drain checkpoints
+// every live session, so a restart resumes at the exact pre-drain state
+// even with a checkpoint cadence that never fired.
+func TestServerDrainDurability(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir, NoSync: true, CheckpointEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	steps := map[string]uint64{}
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("dr-%d", i)
+		createSession(t, ts, id, Spec{Protocol: "DFSA", Seed: uint64(i), Tags: 25})
+		steps[id] = stepSession(t, ts, id, 50+i*17).Steps
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Draining servers refuse work.
+	code, _ := doJSON(t, "GET", ts.URL+"/v1/sessions", nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("request while drained: HTTP %d, want 503", code)
+	}
+	ts.Close()
+
+	s2, err := New(Config{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Kill()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	for id, want := range steps {
+		code, st := getStatus(t, ts2, id)
+		if code != http.StatusOK {
+			t.Fatalf("recover %s: HTTP %d", id, code)
+		}
+		if st.Steps != want {
+			t.Fatalf("%s recovered at step %d, drained at %d", id, st.Steps, want)
+		}
+		checkAccounting(t, st)
+	}
+	if got := s2.reg.Value(obs.MetricServerRecoveryRecovered); got != 8 {
+		t.Fatalf("recovered %d sessions, want 8", got)
+	}
+}
+
+// TestServerRecoveryMetrics plants damaged checkpoints and checks they
+// surface as the rfid_server_recovery_* Prometheus families.
+func TestServerRecoveryMetrics(t *testing.T) {
+	dir := t.TempDir()
+	// One valid checkpoint...
+	st, err := OpenStore(dir, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testRecord()
+	good.ID = "ok-1"
+	good.Steps = 120
+	good.Ops = nil
+	good.Spec = Spec{Protocol: "DFSA", Seed: 9, Tags: 20}
+	if _, err := st.Write(good); err != nil {
+		t.Fatal(err)
+	}
+	// ...one truncated, one torn.
+	data, _ := EncodeCheckpoint(good)
+	os.WriteFile(filepath.Join(dir, "trunc.ckpt"), data[:10], 0o644)
+	torn := append([]byte(nil), data...)
+	torn[len(torn)-2] ^= 0x01
+	os.WriteFile(filepath.Join(dir, "torn.ckpt"), torn, 0o644)
+
+	s, ts := testServer(t, Config{Dir: dir})
+	_, body := doJSON(t, "GET", ts.URL+"/metrics", nil)
+	text := string(body)
+	for _, want := range []string{
+		"rfid_server_recovery_scanned_total 3",
+		"rfid_server_recovery_recovered_total 1",
+		"rfid_server_recovery_quarantined_total 2",
+		"rfid_server_recovery_replayed_steps_total 120",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	code, sess := getStatus(t, ts, "ok-1")
+	if code != http.StatusOK || sess.Steps != 120 {
+		t.Fatalf("recovered session: HTTP %d, steps %d", code, sess.Steps)
+	}
+	_ = s
+}
+
+// TestServerStepDeadline checks a livelocked step batch cannot hold its
+// shard past the configured deadline.
+func TestServerStepDeadline(t *testing.T) {
+	_, ts := testServer(t, Config{StepDeadline: time.Millisecond})
+	createSession(t, ts, "dl-1", Spec{Protocol: "DFSA", Seed: 2, Tags: 2000})
+	start := time.Now()
+	resp := stepSession(t, ts, "dl-1", 1<<20)
+	if resp.Executed == 0 {
+		t.Fatal("no steps executed")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("step batch held the shard %v despite 1ms deadline", elapsed)
+	}
+}

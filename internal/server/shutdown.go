@@ -1,0 +1,79 @@
+// Shared graceful shutdown for the module's HTTP binaries. Both
+// cmd/rfidserver and rfidsim -serve run their listeners through
+// ServeUntilSignal: SIGINT/SIGTERM stops accepting, in-flight requests
+// get a bounded window to finish (http.Server.Shutdown), and an optional
+// drain hook runs before the process exits — for the session server,
+// that hook checkpoints every live session.
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// GracefulOptions tunes ServeUntilSignal.
+type GracefulOptions struct {
+	// DrainTimeout bounds the whole shutdown (in-flight requests plus the
+	// drain hook). Default 30s.
+	DrainTimeout time.Duration
+	// OnShutdown runs after the listener stopped accepting and in-flight
+	// requests finished (or the timeout fired); typically Server.Drain.
+	OnShutdown func(context.Context) error
+	// Trigger, when non-nil, also initiates shutdown when it becomes
+	// readable — tests use it in place of a real signal.
+	Trigger <-chan struct{}
+	// Logf receives progress lines; nil discards them.
+	Logf func(string, ...any)
+}
+
+// ServeUntilSignal serves srv on ln until SIGINT or SIGTERM (or
+// opts.Trigger), then shuts down gracefully. It returns nil after a clean
+// shutdown, or the serve/shutdown error.
+func ServeUntilSignal(srv *http.Server, ln net.Listener, opts GracefulOptions) error {
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 30 * time.Second
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died on its own; nothing to drain.
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-sigc:
+		logf("received %v, draining (timeout %v)", sig, opts.DrainTimeout)
+	case <-opts.Trigger:
+		logf("shutdown triggered, draining (timeout %v)", opts.DrainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
+	defer cancel()
+	shutdownErr := srv.Shutdown(ctx)
+	if opts.OnShutdown != nil {
+		if err := opts.OnShutdown(ctx); err != nil && shutdownErr == nil {
+			shutdownErr = err
+		}
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) && shutdownErr == nil {
+		shutdownErr = err
+	}
+	return shutdownErr
+}

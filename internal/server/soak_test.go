@@ -1,0 +1,208 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ancrfid/ancrfid/internal/obs"
+)
+
+// TestSoakKillRecovery is the acceptance soak: ≥1000 concurrent sessions
+// driven through the HTTP API, a hard kill mid-flight (the in-process
+// stand-in for kill -9 — shard workers stop dead, nothing checkpoints on
+// the way down), a restart over the same directory, and then the audit:
+// every session recovers from its durable checkpoint, the accounting
+// identity (admitted == identified + departed-unread + still-active)
+// holds exactly, no identification is duplicated, and the drained server
+// leaks no goroutines.
+func TestSoakKillRecovery(t *testing.T) {
+	const (
+		sessions = 1000
+		tags     = 12
+		drivers  = 16
+	)
+	dir := t.TempDir()
+	cfg := Config{
+		Dir:             dir,
+		NoSync:          true,
+		Shards:          8,
+		QueueDepth:      4096,
+		CheckpointEvery: 32,
+	}
+	baseline := runtime.NumGoroutine()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	sessionID := func(i int) string { return fmt.Sprintf("soak-%04d", i) }
+
+	// Phase 1: create the whole fleet concurrently.
+	var wg sync.WaitGroup
+	createErrs := make(chan error, sessions)
+	sem := make(chan struct{}, drivers)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			code, body := doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]any{
+				"id":   sessionID(i),
+				"spec": Spec{Protocol: "DFSA", Seed: uint64(i) + 1, Tags: tags},
+			})
+			if code != http.StatusCreated {
+				createErrs <- fmt.Errorf("create %d: HTTP %d: %s", i, code, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(createErrs)
+	for err := range createErrs {
+		t.Fatal(err)
+	}
+
+	// Phase 2: drivers hammer random sessions with step batches (and some
+	// churn) until the server is killed under them. Backpressure (429) and
+	// the kill itself (503, connection errors) are expected weather.
+	stop := make(chan struct{})
+	var stepped atomic.Int64
+	for w := 0; w < drivers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for i := w; ; i = (i + drivers) % sessions {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := fmt.Sprintf(`{"steps":%d}`, 8+w)
+				req, _ := http.NewRequest("POST", ts.URL+"/v1/sessions/"+sessionID(i)+"/step",
+					strings.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					return // server killed mid-request
+				}
+				var sr stepResponse
+				json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				stepped.Add(int64(sr.Executed))
+			}
+		}(w)
+	}
+
+	// Let real load build, then pull the plug mid-flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for stepped.Load() < sessions*4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if stepped.Load() == 0 {
+		t.Fatal("no steps executed before the kill")
+	}
+	s.Kill()
+	close(stop)
+	wg.Wait()
+	ts.Close()
+
+	// Phase 3: restart over the same directory and audit the recovery.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	if got := s2.reg.Value(obs.MetricServerRecoveryRecovered); got != sessions {
+		t.Fatalf("recovered %d sessions, want %d", got, sessions)
+	}
+	if got := s2.reg.Value(obs.MetricServerRecoveryQuarantined); got != 0 {
+		t.Fatalf("%d sessions quarantined on a clean store", got)
+	}
+	auditErrs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			id := sessionID(i)
+			code, body := doJSON(t, "GET", ts2.URL+"/v1/sessions/"+id, nil)
+			if code != http.StatusOK {
+				auditErrs <- fmt.Errorf("%s: HTTP %d: %s", id, code, body)
+				return
+			}
+			var st status
+			if err := json.Unmarshal(body, &st); err != nil {
+				auditErrs <- fmt.Errorf("%s: %v", id, err)
+				return
+			}
+			if st.Admitted != st.Identified+st.Departed+st.Active {
+				auditErrs <- fmt.Errorf("%s: accounting broken: %d != %d+%d+%d",
+					id, st.Admitted, st.Identified, st.Departed, st.Active)
+			}
+			if st.DupIdents != 0 || st.Phantoms != 0 {
+				auditErrs <- fmt.Errorf("%s: %d dup idents, %d phantoms", id, st.DupIdents, st.Phantoms)
+			}
+			// The ident list itself must be duplicate-free.
+			code, body = doJSON(t, "GET", ts2.URL+"/v1/sessions/"+id+"/idents", nil)
+			if code != http.StatusOK {
+				auditErrs <- fmt.Errorf("%s idents: HTTP %d", id, code)
+				return
+			}
+			var il struct {
+				Idents []string `json:"idents"`
+			}
+			if err := json.Unmarshal(body, &il); err != nil {
+				auditErrs <- fmt.Errorf("%s idents: %v", id, err)
+				return
+			}
+			seen := make(map[string]bool, len(il.Idents))
+			for _, h := range il.Idents {
+				if seen[h] {
+					auditErrs <- fmt.Errorf("%s: duplicate ident %s", id, h)
+				}
+				seen[h] = true
+			}
+			if len(il.Idents) != st.Identified {
+				auditErrs <- fmt.Errorf("%s: %d idents listed, status says %d", id, len(il.Idents), st.Identified)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(auditErrs)
+	failures := 0
+	for err := range auditErrs {
+		t.Error(err)
+		if failures++; failures > 20 {
+			t.Fatal("too many audit failures, stopping")
+		}
+	}
+	ts2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s2.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Goroutine-leak check: after both servers stopped, the count settles
+	// back near the baseline.
+	settle := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+8 && time.Now().Before(settle) {
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+8 {
+		t.Fatalf("goroutine leak after drain: %d live, baseline %d", n, baseline)
+	}
+}

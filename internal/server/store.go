@@ -1,0 +1,241 @@
+// Durable checkpoint store: one CRC-framed checkpoint file per session,
+// replaced atomically (write temp file, fsync, rename, fsync directory) so
+// a crash at any instant leaves either the previous checkpoint or the new
+// one — never a half state the recovery scan would have to guess about.
+// Damaged files discovered during recovery are quarantined (renamed aside,
+// bytes preserved for forensics) rather than deleted or fatal: the server
+// keeps serving every session whose history survived.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"github.com/ancrfid/ancrfid/internal/fault"
+)
+
+const (
+	ckptSuffix       = ".ckpt"
+	tmpSuffix        = ".ckpt.tmp"
+	quarantineSuffix = ".ckpt.quarantined"
+)
+
+// maxSessionIDLen bounds session identifiers; IDs are also restricted to
+// a filename-safe alphabet so one session maps to one checkpoint file.
+const maxSessionIDLen = 64
+
+// validSessionID reports whether id is acceptable: non-empty, bounded,
+// and drawn from [A-Za-z0-9._-] with no leading dot.
+func validSessionID(id string) bool {
+	if id == "" || len(id) > maxSessionIDLen || id[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Store is the durable checkpoint directory. Methods are safe for
+// concurrent use by the shard workers: distinct sessions write distinct
+// files, and the same session is only ever written by its owning shard.
+type Store struct {
+	dir string
+	// faults, when non-nil, corrupts checkpoint writes deterministically
+	// (tests only): the write ordinal is the fault position.
+	faults *fault.Disk
+	// noSync skips fsync — benchmarks and throwaway test stores only; the
+	// durability contract requires it off.
+	noSync bool
+	// writes is the monotone write ordinal feeding the fault injector.
+	writes atomic.Uint64
+}
+
+// OpenStore opens (creating if needed) the checkpoint directory.
+func OpenStore(dir string, faults *fault.Disk, noSync bool) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: checkpoint dir: %w", err)
+	}
+	return &Store{dir: dir, faults: faults, noSync: noSync}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path returns the checkpoint file of a session.
+func (s *Store) path(id string) string { return filepath.Join(s.dir, id+ckptSuffix) }
+
+// Write durably replaces the session's checkpoint with rec. On any error
+// the previous checkpoint (if one exists) is untouched: the temp file is
+// abandoned and the rename never happens. Injected faults are applied to
+// the encoded bytes before they reach the disk, so a "successful" faulted
+// write really does plant a short or torn checkpoint under the final name
+// — exactly the damage the recovery scan must survive.
+func (s *Store) Write(rec *Record) (int, error) {
+	data, err := EncodeCheckpoint(rec)
+	if err != nil {
+		return 0, err
+	}
+	seq := s.writes.Add(1)
+	if data, err = s.faults.Corrupt(seq, data); err != nil {
+		return 0, err
+	}
+	final := s.path(rec.ID)
+	tmp := filepath.Join(s.dir, rec.ID+tmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if !s.noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return 0, err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if !s.noSync {
+		if err := syncDir(s.dir); err != nil {
+			return 0, err
+		}
+	}
+	return len(data), nil
+}
+
+// Exists reports whether a checkpoint file exists for the session.
+func (s *Store) Exists(id string) bool {
+	_, err := os.Stat(s.path(id))
+	return err == nil
+}
+
+// Quarantine renames a session's checkpoint aside (bytes preserved) and
+// returns the post-quarantine path. Used for records that pass the CRC
+// but fail replay — the file is evidence, not state.
+func (s *Store) Quarantine(id string) string {
+	full := s.path(id)
+	qpath := filepath.Join(s.dir, id+quarantineSuffix)
+	if err := os.Rename(full, qpath); err != nil {
+		return full
+	}
+	return qpath
+}
+
+// Load reads and decodes one session's checkpoint. A missing file returns
+// os.ErrNotExist (wrapped); a damaged one returns the typed corruption
+// error from DecodeCheckpoint.
+func (s *Store) Load(id string) (*Record, error) {
+	data, err := os.ReadFile(s.path(id))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCheckpoint(data)
+}
+
+// Delete removes a session's checkpoint; a missing file is not an error.
+func (s *Store) Delete(id string) error {
+	err := os.Remove(s.path(id))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	if s.noSync {
+		return nil
+	}
+	return syncDir(s.dir)
+}
+
+// Quarantined is one damaged checkpoint file set aside by the recovery
+// scan.
+type Quarantined struct {
+	// Path is the file's post-quarantine location.
+	Path string
+	// Err is the typed corruption error that disqualified it.
+	Err error
+}
+
+// Recovered is the outcome of a recovery scan.
+type Recovered struct {
+	// Records are the valid checkpoints, one per surviving session.
+	Records []*Record
+	// Quarantined lists damaged files renamed aside.
+	Quarantined []Quarantined
+}
+
+// Recover scans the directory: abandoned temp files are removed (a crash
+// mid-write left them; the rename never happened, so they carry no
+// committed state), valid checkpoints are returned, and corrupt or
+// truncated ones are renamed aside with their bytes intact. The scan never
+// fails on file content — only on I/O errors reading the directory
+// itself.
+func (s *Store) Recover() (Recovered, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return Recovered{}, fmt.Errorf("server: recovery scan: %w", err)
+	}
+	var rec Recovered
+	for _, e := range entries {
+		name := e.Name()
+		full := filepath.Join(s.dir, name)
+		switch {
+		case e.IsDir(), strings.HasSuffix(name, quarantineSuffix):
+			continue
+		case strings.HasSuffix(name, tmpSuffix):
+			os.Remove(full)
+			continue
+		case !strings.HasSuffix(name, ckptSuffix):
+			continue
+		}
+		id := strings.TrimSuffix(name, ckptSuffix)
+		data, err := os.ReadFile(full)
+		var r *Record
+		if err == nil {
+			r, err = DecodeCheckpoint(data)
+		}
+		if err == nil && r.ID != id {
+			err = fmt.Errorf("%w: record id %q under file %q", ErrCheckpointRecord, r.ID, name)
+		}
+		if err != nil {
+			// Keep the damaged bytes; if even the rename fails, report the
+			// original path.
+			qpath := strings.TrimSuffix(full, ckptSuffix) + quarantineSuffix
+			if renameErr := os.Rename(full, qpath); renameErr != nil {
+				qpath = full
+			}
+			rec.Quarantined = append(rec.Quarantined, Quarantined{Path: qpath, Err: err})
+			continue
+		}
+		rec.Records = append(rec.Records, r)
+	}
+	return rec, nil
+}
+
+// syncDir fsyncs a directory so a completed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

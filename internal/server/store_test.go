@@ -1,0 +1,195 @@
+package server
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ancrfid/ancrfid/internal/fault"
+)
+
+func newTestStore(t *testing.T, faults *fault.Disk) *Store {
+	t.Helper()
+	s, err := OpenStore(t.TempDir(), faults, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreWriteLoadDelete(t *testing.T) {
+	s := newTestStore(t, nil)
+	rec := testRecord()
+	rec.ID = "wl-1"
+	if _, err := s.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("wl-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != rec.Seq || got.Steps != rec.Steps {
+		t.Fatalf("loaded %+v, want %+v", got, rec)
+	}
+	if !s.Exists("wl-1") || s.Exists("other") {
+		t.Fatal("Exists wrong")
+	}
+	if err := s.Delete("wl-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("wl-1"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Load after delete: %v", err)
+	}
+	if err := s.Delete("wl-1"); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestStoreWriteReplacesAtomically(t *testing.T) {
+	s := newTestStore(t, nil)
+	rec := testRecord()
+	rec.ID = "at-1"
+	for seq := uint64(1); seq <= 5; seq++ {
+		rec.Seq = seq
+		if _, err := s.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Load("at-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 5 {
+		t.Fatalf("Seq = %d, want 5", got.Seq)
+	}
+	entries, _ := os.ReadDir(s.Dir())
+	if len(entries) != 1 {
+		t.Fatalf("%d files in store dir, want 1 (no leftover temps)", len(entries))
+	}
+}
+
+// TestStoreRecover builds a directory with every kind of resident — valid
+// checkpoints, a truncated one, a bit-flipped one, an abandoned temp, a
+// mismatched-ID record, a foreign file — and checks the scan sorts them.
+func TestStoreRecover(t *testing.T) {
+	s := newTestStore(t, nil)
+	good := testRecord()
+	good.ID = "good-1"
+	if _, err := s.Write(good); err != nil {
+		t.Fatal(err)
+	}
+	good2 := testRecord()
+	good2.ID = "good-2"
+	if _, err := s.Write(good2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeCheckpoint(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, b []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(s.Dir(), name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("short"+ckptSuffix, data[:len(data)-7])
+	torn := append([]byte(nil), data...)
+	torn[len(torn)/2] ^= 0x10
+	write("torn"+ckptSuffix, torn)
+	write("mismatch"+ckptSuffix, data) // record says good-1, file says mismatch
+	write("abandoned"+tmpSuffix, data[:3])
+	write("README.txt", []byte("not a checkpoint"))
+
+	got, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, r := range got.Records {
+		ids[r.ID] = true
+	}
+	if len(got.Records) != 2 || !ids["good-1"] || !ids["good-2"] {
+		t.Fatalf("recovered %v, want good-1 and good-2", ids)
+	}
+	if len(got.Quarantined) != 3 {
+		t.Fatalf("%d quarantined, want 3: %+v", len(got.Quarantined), got.Quarantined)
+	}
+	for _, q := range got.Quarantined {
+		if !strings.HasSuffix(q.Path, quarantineSuffix) {
+			t.Errorf("quarantined file %s not renamed aside", q.Path)
+		}
+		if _, err := os.Stat(q.Path); err != nil {
+			t.Errorf("quarantined bytes lost: %v", err)
+		}
+		if q.Err == nil {
+			t.Errorf("quarantine without typed error: %s", q.Path)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(s.Dir(), "abandoned"+tmpSuffix)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("abandoned temp file not removed")
+	}
+	if _, err := os.Stat(filepath.Join(s.Dir(), "README.txt")); err != nil {
+		t.Error("foreign file disturbed")
+	}
+	// A second scan sees only the valid records; quarantined files stay put.
+	again, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Records) != 2 || len(again.Quarantined) != 0 {
+		t.Fatalf("rescan: %d records, %d quarantined; want 2, 0", len(again.Records), len(again.Quarantined))
+	}
+}
+
+// TestStoreFaultedWritesQuarantined drives the store with deterministic
+// disk faults and checks the recovery scan quarantines exactly the
+// damaged files — the end-to-end torn/short-write durability story.
+func TestStoreFaultedWritesQuarantined(t *testing.T) {
+	disk := fault.NewDisk(fault.DiskConfig{ShortWrite: 0.25, Torn: 0.25}, 99)
+	s := newTestStore(t, disk)
+	const n = 40
+	for i := 0; i < n; i++ {
+		rec := testRecord()
+		rec.ID = "f-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		rec.Seq = uint64(i + 1)
+		if _, err := s.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Quarantined) == 0 {
+		t.Fatal("fault injection produced no quarantined files")
+	}
+	if len(got.Records)+len(got.Quarantined) != n {
+		t.Fatalf("%d records + %d quarantined != %d writes",
+			len(got.Records), len(got.Quarantined), n)
+	}
+	for _, q := range got.Quarantined {
+		if !errors.Is(q.Err, ErrCheckpointTruncated) && !errors.Is(q.Err, ErrCheckpointChecksum) &&
+			!errors.Is(q.Err, ErrCheckpointMagic) && !errors.Is(q.Err, ErrCheckpointRecord) &&
+			!errors.Is(q.Err, ErrCheckpointVersion) {
+			t.Errorf("quarantine error not typed: %v", q.Err)
+		}
+	}
+}
+
+func TestValidSessionID(t *testing.T) {
+	good := []string{"a", "lg-0001", "A.b_c-9", strings.Repeat("x", maxSessionIDLen)}
+	for _, id := range good {
+		if !validSessionID(id) {
+			t.Errorf("validSessionID(%q) = false", id)
+		}
+	}
+	bad := []string{"", ".hidden", "a/b", "a b", "..", strings.Repeat("x", maxSessionIDLen+1), "é"}
+	for _, id := range bad {
+		if validSessionID(id) {
+			t.Errorf("validSessionID(%q) = true", id)
+		}
+	}
+}
